@@ -1,0 +1,134 @@
+// pandabench regenerates the paper's evaluation: Figures 3-9, the
+// multi-array experiment, the Table 1 calibration, the baseline
+// comparison behind §4's argument, and the design ablations listed in
+// DESIGN.md.
+//
+//	go run ./cmd/pandabench             # everything, paper-sized (minutes)
+//	go run ./cmd/pandabench -scale 4    # arrays 16x smaller (seconds)
+//	go run ./cmd/pandabench -fig fig5   # one figure
+//	go run ./cmd/pandabench -fig baseline
+//	go run ./cmd/pandabench -fig ablations
+//	go run ./cmd/pandabench -csv       # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"panda/internal/harness"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to run: fig3..fig9, multi, table1, baseline, ablations, or all")
+	scale := flag.Uint("scale", 0, "divide array sizes by 2^scale (0 = paper-sized)")
+	csv := flag.Bool("csv", false, "emit CSV instead of tables")
+	subchunk := flag.Int64("subchunk", 0, "sub-chunk size limit in bytes (0 = paper's 1 MB)")
+	pipeline := flag.Int("pipeline", 0, "server write pipeline depth (0 = paper's blocking behaviour)")
+	verbose := flag.Bool("v", false, "print each measurement as it completes")
+	flag.Parse()
+
+	opt := harness.Options{
+		Scale:         *scale,
+		SubchunkBytes: *subchunk,
+		Pipeline:      *pipeline,
+		Verbose:       *verbose,
+	}
+
+	switch *fig {
+	case "all":
+		runTable1()
+		for _, f := range harness.Figures() {
+			runFigure(f, opt, *csv)
+		}
+		runBaseline(opt)
+		runAblations(opt)
+		runSharing(opt)
+	case "table1":
+		runTable1()
+	case "baseline":
+		runBaseline(opt)
+	case "ablations":
+		runAblations(opt)
+	case "sharing":
+		runSharing(opt)
+	default:
+		f, err := harness.FigureByID(*fig)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(os.Stderr, "known: fig3 fig4 fig5 fig6 fig7 fig8 fig9 multi table1 baseline ablations sharing all")
+			os.Exit(2)
+		}
+		runFigure(f, opt, *csv)
+	}
+}
+
+func runTable1() {
+	c, err := harness.Calibrate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(harness.RenderCalibration(c))
+}
+
+func runFigure(f harness.Figure, opt harness.Options, csv bool) {
+	points, err := harness.RunFigure(f, opt)
+	if err != nil {
+		log.Fatalf("%s: %v", f.ID, err)
+	}
+	if csv {
+		fmt.Print(harness.RenderCSV(f, points))
+		return
+	}
+	fmt.Println(harness.RenderFigure(f, points))
+}
+
+func runBaseline(opt harness.Options) {
+	size := 128 * harness.MB >> opt.Scale
+	rows, err := harness.RunComparison(size, 8, 4, harness.Traditional, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	title := fmt.Sprintf("Baseline comparison — write %d MB, 8 compute nodes, 4 i/o nodes, traditional order",
+		size/harness.MB)
+	fmt.Println(harness.RenderComparison(title, rows))
+}
+
+func runAblations(opt harness.Options) {
+	size := 64 * harness.MB >> opt.Scale
+
+	sub, err := harness.RunSubchunkAblation(size, 8, 4,
+		[]int64{64 << 10, 256 << 10, 1 << 20, 4 << 20}, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(harness.RenderAblation(
+		fmt.Sprintf("Ablation: sub-chunk size — write %d MB, natural chunking, 8 CN / 4 ION", size/harness.MB),
+		"sub-chunk bytes", sub))
+
+	pipe, err := harness.RunPipelineAblation(size, 16, 4, []int{1, 2, 4, 8}, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(harness.RenderAblation(
+		fmt.Sprintf("Ablation: write pipeline depth — %d MB, traditional order, fast disk, 16 CN / 4 ION", size/harness.MB),
+		"pipeline depth", pipe))
+
+	gran, err := harness.RunGranularityAblation(size, 8, 4, []int{1, 2, 4, 8, 16, 64}, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(harness.RenderAblation(
+		fmt.Sprintf("Ablation: chunk striping granularity — write %d MB, 8 CN / 4 ION (k chunks per i/o node)", size/harness.MB),
+		"k", gran))
+}
+
+func runSharing(opt harness.Options) {
+	size := 64 * harness.MB >> opt.Scale
+	r, err := harness.RunSharing(size, 8, 2, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(harness.RenderSharing(size, 8, 2, r))
+}

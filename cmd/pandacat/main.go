@@ -1,0 +1,56 @@
+// pandacat reassembles arrays from a Panda data set into single
+// row-major files on a sequential machine — the consumer side of the
+// paper's migration story. It needs only the schema file written by
+// Cluster.SaveSchema and the cluster's data directory.
+//
+//	pandacat -schema out/sim.schema.json -data out -array temperature -o temperature.raw
+//	pandacat -schema out/sim.schema.json -data out -array density -suffix .t3 -o density.t3.raw
+//	pandacat -schema out/sim.schema.json -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"panda"
+)
+
+func main() {
+	schemaPath := flag.String("schema", "", "schema file written by Cluster.SaveSchema (required)")
+	dataDir := flag.String("data", ".", "cluster data directory (contains ion0/, ion1/, ...)")
+	name := flag.String("array", "", "array to reassemble")
+	suffix := flag.String("suffix", "", `operation suffix: "" plain write, ".t3" timestep 3, ".ckpt" checkpoint`)
+	out := flag.String("o", "", "output file (row-major byte stream)")
+	list := flag.Bool("list", false, "list the data set's arrays and exit")
+	flag.Parse()
+
+	if *schemaPath == "" {
+		fmt.Fprintln(os.Stderr, "pandacat: -schema is required")
+		os.Exit(2)
+	}
+	s, err := panda.LoadSchema(*schemaPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *list {
+		fmt.Printf("group %s, striped over %d i/o nodes:\n", s.Group(), s.IONodes())
+		for _, n := range s.ArrayNames() {
+			fmt.Printf("  %s\n", n)
+		}
+		return
+	}
+	if *name == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "pandacat: -array and -o are required (or use -list)")
+		os.Exit(2)
+	}
+	if err := panda.AssembleArray(s, *dataDir, *name, *suffix, *out); err != nil {
+		log.Fatal(err)
+	}
+	st, err := os.Stat(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("assembled %s%s into %s (%d bytes, traditional order)\n", *name, *suffix, *out, st.Size())
+}

@@ -1,0 +1,22 @@
+// pandainfo prints the Table 1 calibration of the simulated substrate:
+// the AIX file system cost model and the interconnect model, measured
+// the way the paper measured the NAS IBM SP2, side by side with the
+// paper's numbers.
+//
+//	go run ./cmd/pandainfo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"panda/internal/harness"
+)
+
+func main() {
+	c, err := harness.Calibrate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(harness.RenderCalibration(c))
+}

@@ -1,0 +1,121 @@
+// pandapredict prices Panda collective operations with the analytic
+// cost model (the paper's future-work item) and ranks candidate disk
+// schemas for a workload — schema selection without running any I/O.
+//
+//	pandapredict -size 256 -cn 32 -ion 4 -op write
+//	pandapredict -size 256 -cn 32 -ion 4 -op write -candidates
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"panda/internal/array"
+	"panda/internal/core"
+	"panda/internal/costmodel"
+	"panda/internal/harness"
+	"panda/internal/mpi"
+	"panda/internal/storage"
+)
+
+func main() {
+	sizeMB := flag.Int64("size", 64, "array size in MB (power of two)")
+	cn := flag.Int("cn", 8, "compute nodes: 8, 16, 24 or 32")
+	ion := flag.Int("ion", 4, "i/o nodes")
+	op := flag.String("op", "write", "write or read")
+	schema := flag.String("schema", "natural", "disk schema: natural or trad")
+	fast := flag.Bool("fast", false, "infinitely fast disks")
+	pipeline := flag.Int("pipeline", 0, "write pipeline depth")
+	candidates := flag.Bool("candidates", false, "rank candidate disk schemas instead")
+	flag.Parse()
+
+	mesh, ok := harness.Meshes()[*cn]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "no mesh for %d compute nodes\n", *cn)
+		os.Exit(2)
+	}
+	shape, err := harness.Shape3D(*sizeMB * harness.MB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mem := array.MustSchema(shape, []array.Dist{array.Block, array.Block, array.Block}, mesh)
+	cfg := core.Config{NumClients: *cn, NumServers: *ion, Pipeline: *pipeline,
+		StartupOverhead: harness.StartupOverhead, CopyRate: harness.CopyRate}
+
+	if *candidates {
+		rank(cfg, mem, *ion, *op == "write")
+		return
+	}
+
+	disk := mem
+	if *schema == "trad" {
+		disk = array.MustSchema(shape, []array.Dist{array.Block, array.Star, array.Star}, []int{*ion})
+	}
+	in := costmodel.Inputs{
+		Cfg:      cfg,
+		Specs:    []core.ArraySpec{{Name: "x", ElemSize: harness.ElemSize, Mem: mem, Disk: disk}},
+		Link:     mpi.SP2Link(),
+		Disk:     storage.SP2AIX(),
+		FastDisk: *fast,
+		Write:    *op == "write",
+	}
+	b := costmodel.Predict(in)
+	total := in.Specs[0].TotalBytes()
+	fmt.Printf("predicted %s of %d MB, %d compute nodes, %d i/o nodes, %s schema\n",
+		*op, *sizeMB, *cn, *ion, *schema)
+	fmt.Printf("  elapsed     %v\n", b.Elapsed.Round(time.Millisecond))
+	fmt.Printf("  aggregate   %.2f MB/s\n", float64(total)/harness.MBps/b.Elapsed.Seconds())
+	fmt.Printf("  startup     %v\n", b.Startup)
+	for s := range b.PerServer {
+		fmt.Printf("  i/o node %d  busy %v (disk %v, network %v)\n",
+			s, b.PerServer[s].Round(time.Millisecond),
+			b.PerServerDisk[s].Round(time.Millisecond), b.PerServerNet[s].Round(time.Millisecond))
+	}
+}
+
+// rank prices a standard family of candidate disk schemas.
+func rank(cfg core.Config, mem array.Schema, ion int, write bool) {
+	shape := mem.Shape
+	type cand struct {
+		label  string
+		schema array.Schema
+	}
+	var cands []cand
+	add := func(label string, s array.Schema, err error) {
+		if err == nil {
+			cands = append(cands, cand{label, s})
+		}
+	}
+	s1, e1 := array.NewSchema(shape, []array.Dist{array.Block, array.Star, array.Star}, []int{ion})
+	add(fmt.Sprintf("traditional  BLOCK,*,* on %d", ion), s1, e1)
+	add("natural      same as memory", mem, nil)
+	s3, e3 := array.NewSchema(shape, []array.Dist{array.Block, array.Star, array.Star}, []int{4 * ion})
+	add(fmt.Sprintf("medium       BLOCK,*,* on %d", 4*ion), s3, e3)
+	s4, e4 := array.NewSchema(shape, []array.Dist{array.Block, array.Block, array.Star}, []int{ion, 4})
+	add(fmt.Sprintf("2-D striped  BLOCK,BLOCK,* on %dx4", ion), s4, e4)
+	s5, e5 := array.NewSchema(shape, []array.Dist{array.Block, array.Star, array.Star}, []int{min(shape[0], 64*ion)})
+	add(fmt.Sprintf("fine         BLOCK,*,* on %d", min(shape[0], 64*ion)), s5, e5)
+
+	schemas := make([]array.Schema, len(cands))
+	for i, c := range cands {
+		schemas[i] = c.schema
+	}
+	order := costmodel.Rank(cfg, mpi.SP2Link(), storage.SP2AIX(), mem, harness.ElemSize, schemas, write)
+	fmt.Printf("disk schema candidates, best first (%d compute nodes, %d i/o nodes):\n", cfg.NumClients, ion)
+	for pos, idx := range order {
+		in := costmodel.Inputs{Cfg: cfg, Link: mpi.SP2Link(), Disk: storage.SP2AIX(), Write: write,
+			Specs: []core.ArraySpec{{Name: "x", ElemSize: harness.ElemSize, Mem: mem, Disk: schemas[idx]}}}
+		fmt.Printf("  %d. %-36s predicted %v\n", pos+1, cands[idx].label,
+			costmodel.Predict(in).Elapsed.Round(time.Millisecond))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,41 @@
+package array
+
+// ContiguousIn reports whether sect occupies one contiguous run of
+// outer's row-major layout and, if so, the element offset of the run's
+// start within outer. A section is contiguous exactly when its
+// dimensions split into a (possibly empty) prefix of singletons, at
+// most one free range, and a suffix covering outer fully.
+//
+// Panda uses this to skip gather/scatter copies: with natural chunking
+// every requested sub-chunk is contiguous in the client's chunk buffer,
+// which is why the paper sees "very little processing overhead" there,
+// while reorganizing schemas (e.g. memory BLOCK³ to disk BLOCK,*,*)
+// forces strided copies.
+func ContiguousIn(outer, sect Region) (int64, bool) {
+	if outer.Rank() != sect.Rank() {
+		panic("array: rank mismatch in ContiguousIn")
+	}
+	if !outer.Contains(sect) {
+		return 0, false
+	}
+	if sect.IsEmpty() {
+		return 0, true
+	}
+	// Scan from the innermost dimension: full dims, then at most one
+	// ranged dim, then singletons only.
+	sawRange := false
+	for d := outer.Rank() - 1; d >= 0; d-- {
+		full := sect.Lo[d] == outer.Lo[d] && sect.Hi[d] == outer.Hi[d]
+		if !sawRange {
+			if full {
+				continue
+			}
+			sawRange = true
+			continue
+		}
+		if sect.Extent(d) != 1 {
+			return 0, false
+		}
+	}
+	return outer.LinearIndex(sect.Lo), true
+}

@@ -1,0 +1,177 @@
+package array
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestContiguousInFullRegion(t *testing.T) {
+	r := Box([]int{4, 5, 6})
+	off, ok := ContiguousIn(r, r)
+	if !ok || off != 0 {
+		t.Fatalf("full region: off=%d ok=%v", off, ok)
+	}
+}
+
+func TestContiguousInRowRange(t *testing.T) {
+	r := Box([]int{4, 5, 6})
+	// Rows 1..3 of dim 0, full in dims 1,2: contiguous at offset 1*30.
+	sect := NewRegion([]int{1, 0, 0}, []int{3, 5, 6})
+	off, ok := ContiguousIn(r, sect)
+	if !ok || off != 30 {
+		t.Fatalf("row range: off=%d ok=%v", off, ok)
+	}
+}
+
+func TestContiguousInPinnedInner(t *testing.T) {
+	r := Box([]int{4, 5, 6})
+	// Single (i,j), range in last dim: contiguous.
+	sect := NewRegion([]int{2, 3, 1}, []int{3, 4, 5})
+	off, ok := ContiguousIn(r, sect)
+	if !ok || off != int64(2*30+3*6+1) {
+		t.Fatalf("pinned: off=%d ok=%v", off, ok)
+	}
+}
+
+func TestContiguousInStridedRejected(t *testing.T) {
+	r := Box([]int{4, 5, 6})
+	// Partial range in dim 1 with full dim 2 but multiple rows in dim
+	// 0: strided.
+	sect := NewRegion([]int{0, 1, 0}, []int{2, 3, 6})
+	if _, ok := ContiguousIn(r, sect); ok {
+		t.Fatal("strided section reported contiguous")
+	}
+	// Partial innermost range across multiple middle indices.
+	sect2 := NewRegion([]int{0, 0, 1}, []int{1, 2, 3})
+	if _, ok := ContiguousIn(r, sect2); ok {
+		t.Fatal("strided inner section reported contiguous")
+	}
+}
+
+func TestContiguousInOutside(t *testing.T) {
+	r := Box([]int{4, 4})
+	if _, ok := ContiguousIn(r, NewRegion([]int{0, 0}, []int{5, 4})); ok {
+		t.Fatal("escaping section reported contiguous")
+	}
+}
+
+func TestContiguousInDegenerateDims(t *testing.T) {
+	// outer has extent-1 dims: 1x5x1 array; any sub-range of dim 1 is
+	// contiguous.
+	r := Box([]int{1, 5, 1})
+	sect := NewRegion([]int{0, 2, 0}, []int{1, 4, 1})
+	off, ok := ContiguousIn(r, sect)
+	if !ok || off != 2 {
+		t.Fatalf("degenerate: off=%d ok=%v", off, ok)
+	}
+}
+
+func TestContiguousInMatchesBruteForce(t *testing.T) {
+	rnd := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 500; iter++ {
+		rank := 1 + rnd.Intn(3)
+		shape := make([]int, rank)
+		for d := range shape {
+			shape[d] = 1 + rnd.Intn(5)
+		}
+		outer := Box(shape)
+		lo := make([]int, rank)
+		hi := make([]int, rank)
+		for d := range lo {
+			lo[d] = rnd.Intn(shape[d])
+			hi[d] = lo[d] + 1 + rnd.Intn(shape[d]-lo[d])
+		}
+		sect := NewRegion(lo, hi)
+
+		// Brute force: collect the row-major linear indices of all
+		// points of sect within outer; contiguous iff consecutive.
+		var idxs []int64
+		pt := append([]int(nil), sect.Lo...)
+		for {
+			idxs = append(idxs, outer.LinearIndex(pt))
+			d := rank - 1
+			for d >= 0 {
+				pt[d]++
+				if pt[d] < sect.Hi[d] {
+					break
+				}
+				pt[d] = sect.Lo[d]
+				d--
+			}
+			if d < 0 {
+				break
+			}
+		}
+		want := true
+		for i := 1; i < len(idxs); i++ {
+			if idxs[i] != idxs[i-1]+1 {
+				want = false
+				break
+			}
+		}
+		off, ok := ContiguousIn(outer, sect)
+		if ok != want {
+			t.Fatalf("outer %v sect %v: ContiguousIn ok=%v, brute force %v", outer, sect, ok, want)
+		}
+		if ok && off != idxs[0] {
+			t.Fatalf("outer %v sect %v: offset %d, want %d", outer, sect, off, idxs[0])
+		}
+	}
+}
+
+func TestContiguousRunsCoverAndAreContiguous(t *testing.T) {
+	rnd := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 300; iter++ {
+		rank := 1 + rnd.Intn(4)
+		shape := make([]int, rank)
+		for d := range shape {
+			shape[d] = 1 + rnd.Intn(6)
+		}
+		outer := Box(shape)
+		lo := make([]int, rank)
+		hi := make([]int, rank)
+		for d := range lo {
+			lo[d] = rnd.Intn(shape[d])
+			hi[d] = lo[d] + 1 + rnd.Intn(shape[d]-lo[d])
+		}
+		sect := NewRegion(lo, hi)
+		runs := ContiguousRuns(outer, sect)
+		var elems int64
+		for _, run := range runs {
+			if _, ok := ContiguousIn(outer, run); !ok {
+				t.Fatalf("outer %v sect %v: run %v not contiguous", outer, sect, run)
+			}
+			if !sect.Contains(run) {
+				t.Fatalf("run %v escapes sect %v", run, sect)
+			}
+			elems += run.NumElems()
+		}
+		if elems != sect.NumElems() {
+			t.Fatalf("outer %v sect %v: runs cover %d of %d elems", outer, sect, elems, sect.NumElems())
+		}
+	}
+}
+
+func TestContiguousRunsFullSectionIsOneRun(t *testing.T) {
+	outer := Box([]int{4, 4, 4})
+	runs := ContiguousRuns(outer, outer)
+	if len(runs) != 1 || !runs[0].Equal(outer) {
+		t.Fatalf("runs = %v", runs)
+	}
+}
+
+func TestContiguousRunsStridedColumn(t *testing.T) {
+	// A column of a 2-D array: one run per row.
+	outer := Box([]int{5, 8})
+	sect := NewRegion([]int{1, 3}, []int{4, 5})
+	runs := ContiguousRuns(outer, sect)
+	if len(runs) != 3 {
+		t.Fatalf("got %d runs, want 3", len(runs))
+	}
+	for i, run := range runs {
+		want := NewRegion([]int{1 + i, 3}, []int{2 + i, 5})
+		if !run.Equal(want) {
+			t.Fatalf("run %d = %v, want %v", i, run, want)
+		}
+	}
+}

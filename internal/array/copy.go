@@ -1,0 +1,101 @@
+package array
+
+import "fmt"
+
+// CopyRegion copies the elements of sect from src to dst.
+//
+// src holds the elements of region srcR in row-major order; dst holds
+// region dstR likewise. sect must be contained in both. elemSize is the
+// byte size of one element. The copy proceeds row by row along the last
+// dimension, so runs that are contiguous in both buffers move with a
+// single copy each.
+//
+// This is the primitive behind every gather, scatter, and
+// reorganization in Panda: a client assembling a requested sub-chunk
+// from its memory chunk, a server scattering a sub-chunk into per-client
+// pieces, and schema-to-schema rearrangement are all CopyRegion calls
+// with different region pairs.
+func CopyRegion(dst []byte, dstR Region, src []byte, srcR Region, sect Region, elemSize int) {
+	rank := sect.Rank()
+	if dstR.Rank() != rank || srcR.Rank() != rank {
+		panic("array: rank mismatch in CopyRegion")
+	}
+	if sect.IsEmpty() {
+		return
+	}
+	if !srcR.Contains(sect) || !dstR.Contains(sect) {
+		panic(fmt.Sprintf("array: section %v not contained in src %v / dst %v", sect, srcR, dstR))
+	}
+	if int64(len(src)) < srcR.NumElems()*int64(elemSize) {
+		panic("array: src buffer too small")
+	}
+	if int64(len(dst)) < dstR.NumElems()*int64(elemSize) {
+		panic("array: dst buffer too small")
+	}
+
+	// Row-major strides (in elements) of the two buffers.
+	srcStride := strides(srcR)
+	dstStride := strides(dstR)
+
+	// The innermost run: sect's last-dimension extent.
+	rowElems := sect.Extent(rank - 1)
+	rowBytes := rowElems * elemSize
+
+	// Odometer iteration over sect's outer dimensions.
+	pt := append([]int(nil), sect.Lo...)
+	for {
+		so := offsetOf(pt, srcR, srcStride) * int64(elemSize)
+		do := offsetOf(pt, dstR, dstStride) * int64(elemSize)
+		copy(dst[do:do+int64(rowBytes)], src[so:so+int64(rowBytes)])
+
+		// Advance the odometer over dims [0, rank-1).
+		d := rank - 2
+		for d >= 0 {
+			pt[d]++
+			if pt[d] < sect.Hi[d] {
+				break
+			}
+			pt[d] = sect.Lo[d]
+			d--
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// strides returns row-major element strides for a buffer shaped like r.
+func strides(r Region) []int64 {
+	rank := r.Rank()
+	st := make([]int64, rank)
+	acc := int64(1)
+	for d := rank - 1; d >= 0; d-- {
+		st[d] = acc
+		acc *= int64(r.Extent(d))
+	}
+	return st
+}
+
+// offsetOf returns the row-major element offset of point pt within
+// region r given precomputed strides.
+func offsetOf(pt []int, r Region, st []int64) int64 {
+	off := int64(0)
+	for d := range pt {
+		off += int64(pt[d]-r.Lo[d]) * st[d]
+	}
+	return off
+}
+
+// Extract copies region sect out of a buffer holding srcR into a fresh
+// buffer holding exactly sect.
+func Extract(src []byte, srcR, sect Region, elemSize int) []byte {
+	out := make([]byte, sect.NumElems()*int64(elemSize))
+	CopyRegion(out, sect, src, srcR, sect, elemSize)
+	return out
+}
+
+// Deposit copies a buffer holding exactly sect into the right place of
+// a buffer holding dstR.
+func Deposit(dst []byte, dstR Region, data []byte, sect Region, elemSize int) {
+	CopyRegion(dst, dstR, data, sect, sect, elemSize)
+}

@@ -1,0 +1,102 @@
+package array
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// naiveCopyRegion is the obviously-correct reference: move every
+// element of sect one at a time.
+func naiveCopyRegion(dst []byte, dstR Region, src []byte, srcR Region, sect Region, elem int) {
+	if sect.IsEmpty() {
+		return
+	}
+	pt := append([]int(nil), sect.Lo...)
+	for {
+		so := srcR.LinearIndex(pt) * int64(elem)
+		do := dstR.LinearIndex(pt) * int64(elem)
+		copy(dst[do:do+int64(elem)], src[so:so+int64(elem)])
+		d := sect.Rank() - 1
+		for d >= 0 {
+			pt[d]++
+			if pt[d] < sect.Hi[d] {
+				break
+			}
+			pt[d] = sect.Lo[d]
+			d--
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+func randomRegionWithin(rnd *rand.Rand, outer Region) Region {
+	lo := make([]int, outer.Rank())
+	hi := make([]int, outer.Rank())
+	for d := range lo {
+		lo[d] = outer.Lo[d] + rnd.Intn(outer.Extent(d))
+		hi[d] = lo[d] + 1 + rnd.Intn(outer.Hi[d]-lo[d])
+	}
+	return Region{Lo: lo, Hi: hi}
+}
+
+func TestCopyRegionMatchesNaiveReference(t *testing.T) {
+	rnd := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 400; iter++ {
+		rank := 1 + rnd.Intn(4)
+		elem := []int{1, 2, 4, 8}[rnd.Intn(4)]
+
+		// Build two frames that overlap in a common box.
+		shape := make([]int, rank)
+		for d := range shape {
+			shape[d] = 2 + rnd.Intn(7)
+		}
+		global := Box(shape)
+		srcR := randomRegionWithin(rnd, global)
+		dstR := randomRegionWithin(rnd, global)
+		sect, ok := Intersect(srcR, dstR)
+		if !ok {
+			continue
+		}
+
+		src := make([]byte, srcR.NumElems()*int64(elem))
+		rnd.Read(src)
+
+		fast := make([]byte, dstR.NumElems()*int64(elem))
+		slow := make([]byte, len(fast))
+		rnd.Read(fast)
+		copy(slow, fast) // same garbage outside sect
+
+		CopyRegion(fast, dstR, src, srcR, sect, elem)
+		naiveCopyRegion(slow, dstR, src, srcR, sect, elem)
+
+		if !bytes.Equal(fast, slow) {
+			t.Fatalf("iter %d: CopyRegion differs from reference (src %v dst %v sect %v elem %d)",
+				iter, srcR, dstR, sect, elem)
+		}
+	}
+}
+
+func TestExtractMatchesNaive(t *testing.T) {
+	rnd := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 200; iter++ {
+		rank := 1 + rnd.Intn(3)
+		shape := make([]int, rank)
+		for d := range shape {
+			shape[d] = 1 + rnd.Intn(8)
+		}
+		outer := Box(shape)
+		sect := randomRegionWithin(rnd, outer)
+		src := make([]byte, outer.NumElems()*4)
+		rnd.Read(src)
+
+		got := Extract(src, outer, sect, 4)
+		want := make([]byte, sect.NumElems()*4)
+		naiveCopyRegion(want, sect, src, outer, sect, 4)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("iter %d: Extract differs from reference", iter)
+		}
+	}
+}

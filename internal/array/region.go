@@ -1,0 +1,170 @@
+// Package array provides the multidimensional-array geometry Panda is
+// built on: rectangular regions, HPF-style BLOCK / * distributions over
+// logical processor meshes, chunk enumeration, strided (hyperslab)
+// copies between differently-shaped buffers, and splitting of regions
+// into contiguous pieces of bounded size (the paper's ≤1 MB
+// sub-chunking).
+//
+// Conventions: arrays are row-major ("traditional order" in the paper),
+// dimensions are indexed from 0 (outermost / slowest-varying), and
+// regions are half-open boxes [Lo, Hi) per dimension.
+package array
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Region is a rectangular, half-open box in index space: it contains
+// every point p with Lo[d] <= p[d] < Hi[d] for all d. A Region with any
+// Hi[d] <= Lo[d] is empty.
+type Region struct {
+	Lo, Hi []int
+}
+
+// NewRegion returns the box [lo, hi).
+func NewRegion(lo, hi []int) Region {
+	if len(lo) != len(hi) {
+		panic("array: rank mismatch in NewRegion")
+	}
+	return Region{Lo: append([]int(nil), lo...), Hi: append([]int(nil), hi...)}
+}
+
+// Box returns the region [0, shape) covering a whole array.
+func Box(shape []int) Region {
+	lo := make([]int, len(shape))
+	hi := append([]int(nil), shape...)
+	return Region{Lo: lo, Hi: hi}
+}
+
+// Rank reports the number of dimensions.
+func (r Region) Rank() int { return len(r.Lo) }
+
+// Extent reports the length of the region along dimension d.
+func (r Region) Extent(d int) int {
+	e := r.Hi[d] - r.Lo[d]
+	if e < 0 {
+		return 0
+	}
+	return e
+}
+
+// Extents returns the per-dimension lengths.
+func (r Region) Extents() []int {
+	e := make([]int, r.Rank())
+	for d := range e {
+		e[d] = r.Extent(d)
+	}
+	return e
+}
+
+// NumElems reports the number of index points in the region.
+func (r Region) NumElems() int64 {
+	n := int64(1)
+	for d := range r.Lo {
+		n *= int64(r.Extent(d))
+	}
+	return n
+}
+
+// Contains reports whether sub lies entirely within r. Empty regions
+// are contained everywhere.
+func (r Region) Contains(sub Region) bool {
+	if sub.Rank() != r.Rank() {
+		return false
+	}
+	if sub.IsEmpty() {
+		return true
+	}
+	for d := range r.Lo {
+		if sub.Lo[d] < r.Lo[d] || sub.Hi[d] > r.Hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsEmpty reports whether the region contains no points (rank 0 regions
+// contain exactly one point, the empty tuple).
+func (r Region) IsEmpty() bool {
+	for d := range r.Lo {
+		if r.Hi[d] <= r.Lo[d] {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether two regions cover the same box.
+func (r Region) Equal(o Region) bool {
+	if r.Rank() != o.Rank() {
+		return false
+	}
+	for d := range r.Lo {
+		if r.Lo[d] != o.Lo[d] || r.Hi[d] != o.Hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the overlap of a and b and whether it is non-empty.
+func Intersect(a, b Region) (Region, bool) {
+	if a.Rank() != b.Rank() {
+		panic("array: rank mismatch in Intersect")
+	}
+	lo := make([]int, a.Rank())
+	hi := make([]int, a.Rank())
+	for d := range lo {
+		lo[d] = max(a.Lo[d], b.Lo[d])
+		hi[d] = min(a.Hi[d], b.Hi[d])
+		if hi[d] <= lo[d] {
+			return Region{}, false
+		}
+	}
+	return Region{Lo: lo, Hi: hi}, true
+}
+
+// LinearIndex returns the row-major position of point p within r. p
+// must lie inside r.
+func (r Region) LinearIndex(p []int) int64 {
+	if len(p) != r.Rank() {
+		panic("array: rank mismatch in LinearIndex")
+	}
+	idx := int64(0)
+	for d := 0; d < r.Rank(); d++ {
+		if p[d] < r.Lo[d] || p[d] >= r.Hi[d] {
+			panic(fmt.Sprintf("array: point %v outside region %v", p, r))
+		}
+		idx = idx*int64(r.Extent(d)) + int64(p[d]-r.Lo[d])
+	}
+	return idx
+}
+
+// String renders the region as "[lo0:hi0, lo1:hi1, ...)".
+func (r Region) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for d := range r.Lo {
+		if d > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d:%d", r.Lo[d], r.Hi[d])
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

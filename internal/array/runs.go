@@ -1,0 +1,63 @@
+package array
+
+// ContiguousRuns decomposes sect into the maximal sub-regions that are
+// each contiguous in outer's row-major layout, in row-major order.
+// Every returned region is contiguous in outer (ContiguousIn succeeds),
+// the regions are disjoint, and their union is sect.
+//
+// This is how a client-directed writer turns "my piece of this disk
+// chunk" into the minimal sequence of (offset, length) file requests —
+// the strided pattern the paper's §1 blames for poor performance in
+// systems without collective interfaces.
+func ContiguousRuns(outer, sect Region) []Region {
+	if outer.Rank() != sect.Rank() {
+		panic("array: rank mismatch in ContiguousRuns")
+	}
+	if sect.IsEmpty() {
+		return nil
+	}
+	if !outer.Contains(sect) {
+		panic("array: section escapes outer region in ContiguousRuns")
+	}
+	// Find the split dimension: the earliest dimension such that sect
+	// covers outer fully in every later dimension. Runs fix the
+	// dimensions before it and range over it.
+	rank := outer.Rank()
+	split := rank - 1
+	for split > 0 {
+		d := split
+		if sect.Lo[d] == outer.Lo[d] && sect.Hi[d] == outer.Hi[d] {
+			split--
+			continue
+		}
+		break
+	}
+	// One run per index combination over dims [0, split).
+	var out []Region
+	pt := append([]int(nil), sect.Lo...)
+	for {
+		run := Region{Lo: make([]int, rank), Hi: make([]int, rank)}
+		for d := 0; d < rank; d++ {
+			switch {
+			case d < split:
+				run.Lo[d], run.Hi[d] = pt[d], pt[d]+1
+			default:
+				run.Lo[d], run.Hi[d] = sect.Lo[d], sect.Hi[d]
+			}
+		}
+		out = append(out, run)
+
+		d := split - 1
+		for d >= 0 {
+			pt[d]++
+			if pt[d] < sect.Hi[d] {
+				break
+			}
+			pt[d] = sect.Lo[d]
+			d--
+		}
+		if d < 0 {
+			return out
+		}
+	}
+}

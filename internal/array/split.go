@@ -1,0 +1,89 @@
+package array
+
+// SplitContiguous cuts region r into an ordered list of sub-regions,
+// each at most maxBytes large (elements of elemSize bytes), such that
+// concatenating the sub-regions' row-major contents reproduces r's
+// row-major contents exactly. This realizes the paper's on-the-fly
+// sub-chunking: Panda servers break chunks bigger than 1 MB into ≤1 MB
+// pieces that are still sequential on disk.
+//
+// The cut is greedy along the outermost dimension whose rows fit: a
+// sub-region spans as many consecutive "rows" as fit in maxBytes, with
+// all inner dimensions at full extent; when even a single row of some
+// dimension exceeds maxBytes the algorithm recurses one dimension
+// deeper with the outer coordinates pinned. maxBytes must be at least
+// elemSize.
+func SplitContiguous(r Region, elemSize int, maxBytes int64) []Region {
+	if elemSize <= 0 {
+		panic("array: non-positive element size")
+	}
+	if maxBytes < int64(elemSize) {
+		panic("array: maxBytes smaller than one element")
+	}
+	if r.IsEmpty() {
+		return nil
+	}
+	var out []Region
+
+	// bytesFrom[d] is the byte size of one full row at depth d: the
+	// product of extents of dims d..rank-1 times elemSize. bytesFrom
+	// has rank+1 entries; the last is elemSize (a single element).
+	rank := r.Rank()
+	bytesFrom := make([]int64, rank+1)
+	bytesFrom[rank] = int64(elemSize)
+	for d := rank - 1; d >= 0; d-- {
+		bytesFrom[d] = bytesFrom[d+1] * int64(r.Extent(d))
+	}
+
+	// cur pins coordinates of dimensions shallower than the recursion
+	// depth.
+	cur := append([]int(nil), r.Lo...)
+
+	var rec func(d int)
+	rec = func(d int) {
+		if bytesFrom[d] <= maxBytes {
+			// Everything from depth d down fits: emit one region
+			// with dims < d pinned to cur and dims >= d at full
+			// extent.
+			out = append(out, pinned(r, cur, d, r.Lo[d], r.Hi[d]))
+			return
+		}
+		// How many rows of depth d+1 fit per piece?
+		per := int(maxBytes / bytesFrom[d+1])
+		if per >= 1 {
+			for lo := r.Lo[d]; lo < r.Hi[d]; lo += per {
+				hi := min(lo+per, r.Hi[d])
+				out = append(out, pinned(r, cur, d, lo, hi))
+			}
+			return
+		}
+		// A single row at depth d+1 is itself too big: pin this
+		// dimension index by index and recurse.
+		for i := r.Lo[d]; i < r.Hi[d]; i++ {
+			cur[d] = i
+			rec(d + 1)
+		}
+		cur[d] = r.Lo[d]
+	}
+	rec(0)
+	return out
+}
+
+// pinned builds a region equal to r except that dimensions before d are
+// collapsed to the single index cur[dim], and dimension d is restricted
+// to [lo, hi).
+func pinned(r Region, cur []int, d, lo, hi int) Region {
+	rank := r.Rank()
+	out := Region{Lo: make([]int, rank), Hi: make([]int, rank)}
+	for dim := 0; dim < rank; dim++ {
+		switch {
+		case dim < d:
+			out.Lo[dim], out.Hi[dim] = cur[dim], cur[dim]+1
+		case dim == d:
+			out.Lo[dim], out.Hi[dim] = lo, hi
+		default:
+			out.Lo[dim], out.Hi[dim] = r.Lo[dim], r.Hi[dim]
+		}
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+package baseline
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"panda/internal/array"
+	"panda/internal/clock"
+	"panda/internal/core"
+	"panda/internal/mpi"
+	"panda/internal/storage"
+)
+
+// Baseline wire protocol. Ranks [0, numClients) are clients and the
+// rest are servers, as in core. Clients drive everything; servers are
+// dumb request processors (that is the point of these baselines).
+const (
+	bTagReq = 20 // client → server requests
+	bTagRep = 21 // server → client replies
+)
+
+const (
+	bReqWrite byte = iota + 1
+	bReqRead
+	bReqSync
+	bReqShutdown
+	bRepAck
+	bRepData
+	bPeerPiece
+	bPeerBarrier
+)
+
+func encodeFileReq(typ byte, name string, offset int64, n int64, payload []byte) []byte {
+	b := make([]byte, 0, 1+2+len(name)+16+len(payload))
+	b = append(b, typ)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(name)))
+	b = append(b, name...)
+	b = binary.BigEndian.AppendUint64(b, uint64(offset))
+	b = binary.BigEndian.AppendUint64(b, uint64(n))
+	return append(b, payload...)
+}
+
+func decodeFileReq(b []byte) (typ byte, name string, offset, n int64, payload []byte, err error) {
+	if len(b) < 3 {
+		return 0, "", 0, 0, nil, fmt.Errorf("baseline: short request")
+	}
+	typ = b[0]
+	nl := int(binary.BigEndian.Uint16(b[1:]))
+	if len(b) < 3+nl+16 {
+		return 0, "", 0, 0, nil, fmt.Errorf("baseline: truncated request")
+	}
+	name = string(b[3 : 3+nl])
+	offset = int64(binary.BigEndian.Uint64(b[3+nl:]))
+	n = int64(binary.BigEndian.Uint64(b[11+nl:]))
+	payload = b[19+nl:]
+	return typ, name, offset, n, payload, nil
+}
+
+// ServeFiles is the baseline I/O node: it applies write/read requests
+// in arrival order — no planning, no reordering — until shutdown.
+// Every client must send it a shutdown request.
+func ServeFiles(cfg core.Config, comm mpi.Comm, disk storage.Disk) error {
+	open := make(map[string]storage.File)
+	defer func() {
+		for _, f := range open {
+			f.Close()
+		}
+	}()
+	get := func(name string, create bool) (storage.File, error) {
+		if f, ok := open[name]; ok {
+			return f, nil
+		}
+		var f storage.File
+		var err error
+		if create {
+			// First writer creates; later writers reuse the handle,
+			// so concurrent writers never truncate each other.
+			f, err = disk.Create(name)
+		} else {
+			f, err = disk.Open(name)
+		}
+		if err != nil {
+			return nil, err
+		}
+		open[name] = f
+		return f, nil
+	}
+
+	remaining := cfg.NumClients // shutdowns still expected
+	for remaining > 0 {
+		m := comm.Recv(mpi.AnySource, bTagReq)
+		typ, name, offset, n, payload, err := decodeFileReq(m.Data)
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case bReqWrite:
+			f, ferr := get(name, true)
+			if ferr == nil {
+				_, ferr = f.WriteAt(payload, offset)
+			}
+			comm.SendOwned(m.Source, bTagRep, ackFor(ferr))
+		case bReqRead:
+			f, ferr := get(name, false)
+			buf := make([]byte, 1+n)
+			buf[0] = bRepData
+			if ferr == nil {
+				_, ferr = f.ReadAt(buf[1:], offset)
+			}
+			if ferr != nil {
+				comm.SendOwned(m.Source, bTagRep, ackFor(ferr))
+				continue
+			}
+			comm.SendOwned(m.Source, bTagRep, buf)
+		case bReqSync:
+			var serr error
+			for _, f := range open {
+				if err := f.Sync(); err != nil && serr == nil {
+					serr = err
+				}
+			}
+			comm.SendOwned(m.Source, bTagRep, ackFor(serr))
+		case bReqShutdown:
+			remaining--
+		default:
+			return fmt.Errorf("baseline: unknown request type %d", typ)
+		}
+	}
+	return nil
+}
+
+func ackFor(err error) []byte {
+	if err == nil {
+		return []byte{bRepAck, 0}
+	}
+	return append([]byte{bRepAck, 1}, err.Error()...)
+}
+
+func checkAck(m mpi.Message) error {
+	if len(m.Data) < 2 || m.Data[0] != bRepAck {
+		return fmt.Errorf("baseline: malformed ack")
+	}
+	if m.Data[1] != 0 {
+		return fmt.Errorf("baseline: server error: %s", m.Data[2:])
+	}
+	return nil
+}
+
+// clientCtx bundles what the baseline client programs need.
+type clientCtx struct {
+	cfg  core.Config
+	comm mpi.Comm
+	clk  clock.Clock
+	// reorg accounting, mirroring core's CopyRate model.
+	reorgBytes int64
+	// requests counts file requests issued to servers.
+	requests int64
+}
+
+func (c *clientCtx) chargeReorg(n int64) {
+	c.reorgBytes += n
+	if c.cfg.CopyRate > 0 {
+		c.clk.Sleep(time.Duration(float64(n) / c.cfg.CopyRate * float64(time.Second)))
+	}
+}
+
+// barrier synchronizes the clients only (rank 0 coordinates).
+func (c *clientCtx) barrier() {
+	if c.cfg.NumClients == 1 {
+		return
+	}
+	if c.comm.Rank() == 0 {
+		for i := 1; i < c.cfg.NumClients; i++ {
+			c.comm.Recv(mpi.AnySource, bTagBarrier)
+		}
+		for i := 1; i < c.cfg.NumClients; i++ {
+			c.comm.Send(i, bTagBarrier, []byte{bPeerBarrier})
+		}
+	} else {
+		c.comm.Send(0, bTagBarrier, []byte{bPeerBarrier})
+		c.comm.Recv(0, bTagBarrier)
+	}
+}
+
+// writeTargets pushes the data of region owned (held in buf framed by
+// frame) to the servers, one request per contiguous file run.
+func (c *clientCtx) writeTargets(spec core.ArraySpec, suffix string, frame array.Region, buf []byte, owned array.Region) error {
+	touched := make(map[int]bool)
+	for _, tgt := range fileTargets(spec, suffix, c.cfg.NumServers, owned) {
+		payload := c.extract(spec, frame, buf, tgt.Region)
+		msg := encodeFileReq(bReqWrite, tgt.Name, tgt.Offset, 0, payload)
+		c.requests++
+		c.comm.SendOwned(c.cfg.ServerRank(tgt.Server), bTagReq, msg)
+		if err := checkAck(c.comm.Recv(c.cfg.ServerRank(tgt.Server), bTagRep)); err != nil {
+			return err
+		}
+		touched[tgt.Server] = true
+	}
+	for s := range touched {
+		c.comm.Send(c.cfg.ServerRank(s), bTagReq, encodeFileReq(bReqSync, "", 0, 0, nil))
+		if err := checkAck(c.comm.Recv(c.cfg.ServerRank(s), bTagRep)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readTargets pulls the data of region owned from the servers into buf.
+func (c *clientCtx) readTargets(spec core.ArraySpec, suffix string, frame array.Region, buf []byte, owned array.Region) error {
+	for _, tgt := range fileTargets(spec, suffix, c.cfg.NumServers, owned) {
+		msg := encodeFileReq(bReqRead, tgt.Name, tgt.Offset, tgt.Bytes, nil)
+		c.requests++
+		c.comm.SendOwned(c.cfg.ServerRank(tgt.Server), bTagReq, msg)
+		m := c.comm.Recv(c.cfg.ServerRank(tgt.Server), bTagRep)
+		if len(m.Data) > 0 && m.Data[0] == bRepData {
+			c.deposit(spec, frame, buf, tgt.Region, m.Data[1:])
+			continue
+		}
+		if err := checkAck(m); err != nil {
+			return err
+		}
+		return fmt.Errorf("baseline: unexpected reply")
+	}
+	return nil
+}
+
+func (c *clientCtx) extract(spec core.ArraySpec, frame array.Region, buf []byte, sect array.Region) []byte {
+	if off, ok := array.ContiguousIn(frame, sect); ok {
+		start := off * int64(spec.ElemSize)
+		n := sect.NumElems() * int64(spec.ElemSize)
+		out := make([]byte, n)
+		copy(out, buf[start:start+n])
+		return out
+	}
+	out := array.Extract(buf, frame, sect, spec.ElemSize)
+	c.chargeReorg(int64(len(out)))
+	return out
+}
+
+func (c *clientCtx) deposit(spec core.ArraySpec, frame array.Region, buf []byte, sect array.Region, payload []byte) {
+	_, contig := array.ContiguousIn(frame, sect)
+	array.CopyRegion(buf, frame, payload, sect, sect, spec.ElemSize)
+	if !contig {
+		c.chargeReorg(int64(len(payload)))
+	}
+}

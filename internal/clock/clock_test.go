@@ -1,0 +1,63 @@
+package clock
+
+import (
+	"testing"
+	"time"
+
+	"panda/internal/vtime"
+)
+
+func TestRealClockAdvances(t *testing.T) {
+	c := NewReal()
+	a := c.Now()
+	c.Sleep(2 * time.Millisecond)
+	b := c.Now()
+	if b-a < 2*time.Millisecond {
+		t.Fatalf("Sleep(2ms) advanced only %v", b-a)
+	}
+}
+
+func TestVirtualClockFollowsSimulation(t *testing.T) {
+	sim := vtime.New()
+	var before, after time.Duration
+	sim.Spawn("p", func(p *vtime.Proc) {
+		c := NewVirtual(p)
+		before = c.Now()
+		c.Sleep(5 * time.Second) // virtual: must not take wall time
+		after = c.Now()
+		if c.Proc() != p {
+			t.Error("Proc accessor lost the process")
+		}
+	})
+	start := time.Now()
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if before != 0 || after != 5*time.Second {
+		t.Fatalf("virtual clock: before=%v after=%v", before, after)
+	}
+	if wall := time.Since(start); wall > time.Second {
+		t.Fatalf("virtual sleep took %v of wall time", wall)
+	}
+}
+
+func TestVirtualClocksShareOneTimeline(t *testing.T) {
+	sim := vtime.New()
+	var seen []time.Duration
+	for i := 1; i <= 3; i++ {
+		i := i
+		sim.Spawn("p", func(p *vtime.Proc) {
+			c := NewVirtual(p)
+			c.Sleep(time.Duration(i) * time.Second)
+			seen = append(seen, c.Now())
+		})
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		if seen[i] != want {
+			t.Fatalf("timeline: %v", seen)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"panda/internal/array"
+	"panda/internal/clock"
+	"panda/internal/mpi"
+)
+
+// Client is a Panda client: the library code linked into the
+// application on one compute node. Its collective methods block until
+// the whole operation completes on every node, per the paper's
+// synchronized SPMD model; while blocked, the client answers the
+// servers' sub-chunk requests (writes) and absorbs incoming sub-chunk
+// data (reads).
+type Client struct {
+	cfg  Config
+	comm mpi.Comm
+	clk  clock.Clock
+
+	stats   Stats
+	elapsed time.Duration
+	opSeq   int // collective operations issued so far
+}
+
+// NewClient creates the client endpoint for one compute node.
+func NewClient(cfg Config, comm mpi.Comm, clk clock.Clock) *Client {
+	return &Client{cfg: cfg, comm: comm, clk: clk}
+}
+
+// Rank returns this client's rank, which is also the memory-chunk
+// index it holds for every array.
+func (c *Client) Rank() int { return c.comm.Rank() }
+
+// IsMaster reports whether this is the master client.
+func (c *Client) IsMaster() bool { return c.comm.Rank() == c.cfg.MasterClient() }
+
+// Stats returns the client's traffic counters.
+func (c *Client) Stats() Stats { return c.stats }
+
+// LastElapsed reports the time this client spent inside its most
+// recent collective call — the quantity the paper's elapsed-time
+// metric takes the maximum of across compute nodes.
+func (c *Client) LastElapsed() time.Duration { return c.elapsed }
+
+// WriteArrays collectively writes the given arrays. bufs[i] is this
+// client's memory chunk of specs[i] and must hold exactly its chunk's
+// bytes. suffix is appended to file names (e.g. ".t4", ".ckpt", "").
+func (c *Client) WriteArrays(suffix string, specs []ArraySpec, bufs [][]byte) error {
+	return c.collective(opWrite, suffix, specs, bufs)
+}
+
+// ReadArrays collectively reads the given arrays into bufs.
+func (c *Client) ReadArrays(suffix string, specs []ArraySpec, bufs [][]byte) error {
+	return c.collective(opRead, suffix, specs, bufs)
+}
+
+func (c *Client) send(to, tag int, data []byte) {
+	c.stats.MsgsSent++
+	c.stats.BytesSent += int64(len(data))
+	c.comm.SendOwned(to, tag, data)
+}
+
+func (c *Client) collective(op byte, suffix string, specs []ArraySpec, bufs [][]byte) error {
+	start := c.clk.Now()
+	defer func() { c.elapsed = c.clk.Now() - start }()
+
+	if err := validateSpecs(c.cfg, specs); err != nil {
+		return err
+	}
+	if len(bufs) != len(specs) {
+		return fmt.Errorf("core: %d buffers for %d arrays", len(bufs), len(specs))
+	}
+	for i, spec := range specs {
+		want := spec.MemChunkBytes(c.Rank())
+		if int64(len(bufs[i])) != want {
+			return fmt.Errorf("core: client %d: buffer for array %s holds %d bytes, chunk needs %d",
+				c.Rank(), spec.Name, len(bufs[i]), want)
+		}
+	}
+
+	// The master client sends the high-level request to the master
+	// server; everyone then serves until completion. All of this
+	// operation's traffic carries its sequence number.
+	seq := c.opSeq
+	c.opSeq++
+	if c.IsMaster() {
+		c.send(c.cfg.MasterServer(), tagToServer(seq), encodeOpRequest(opRequest{Op: op, Suffix: suffix, Specs: specs}))
+	}
+
+	for {
+		m := c.comm.Recv(mpi.AnySource, tagToClient(seq))
+		c.stats.MsgsRecv++
+		c.stats.BytesRecv += int64(len(m.Data))
+		if len(m.Data) == 0 {
+			return errors.New("core: client received empty message")
+		}
+		r := rbuf{b: m.Data}
+		switch t := r.u8(); t {
+		case msgSubReq:
+			q, err := decodeSubReq(&r)
+			if err != nil {
+				return err
+			}
+			if err := c.serveRequest(seq, specs, bufs, m.Source, q); err != nil {
+				return err
+			}
+		case msgSubData:
+			d, err := decodeSubData(&r)
+			if err != nil {
+				return err
+			}
+			if err := c.absorbData(specs, bufs, d); err != nil {
+				return err
+			}
+		case msgComplete:
+			status, err := decodeStatus(&r)
+			if err != nil {
+				return err
+			}
+			if c.IsMaster() {
+				// Relay completion to the other clients.
+				for i := 1; i < c.cfg.NumClients; i++ {
+					cp := make([]byte, len(m.Data))
+					copy(cp, m.Data)
+					c.send(i, tagToClient(seq), cp)
+				}
+			}
+			if status != "" {
+				return errors.New(status)
+			}
+			return nil
+		default:
+			return fmt.Errorf("core: client %d: unexpected message type %d", c.Rank(), t)
+		}
+	}
+}
+
+// serveRequest answers one sub-chunk request during a write: extract
+// the requested region from the local chunk and send it back. With
+// natural chunking the region is contiguous in the local buffer and the
+// extraction is free; otherwise the strided gather is charged as
+// reorganization.
+func (c *Client) serveRequest(seq int, specs []ArraySpec, bufs [][]byte, server int, q subReq) error {
+	if q.ArrayIdx < 0 || q.ArrayIdx >= len(specs) {
+		return fmt.Errorf("core: client %d: request for array %d of %d", c.Rank(), q.ArrayIdx, len(specs))
+	}
+	spec := specs[q.ArrayIdx]
+	chunk := spec.MemChunk(c.Rank())
+	if !chunk.Contains(q.Region) {
+		return fmt.Errorf("core: client %d: request %v outside chunk %v", c.Rank(), q.Region, chunk)
+	}
+
+	var payload []byte
+	if off, contig := array.ContiguousIn(chunk, q.Region); contig {
+		start := off * int64(spec.ElemSize)
+		n := q.Region.NumElems() * int64(spec.ElemSize)
+		payload = bufs[q.ArrayIdx][start : start+n]
+	} else {
+		payload = array.Extract(bufs[q.ArrayIdx], chunk, q.Region, spec.ElemSize)
+		c.chargeReorg(int64(len(payload)))
+	}
+	c.send(server, tagToServer(seq), encodeSubData(subData{
+		ArrayIdx: q.ArrayIdx,
+		ReqID:    q.ReqID,
+		Region:   q.Region,
+		Payload:  payload,
+	}))
+	return nil
+}
+
+// absorbData deposits one received piece into the local chunk during a
+// read.
+func (c *Client) absorbData(specs []ArraySpec, bufs [][]byte, d subData) error {
+	if d.ArrayIdx < 0 || d.ArrayIdx >= len(specs) {
+		return fmt.Errorf("core: client %d: data for array %d of %d", c.Rank(), d.ArrayIdx, len(specs))
+	}
+	spec := specs[d.ArrayIdx]
+	chunk := spec.MemChunk(c.Rank())
+	if !chunk.Contains(d.Region) {
+		return fmt.Errorf("core: client %d: data %v outside chunk %v", c.Rank(), d.Region, chunk)
+	}
+	want := d.Region.NumElems() * int64(spec.ElemSize)
+	if int64(len(d.Payload)) != want {
+		return fmt.Errorf("core: client %d: piece %v carries %d bytes, want %d", c.Rank(), d.Region, len(d.Payload), want)
+	}
+	_, contig := array.ContiguousIn(chunk, d.Region)
+	array.CopyRegion(bufs[d.ArrayIdx], chunk, d.Payload, d.Region, d.Region, spec.ElemSize)
+	if !contig {
+		c.chargeReorg(want)
+	}
+	return nil
+}
+
+func (c *Client) chargeReorg(n int64) {
+	c.stats.ReorgBytes += n
+	if c.cfg.CopyRate > 0 {
+		c.clk.Sleep(copyCost(n, c.cfg.CopyRate))
+	}
+}
+
+// copyCost converts a byte count at a copy rate into time.
+func copyCost(n int64, rate float64) time.Duration {
+	return time.Duration(float64(n) / rate * float64(time.Second))
+}

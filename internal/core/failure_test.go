@@ -1,0 +1,136 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"panda/internal/array"
+	"panda/internal/storage"
+)
+
+// failure_test.go exercises Panda's error paths: a failing disk on one
+// I/O node must surface as an error on every compute node, must not
+// deadlock the deployment, and must leave the protocol clean enough
+// that the next collective operation on the same deployment works.
+
+func failSpecs() (Config, []ArraySpec) {
+	// 128-byte sub-chunks: each server performs 4 writes (or reads)
+	// per operation, so a fail-after-N fault has room to trip.
+	cfg := Config{NumClients: 4, NumServers: 2, SubchunkBytes: 128}
+	shape := []int{16, 16}
+	mem := array.MustSchema(shape, []array.Dist{array.Block, array.Block}, []int{2, 2})
+	disk := array.MustSchema(shape, []array.Dist{array.Block, array.Star}, []int{2})
+	return cfg, []ArraySpec{{Name: "flaky", ElemSize: 4, Mem: mem, Disk: disk}}
+}
+
+func TestDiskWriteFailurePropagatesToAllClients(t *testing.T) {
+	cfg, specs := failSpecs()
+	disks := []storage.Disk{
+		&storage.FaultDisk{Inner: storage.NewMemDisk(), FailWritesAfter: 1},
+		storage.NewMemDisk(),
+	}
+	failures := 0
+	var mu chan struct{} = make(chan struct{}, 1)
+	mu <- struct{}{}
+	err := RunReal(cfg, disks, func(cl *Client) error {
+		werr := cl.WriteArrays("", specs, makeBufs(cl, specs, true))
+		if werr != nil {
+			<-mu
+			failures++
+			mu <- struct{}{}
+		}
+		return werr
+	})
+	if err == nil || !strings.Contains(err.Error(), "injected fault") {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	if failures != cfg.NumClients {
+		t.Fatalf("%d clients saw the failure, want %d", failures, cfg.NumClients)
+	}
+}
+
+func TestOperationAfterFailureStillWorks(t *testing.T) {
+	// The failing server must drain its outstanding replies so the
+	// next collective operation is not poisoned.
+	cfg, specs := failSpecs()
+	fd := &storage.FaultDisk{Inner: storage.NewMemDisk(), FailWritesAfter: 2}
+	disks := []storage.Disk{fd, storage.NewMemDisk()}
+	err := RunReal(cfg, disks, func(cl *Client) error {
+		bufs := makeBufs(cl, specs, true)
+		if werr := cl.WriteArrays(".bad", specs, bufs); werr == nil {
+			t.Error("first write unexpectedly succeeded")
+		}
+		// Heal the disk (synchronized inside FaultDisk) before
+		// retrying; all clients heal, which is idempotent.
+		fd.Heal()
+		if werr := cl.WriteArrays(".good", specs, bufs); werr != nil {
+			return werr
+		}
+		got := makeBufs(cl, specs, false)
+		if rerr := cl.ReadArrays(".good", specs, got); rerr != nil {
+			return rerr
+		}
+		return checkBufs(cl, specs, got)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskReadFailurePropagates(t *testing.T) {
+	cfg, specs := failSpecs()
+	disks := memDisks(cfg.NumServers)
+	if err := RunReal(cfg, disks, func(cl *Client) error {
+		return cl.WriteArrays("", specs, makeBufs(cl, specs, true))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Wrap the healthy disks with read faults for the read run.
+	faulty := []storage.Disk{
+		disks[0],
+		&storage.FaultDisk{Inner: disks[1], FailReadsAfter: 1},
+	}
+	err := RunReal(cfg, faulty, func(cl *Client) error {
+		return cl.ReadArrays("", specs, makeBufs(cl, specs, false))
+	})
+	if err == nil || !strings.Contains(err.Error(), "injected fault") {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+}
+
+func TestOpenFailurePropagates(t *testing.T) {
+	cfg, specs := failSpecs()
+	disks := []storage.Disk{
+		&storage.FaultDisk{Inner: storage.NewMemDisk(), FailOpens: true},
+		storage.NewMemDisk(),
+	}
+	err := RunReal(cfg, disks, func(cl *Client) error {
+		return cl.WriteArrays("", specs, makeBufs(cl, specs, true))
+	})
+	if !errors.Is(err, storage.ErrInjected) && (err == nil || !strings.Contains(err.Error(), "injected")) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+}
+
+func TestFailureWithPipelineDrains(t *testing.T) {
+	// With several sub-chunks in flight the failing server must drain
+	// every outstanding reply; otherwise the shutdown message would be
+	// misread and Serve would error.
+	cfg, specs := failSpecs()
+	cfg.Pipeline = 8
+	disks := []storage.Disk{
+		&storage.FaultDisk{Inner: storage.NewMemDisk(), FailWritesAfter: 1},
+		storage.NewMemDisk(),
+	}
+	err := RunReal(cfg, disks, func(cl *Client) error {
+		werr := cl.WriteArrays("", specs, makeBufs(cl, specs, true))
+		if werr == nil {
+			t.Error("write unexpectedly succeeded")
+		}
+		return nil // deployment itself must shut down cleanly
+	})
+	if err != nil {
+		t.Fatalf("deployment did not survive a pipelined failure: %v", err)
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"panda/internal/array"
+)
+
+// Planning: each server derives, independently and without any
+// server-to-server traffic (paper §2), which disk chunks it owns, where
+// each lands in its file, how chunks split into ≤SubchunkBytes
+// sub-chunks, and which clients hold the pieces of each sub-chunk.
+
+// chunkJob is one disk chunk assigned to a server.
+type chunkJob struct {
+	ChunkIdx   int          // index into the disk schema's chunk list
+	Region     array.Region // the chunk's box in the global array
+	FileOffset int64        // byte offset of the chunk in the server's file
+}
+
+// subchunkJob is one unit of sequential disk I/O.
+type subchunkJob struct {
+	ArrayIdx   int
+	Region     array.Region
+	FileOffset int64 // within the array's file on this server
+	Bytes      int64
+	Pieces     []piece
+}
+
+// piece is the part of a sub-chunk held by one client.
+type piece struct {
+	Client int // client rank
+	Region array.Region
+}
+
+// assignChunks lists the disk chunks owned by server index s under the
+// paper's implicit round-robin assignment ("chunks are implicitly
+// assigned in a round-robin fashion across all the servers"), together
+// with each chunk's offset in the server's file: a server's file is the
+// concatenation of its assigned chunks in assignment order, each stored
+// in traditional (row-major) order. Empty chunks are skipped and take
+// no file space.
+func assignChunks(disk array.Schema, elemSize, numServers, s int) []chunkJob {
+	var jobs []chunkJob
+	off := int64(0)
+	for idx := s; idx < disk.NumChunks(); idx += numServers {
+		reg := disk.Chunk(idx)
+		if reg.IsEmpty() {
+			continue
+		}
+		jobs = append(jobs, chunkJob{ChunkIdx: idx, Region: reg, FileOffset: off})
+		off += reg.NumElems() * int64(elemSize)
+	}
+	return jobs
+}
+
+// serverFileBytes is the total size of the file array a stores on
+// server index s.
+func serverFileBytes(a ArraySpec, numServers, s int) int64 {
+	var total int64
+	for idx := s; idx < a.Disk.NumChunks(); idx += numServers {
+		total += a.Disk.Chunk(idx).NumElems() * int64(a.ElemSize)
+	}
+	return total
+}
+
+// planSubchunks expands one array's chunk jobs on one server into the
+// ordered list of sub-chunk jobs, computing for each the clients that
+// hold a part of it. The order — chunks in assignment order, sub-chunks
+// in row-major order within each chunk — makes every file access
+// strictly sequential.
+func planSubchunks(arrayIdx int, a ArraySpec, jobs []chunkJob, subchunkBytes int64) []subchunkJob {
+	var out []subchunkJob
+	for _, job := range jobs {
+		off := job.FileOffset
+		for _, sub := range array.SplitContiguous(job.Region, a.ElemSize, subchunkBytes) {
+			sj := subchunkJob{
+				ArrayIdx:   arrayIdx,
+				Region:     sub,
+				FileOffset: off,
+				Bytes:      sub.NumElems() * int64(a.ElemSize),
+			}
+			for client := 0; client < a.Mem.NumChunks(); client++ {
+				if sect, ok := array.Intersect(a.Mem.Chunk(client), sub); ok {
+					sj.Pieces = append(sj.Pieces, piece{Client: client, Region: sect})
+				}
+			}
+			out = append(out, sj)
+			off += sj.Bytes
+		}
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"panda/internal/array"
+)
+
+func TestAssignChunksRoundRobin(t *testing.T) {
+	// 8 disk chunks over 3 servers: server 0 gets 0,3,6; 1 gets 1,4,7;
+	// 2 gets 2,5.
+	disk := array.MustSchema([]int{64, 64}, []array.Dist{array.Block, array.Block}, []int{4, 2})
+	want := map[int][]int{0: {0, 3, 6}, 1: {1, 4, 7}, 2: {2, 5}}
+	for s, idxs := range want {
+		jobs := assignChunks(disk, 4, 3, s)
+		if len(jobs) != len(idxs) {
+			t.Fatalf("server %d: %d jobs, want %d", s, len(jobs), len(idxs))
+		}
+		off := int64(0)
+		for i, j := range jobs {
+			if j.ChunkIdx != idxs[i] {
+				t.Fatalf("server %d job %d: chunk %d, want %d", s, i, j.ChunkIdx, idxs[i])
+			}
+			if j.FileOffset != off {
+				t.Fatalf("server %d job %d: offset %d, want %d", s, i, j.FileOffset, off)
+			}
+			off += j.Region.NumElems() * 4
+		}
+	}
+}
+
+func TestAssignChunksSkipsEmpty(t *testing.T) {
+	// 5 elements over an 8-mesh: chunks 5..7 are empty.
+	disk := array.MustSchema([]int{5}, []array.Dist{array.Block}, []int{8})
+	for s := 0; s < 2; s++ {
+		for _, j := range assignChunks(disk, 1, 2, s) {
+			if j.Region.IsEmpty() {
+				t.Fatalf("server %d got empty chunk %d", s, j.ChunkIdx)
+			}
+		}
+	}
+}
+
+func TestAssignmentIsAPartition(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 100; iter++ {
+		rank := 1 + rnd.Intn(3)
+		shape := make([]int, rank)
+		dist := make([]array.Dist, rank)
+		var mesh []int
+		for d := range shape {
+			shape[d] = 1 + rnd.Intn(20)
+			if rnd.Intn(2) == 0 {
+				dist[d] = array.Block
+				mesh = append(mesh, 1+rnd.Intn(5))
+			}
+		}
+		disk := array.MustSchema(shape, dist, mesh)
+		ns := 1 + rnd.Intn(5)
+		elem := 1 + rnd.Intn(8)
+
+		seen := make(map[int]bool)
+		var total int64
+		for s := 0; s < ns; s++ {
+			for _, j := range assignChunks(disk, elem, ns, s) {
+				if seen[j.ChunkIdx] {
+					t.Fatalf("chunk %d assigned twice", j.ChunkIdx)
+				}
+				seen[j.ChunkIdx] = true
+				total += j.Region.NumElems() * int64(elem)
+			}
+		}
+		if total != disk.TotalBytes(elem) {
+			t.Fatalf("assigned %d bytes, array has %d", total, disk.TotalBytes(elem))
+		}
+		if got := func() int64 {
+			var sum int64
+			for s := 0; s < ns; s++ {
+				sum += serverFileBytes(ArraySpec{ElemSize: elem, Disk: disk}, ns, s)
+			}
+			return sum
+		}(); got != disk.TotalBytes(elem) {
+			t.Fatalf("serverFileBytes sums to %d, want %d", got, disk.TotalBytes(elem))
+		}
+	}
+}
+
+func TestPlanSubchunksSequentialOffsets(t *testing.T) {
+	spec := ArraySpec{
+		Name:     "a",
+		ElemSize: 8,
+		Mem:      array.MustSchema([]int{64, 64, 64}, []array.Dist{array.Block, array.Block, array.Block}, []int{2, 2, 2}),
+		Disk:     array.MustSchema([]int{64, 64, 64}, []array.Dist{array.Block, array.Star, array.Star}, []int{4}),
+	}
+	for s := 0; s < 2; s++ {
+		jobs := assignChunks(spec.Disk, spec.ElemSize, 2, s)
+		subs := planSubchunks(0, spec, jobs, 32<<10)
+		// Offsets must be strictly sequential and sizes bounded.
+		next := int64(0)
+		for _, sj := range subs {
+			if sj.FileOffset != next {
+				t.Fatalf("server %d: sub at offset %d, want %d", s, sj.FileOffset, next)
+			}
+			if sj.Bytes > 32<<10 || sj.Bytes <= 0 {
+				t.Fatalf("sub size %d out of bounds", sj.Bytes)
+			}
+			if len(sj.Pieces) == 0 {
+				t.Fatalf("sub %v has no pieces", sj.Region)
+			}
+			next += sj.Bytes
+		}
+		if next != serverFileBytes(spec, 2, s) {
+			t.Fatalf("subs cover %d bytes, file needs %d", next, serverFileBytes(spec, 2, s))
+		}
+	}
+}
+
+func TestPlanPiecesCoverSubchunk(t *testing.T) {
+	rnd := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 60; iter++ {
+		shape := []int{2 + rnd.Intn(16), 2 + rnd.Intn(16)}
+		nc := []int{2, 4, 8}[rnd.Intn(3)]
+		mem := array.MustSchema(shape, []array.Dist{array.Block, array.Block}, []int{nc / 2, 2})
+		disk := array.MustSchema(shape, []array.Dist{array.Block, array.Star}, []int{1 + rnd.Intn(4)})
+		spec := ArraySpec{Name: "p", ElemSize: 4, Mem: mem, Disk: disk}
+		ns := 1 + rnd.Intn(3)
+		for s := 0; s < ns; s++ {
+			jobs := assignChunks(disk, 4, ns, s)
+			for _, sj := range planSubchunks(0, spec, jobs, 256) {
+				var covered int64
+				for _, pc := range sj.Pieces {
+					sect, ok := array.Intersect(pc.Region, sj.Region)
+					if !ok || !sect.Equal(pc.Region) {
+						t.Fatalf("piece %v escapes sub-chunk %v", pc.Region, sj.Region)
+					}
+					if !mem.Chunk(pc.Client).Contains(pc.Region) {
+						t.Fatalf("piece %v not inside client %d chunk", pc.Region, pc.Client)
+					}
+					covered += pc.Region.NumElems()
+				}
+				if covered != sj.Region.NumElems() {
+					t.Fatalf("pieces cover %d elems of %d", covered, sj.Region.NumElems())
+				}
+			}
+		}
+	}
+}
+
+func TestNaturalChunkingSinglePieceSubchunks(t *testing.T) {
+	// With identical schemas and chunks under the sub-chunk limit,
+	// each sub-chunk is exactly one client's chunk: one piece, whole
+	// region.
+	sch := array.MustSchema([]int{32, 32}, []array.Dist{array.Block, array.Block}, []int{2, 2})
+	spec := ArraySpec{Name: "n", ElemSize: 8, Mem: sch, Disk: sch}
+	for s := 0; s < 2; s++ {
+		jobs := assignChunks(sch, 8, 2, s)
+		for _, sj := range planSubchunks(0, spec, jobs, 1<<20) {
+			if len(sj.Pieces) != 1 {
+				t.Fatalf("natural chunking sub-chunk has %d pieces", len(sj.Pieces))
+			}
+			if !sj.Pieces[0].Region.Equal(sj.Region) {
+				t.Fatalf("piece %v != sub-chunk %v", sj.Pieces[0].Region, sj.Region)
+			}
+		}
+	}
+}

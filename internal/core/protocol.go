@@ -1,0 +1,314 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"panda/internal/array"
+)
+
+// Wire protocol. Every Panda message is one mpi message whose payload
+// starts with a one-byte message type. Data-bearing messages append the
+// raw sub-chunk bytes after the header so no re-encoding of array data
+// ever happens.
+//
+// Tags separate traffic by direction AND by operation sequence number.
+// The sequence matters on transports that only guarantee ordering per
+// connection pair (TCP, real MPI): without it, the Complete for
+// operation N relayed by the master client can be overtaken by
+// operation N+1's sub-chunk traffic arriving from a server on a
+// different connection, and a client would absorb N+1's data into N's
+// buffers. Tagging every message with its operation's sequence makes
+// the receive matcher reorder such stragglers. Every node counts
+// operations locally — clients per collective call, servers per
+// request handled — so the counters agree without extra traffic.
+//
+//	tagToServer(seq) — OpRequest (master client → master server),
+//	              forwarded OpRequest (master server → servers),
+//	              sub-chunk data replies (clients → server), Shutdown
+//	              (master client → servers, at seq = total ops).
+//	tagToClient(seq) — sub-chunk requests (server → clients, writes),
+//	              sub-chunk data (server → clients, reads), Complete
+//	              (master server → master client → clients).
+//
+// The strides keep the two families and the fixed tags (tagDone,
+// tagAppDone) disjoint for every sequence number.
+func tagToServer(seq int) int { return 10 + 16*seq }
+
+func tagToClient(seq int) int { return 11 + 16*seq }
+
+// Message types.
+const (
+	msgOpRequest byte = iota + 1
+	msgSubReq
+	msgSubData
+	msgDone
+	msgComplete
+	msgShutdown
+)
+
+// Operation kinds.
+const (
+	opWrite byte = iota + 1
+	opRead
+)
+
+// --- primitive encoders -------------------------------------------------
+
+type wbuf struct{ b []byte }
+
+func (w *wbuf) u8(v byte)    { w.b = append(w.b, v) }
+func (w *wbuf) u16(v uint16) { w.b = binary.BigEndian.AppendUint16(w.b, v) }
+func (w *wbuf) u32(v uint32) { w.b = binary.BigEndian.AppendUint32(w.b, v) }
+func (w *wbuf) u64(v uint64) { w.b = binary.BigEndian.AppendUint64(w.b, v) }
+func (w *wbuf) str(s string) {
+	if len(s) > 0xFFFF {
+		panic("core: string too long for wire format")
+	}
+	w.u16(uint16(len(s)))
+	w.b = append(w.b, s...)
+}
+
+type rbuf struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *rbuf) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("core: truncated message reading %s at offset %d", what, r.off)
+	}
+}
+
+func (r *rbuf) u8() byte {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail("u8")
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *rbuf) u16() uint16 {
+	if r.err != nil || r.off+2 > len(r.b) {
+		r.fail("u16")
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *rbuf) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail("u32")
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *rbuf) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail("u64")
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *rbuf) str() string {
+	n := int(r.u16())
+	if r.err != nil || r.off+n > len(r.b) {
+		r.fail("string")
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *rbuf) rest() []byte {
+	if r.err != nil {
+		return nil
+	}
+	return r.b[r.off:]
+}
+
+// --- composite encoders -------------------------------------------------
+
+func (w *wbuf) region(reg array.Region) {
+	w.u8(byte(reg.Rank()))
+	for d := 0; d < reg.Rank(); d++ {
+		w.u32(uint32(reg.Lo[d]))
+		w.u32(uint32(reg.Hi[d]))
+	}
+}
+
+func (r *rbuf) region() array.Region {
+	rank := int(r.u8())
+	lo := make([]int, rank)
+	hi := make([]int, rank)
+	for d := 0; d < rank; d++ {
+		lo[d] = int(r.u32())
+		hi[d] = int(r.u32())
+	}
+	return array.Region{Lo: lo, Hi: hi}
+}
+
+func (w *wbuf) schema(s array.Schema) {
+	w.u8(byte(len(s.Shape)))
+	for _, n := range s.Shape {
+		w.u32(uint32(n))
+	}
+	for _, d := range s.Dist {
+		w.u8(byte(d))
+	}
+	w.u8(byte(len(s.Mesh)))
+	for _, m := range s.Mesh {
+		w.u32(uint32(m))
+	}
+}
+
+func (r *rbuf) schema() array.Schema {
+	rank := int(r.u8())
+	s := array.Schema{
+		Shape: make([]int, rank),
+		Dist:  make([]array.Dist, rank),
+	}
+	for d := range s.Shape {
+		s.Shape[d] = int(r.u32())
+	}
+	for d := range s.Dist {
+		s.Dist[d] = array.Dist(r.u8())
+	}
+	if mesh := int(r.u8()); mesh > 0 {
+		s.Mesh = make([]int, mesh)
+		for i := range s.Mesh {
+			s.Mesh[i] = int(r.u32())
+		}
+	}
+	return s
+}
+
+// --- messages -----------------------------------------------------------
+
+// opRequest is the "short very-high-level description" the master
+// client sends to the master server (paper §2): the operation kind, the
+// file-name suffix, and the two schemas of every array.
+type opRequest struct {
+	Op     byte
+	Suffix string
+	Specs  []ArraySpec
+}
+
+func encodeOpRequest(req opRequest) []byte {
+	var w wbuf
+	w.u8(msgOpRequest)
+	w.u8(req.Op)
+	w.str(req.Suffix)
+	w.u16(uint16(len(req.Specs)))
+	for _, s := range req.Specs {
+		w.str(s.Name)
+		w.u32(uint32(s.ElemSize))
+		w.u64(uint64(s.SubchunkBytes))
+		w.schema(s.Mem)
+		w.schema(s.Disk)
+	}
+	return w.b
+}
+
+func decodeOpRequest(b []byte) (opRequest, error) {
+	r := rbuf{b: b}
+	if t := r.u8(); t != msgOpRequest {
+		return opRequest{}, fmt.Errorf("core: expected OpRequest, got message type %d", t)
+	}
+	var req opRequest
+	req.Op = r.u8()
+	req.Suffix = r.str()
+	n := int(r.u16())
+	req.Specs = make([]ArraySpec, n)
+	for i := range req.Specs {
+		req.Specs[i].Name = r.str()
+		req.Specs[i].ElemSize = int(r.u32())
+		req.Specs[i].SubchunkBytes = int64(r.u64())
+		req.Specs[i].Mem = r.schema()
+		req.Specs[i].Disk = r.schema()
+	}
+	if r.err != nil {
+		return opRequest{}, r.err
+	}
+	return req, nil
+}
+
+// subReq asks one client for the piece of a sub-chunk it holds.
+type subReq struct {
+	ArrayIdx int
+	ReqID    uint32
+	Region   array.Region // already intersected with the client's chunk
+}
+
+func encodeSubReq(q subReq) []byte {
+	var w wbuf
+	w.u8(msgSubReq)
+	w.u16(uint16(q.ArrayIdx))
+	w.u32(q.ReqID)
+	w.region(q.Region)
+	return w.b
+}
+
+func decodeSubReq(r *rbuf) (subReq, error) {
+	var q subReq
+	q.ArrayIdx = int(r.u16())
+	q.ReqID = r.u32()
+	q.Region = r.region()
+	return q, r.err
+}
+
+// subData carries one piece of array data, client→server on writes and
+// server→client on reads. Payload bytes follow the header directly.
+type subData struct {
+	ArrayIdx int
+	ReqID    uint32
+	Region   array.Region
+	Payload  []byte
+}
+
+// encodeSubDataHeader returns the header; the caller appends payload.
+func encodeSubData(d subData) []byte {
+	var w wbuf
+	w.u8(msgSubData)
+	w.u16(uint16(d.ArrayIdx))
+	w.u32(d.ReqID)
+	w.region(d.Region)
+	w.b = append(w.b, d.Payload...)
+	return w.b
+}
+
+func decodeSubData(r *rbuf) (subData, error) {
+	var d subData
+	d.ArrayIdx = int(r.u16())
+	d.ReqID = r.u32()
+	d.Region = r.region()
+	d.Payload = r.rest()
+	return d, r.err
+}
+
+// status is carried by Done and Complete: empty means success.
+func encodeStatus(typ byte, errMsg string) []byte {
+	var w wbuf
+	w.u8(typ)
+	w.str(errMsg)
+	return w.b
+}
+
+func decodeStatus(r *rbuf) (string, error) {
+	s := r.str()
+	return s, r.err
+}
+
+func encodeShutdown() []byte { return []byte{msgShutdown} }

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"panda/internal/array"
+)
+
+func TestOpRequestRoundTrip(t *testing.T) {
+	req := opRequest{
+		Op:     opWrite,
+		Suffix: ".t17",
+		Specs: []ArraySpec{
+			{
+				Name:     "temperature",
+				ElemSize: 8,
+				Mem:      array.MustSchema([]int{512, 512, 512}, []array.Dist{array.Block, array.Block, array.Block}, []int{4, 4, 2}),
+				Disk:     array.MustSchema([]int{512, 512, 512}, []array.Dist{array.Block, array.Star, array.Star}, []int{8}),
+			},
+			{
+				Name:     "density",
+				ElemSize: 4,
+				Mem:      array.MustSchema([]int{256, 256}, []array.Dist{array.Block, array.Star}, []int{8}),
+				Disk:     array.MustSchema([]int{256, 256}, []array.Dist{array.Star, array.Star}, nil),
+			},
+		},
+	}
+	got, err := decodeOpRequest(encodeOpRequest(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, req) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, req)
+	}
+}
+
+func TestSubReqRoundTrip(t *testing.T) {
+	q := subReq{ArrayIdx: 3, ReqID: 9999, Region: array.NewRegion([]int{1, 2, 3}, []int{4, 5, 6})}
+	b := encodeSubReq(q)
+	r := rbuf{b: b}
+	if typ := r.u8(); typ != msgSubReq {
+		t.Fatalf("type = %d", typ)
+	}
+	got, err := decodeSubReq(&r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ArrayIdx != q.ArrayIdx || got.ReqID != q.ReqID || !got.Region.Equal(q.Region) {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestSubDataRoundTrip(t *testing.T) {
+	d := subData{
+		ArrayIdx: 1,
+		ReqID:    42,
+		Region:   array.NewRegion([]int{0}, []int{5}),
+		Payload:  []byte{9, 8, 7, 6, 5},
+	}
+	b := encodeSubData(d)
+	r := rbuf{b: b}
+	if typ := r.u8(); typ != msgSubData {
+		t.Fatalf("type = %d", typ)
+	}
+	got, err := decodeSubData(&r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ArrayIdx != d.ArrayIdx || got.ReqID != d.ReqID || !got.Region.Equal(d.Region) || !bytes.Equal(got.Payload, d.Payload) {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestStatusRoundTrip(t *testing.T) {
+	for _, msg := range []string{"", "disk exploded"} {
+		b := encodeStatus(msgComplete, msg)
+		r := rbuf{b: b}
+		if typ := r.u8(); typ != msgComplete {
+			t.Fatalf("type = %d", typ)
+		}
+		got, err := decodeStatus(&r)
+		if err != nil || got != msg {
+			t.Fatalf("got %q, %v", got, err)
+		}
+	}
+}
+
+func TestDecodeTruncatedFails(t *testing.T) {
+	req := opRequest{Op: opRead, Specs: []ArraySpec{{
+		Name: "a", ElemSize: 4,
+		Mem:  array.MustSchema([]int{4}, []array.Dist{array.Block}, []int{2}),
+		Disk: array.MustSchema([]int{4}, []array.Dist{array.Block}, []int{2}),
+	}}}
+	full := encodeOpRequest(req)
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := decodeOpRequest(full[:cut]); err == nil {
+			// Some prefixes may decode "successfully" only if every
+			// field boundary aligns; for OpRequest the trailing spec
+			// fields make that impossible.
+			t.Fatalf("truncation at %d decoded without error", cut)
+		}
+	}
+}
+
+func TestDecodeWrongTypeFails(t *testing.T) {
+	if _, err := decodeOpRequest([]byte{msgSubData, 0, 0}); err == nil {
+		t.Fatal("wrong type accepted")
+	}
+}
+
+func TestRegionEncodingProperty(t *testing.T) {
+	f := func(lo0, ext0, lo1, ext1 uint16) bool {
+		reg := array.NewRegion(
+			[]int{int(lo0), int(lo1)},
+			[]int{int(lo0) + int(ext0), int(lo1) + int(ext1)},
+		)
+		var w wbuf
+		w.region(reg)
+		r := rbuf{b: w.b}
+		return r.region().Equal(reg) && r.err == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkOpRequestRoundTrip(b *testing.B) {
+	sch := array.MustSchema([]int{512, 512, 512},
+		[]array.Dist{array.Block, array.Block, array.Block}, []int{4, 4, 2})
+	req := opRequest{Op: opWrite, Suffix: ".t42", Specs: []ArraySpec{
+		{Name: "temperature", ElemSize: 8, Mem: sch, Disk: sch},
+		{Name: "pressure", ElemSize: 8, Mem: sch, Disk: sch},
+		{Name: "density", ElemSize: 8, Mem: sch, Disk: sch},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := decodeOpRequest(encodeOpRequest(req)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubDataEncode(b *testing.B) {
+	d := subData{ArrayIdx: 1, ReqID: 7,
+		Region:  array.NewRegion([]int{0, 0, 0}, []int{64, 64, 64}),
+		Payload: make([]byte, 1<<20)}
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := encodeSubData(d); len(got) < 1<<20 {
+			b.Fatal("short encode")
+		}
+	}
+}

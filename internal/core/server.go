@@ -1,0 +1,336 @@
+package core
+
+import (
+	"fmt"
+
+	"panda/internal/array"
+	"panda/internal/clock"
+	"panda/internal/mpi"
+	"panda/internal/storage"
+)
+
+// tagDone carries server→master-server completion reports. It is
+// separate from tagToServer so a master server still executing its own
+// share never confuses an early Done from a fast server with a
+// sub-chunk data reply.
+const tagDone = 12
+
+// Server is a Panda server: the code that runs on one I/O node. It
+// owns that node's file system and directs the data flow of every
+// collective operation (server-directed I/O).
+type Server struct {
+	cfg   Config
+	comm  mpi.Comm
+	disk  storage.Disk
+	clk   clock.Clock
+	index int // server index in [0, NumServers)
+
+	nextReqID uint32
+	opSeq     int // operations handled so far
+	stats     Stats
+}
+
+// Stats counts a node's traffic during collective operations.
+type Stats struct {
+	// MsgsSent and BytesSent count outgoing protocol messages.
+	MsgsSent, BytesSent int64
+	// MsgsRecv and BytesRecv count incoming protocol messages.
+	MsgsRecv, BytesRecv int64
+	// ReorgBytes counts bytes moved by non-contiguous
+	// (reorganization) copies; natural chunking keeps this at zero.
+	ReorgBytes int64
+}
+
+// NewServer creates the server for one I/O node. disk is that node's
+// file system and clk its clock.
+func NewServer(cfg Config, comm mpi.Comm, disk storage.Disk, clk clock.Clock) *Server {
+	return &Server{cfg: cfg, comm: comm, disk: disk, clk: clk, index: cfg.ServerIndex(comm.Rank())}
+}
+
+// Stats returns the server's traffic counters.
+func (s *Server) Stats() Stats { return s.stats }
+
+// IsMaster reports whether this is the master server.
+func (s *Server) IsMaster() bool { return s.comm.Rank() == s.cfg.MasterServer() }
+
+// Serve handles collective operations until a shutdown message
+// arrives. It returns nil on orderly shutdown; protocol-level failures
+// inside an operation are reported to the clients through the
+// completion status, not returned here.
+func (s *Server) Serve() error {
+	for {
+		m := s.recvServer()
+		if len(m.Data) == 0 {
+			return fmt.Errorf("core: server %d: empty message from %d", s.index, m.Source)
+		}
+		switch m.Data[0] {
+		case msgShutdown:
+			return nil
+		case msgOpRequest:
+			s.handleOp(m.Data)
+			s.opSeq++
+		default:
+			return fmt.Errorf("core: server %d: unexpected message type %d outside operation", s.index, m.Data[0])
+		}
+	}
+}
+
+func (s *Server) recvServer() mpi.Message {
+	m := s.comm.Recv(mpi.AnySource, tagToServer(s.opSeq))
+	s.stats.MsgsRecv++
+	s.stats.BytesRecv += int64(len(m.Data))
+	return m
+}
+
+func (s *Server) send(to, tag int, data []byte) {
+	s.stats.MsgsSent++
+	s.stats.BytesSent += int64(len(data))
+	s.comm.SendOwned(to, tag, data)
+}
+
+// handleOp runs one collective operation end to end on this server.
+func (s *Server) handleOp(raw []byte) {
+	req, err := decodeOpRequest(raw)
+
+	if s.IsMaster() {
+		// Charge Panda's fixed startup cost (paper: ~13 ms measured
+		// on the SP2) and forward the request to the other servers.
+		if s.cfg.StartupOverhead > 0 {
+			s.clk.Sleep(s.cfg.StartupOverhead)
+		}
+		for i := 0; i < s.cfg.NumServers; i++ {
+			if rank := s.cfg.ServerRank(i); rank != s.comm.Rank() {
+				cp := make([]byte, len(raw))
+				copy(cp, raw)
+				s.send(rank, tagToServer(s.opSeq), cp)
+			}
+		}
+	}
+
+	if err == nil {
+		err = validateSpecs(s.cfg, req.Specs)
+	}
+	if err == nil {
+		err = s.execute(req)
+	}
+
+	status := ""
+	if err != nil {
+		status = err.Error()
+	}
+
+	if !s.IsMaster() {
+		s.send(s.cfg.MasterServer(), tagDone, encodeStatus(msgDone, status))
+		return
+	}
+
+	// Master server: collect Done from every other server, aggregate
+	// the first failure, and inform the master client.
+	for i := 1; i < s.cfg.NumServers; i++ {
+		m := s.comm.Recv(mpi.AnySource, tagDone)
+		s.stats.MsgsRecv++
+		s.stats.BytesRecv += int64(len(m.Data))
+		r := rbuf{b: m.Data}
+		if t := r.u8(); t != msgDone {
+			status = fmt.Sprintf("core: master server: expected Done, got type %d", t)
+			continue
+		}
+		if msg, derr := decodeStatus(&r); derr != nil {
+			status = derr.Error()
+		} else if msg != "" && status == "" {
+			status = msg
+		}
+	}
+	s.send(s.cfg.MasterClient(), tagToClient(s.opSeq), encodeStatus(msgComplete, status))
+}
+
+// execute performs this server's share of the operation: every array in
+// order, every assigned chunk in file order, every sub-chunk
+// sequentially.
+func (s *Server) execute(req opRequest) error {
+	for ai, spec := range req.Specs {
+		jobs := assignChunks(spec.Disk, spec.ElemSize, s.cfg.NumServers, s.index)
+		subs := planSubchunks(ai, spec, jobs, spec.subchunkBytes(s.cfg))
+		name := spec.FileName(req.Suffix, s.index)
+
+		var err error
+		switch req.Op {
+		case opWrite:
+			err = s.writeArray(spec, name, subs)
+		case opRead:
+			err = s.readArray(spec, name, subs)
+		default:
+			err = fmt.Errorf("core: unknown operation %d", req.Op)
+		}
+		if err != nil {
+			return fmt.Errorf("core: server %d, array %s: %w", s.index, spec.Name, err)
+		}
+	}
+	return nil
+}
+
+// pending is a sub-chunk being assembled from client pieces.
+type pending struct {
+	job       subchunkJob
+	buf       []byte
+	remaining int
+}
+
+// writeArray gathers this server's sub-chunks of one array from the
+// clients and writes them with strictly sequential file writes. Up to
+// cfg.Pipeline sub-chunks are kept in flight; completed sub-chunks are
+// written in plan order so the file access pattern stays sequential
+// regardless of reply interleaving.
+func (s *Server) writeArray(spec ArraySpec, name string, subs []subchunkJob) error {
+	if len(subs) == 0 {
+		return nil // this server owns no data of this array
+	}
+	f, err := s.disk.Create(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	window := s.cfg.pipeline()
+	inflight := make(map[uint32]*pending, window)
+	var order []uint32
+	next, written := 0, 0
+
+	// drainErr receives and discards outstanding replies after a
+	// failure so the mailbox is clean for the next operation.
+	outstanding := 0
+
+	for written < len(subs) {
+		for next < len(subs) && len(inflight) < window {
+			sj := subs[next]
+			next++
+			s.nextReqID++
+			id := s.nextReqID
+			pend := &pending{job: sj, remaining: len(sj.Pieces)}
+			inflight[id] = pend
+			order = append(order, id)
+			for _, pc := range sj.Pieces {
+				s.send(pc.Client, tagToClient(s.opSeq), encodeSubReq(subReq{ArrayIdx: sj.ArrayIdx, ReqID: id, Region: pc.Region}))
+				outstanding++
+			}
+		}
+
+		m := s.recvServer()
+		outstanding--
+		r := rbuf{b: m.Data}
+		if t := r.u8(); t != msgSubData {
+			s.drain(outstanding)
+			return fmt.Errorf("expected sub-chunk data, got message type %d", t)
+		}
+		d, derr := decodeSubData(&r)
+		if derr != nil {
+			s.drain(outstanding)
+			return derr
+		}
+		pend, ok := inflight[d.ReqID]
+		if !ok {
+			s.drain(outstanding)
+			return fmt.Errorf("reply for unknown request %d", d.ReqID)
+		}
+		s.depositPiece(spec, pend, d)
+		pend.remaining--
+
+		// Retire completed sub-chunks strictly in plan order.
+		for len(order) > 0 && inflight[order[0]].remaining == 0 {
+			head := inflight[order[0]]
+			if _, werr := f.WriteAt(head.buf, head.job.FileOffset); werr != nil {
+				s.drain(outstanding)
+				return werr
+			}
+			delete(inflight, order[0])
+			order = order[1:]
+			written++
+		}
+	}
+	return f.Sync()
+}
+
+// drain consumes n leftover data replies after an error so they cannot
+// poison the next operation.
+func (s *Server) drain(n int) {
+	for i := 0; i < n; i++ {
+		s.recvServer()
+	}
+}
+
+// depositPiece places one received piece into the sub-chunk under
+// assembly, charging reorganization cost for non-contiguous layouts.
+func (s *Server) depositPiece(spec ArraySpec, pend *pending, d subData) {
+	sub := pend.job.Region
+	if pend.buf == nil && len(pend.job.Pieces) == 1 && d.Region.Equal(sub) {
+		// The whole sub-chunk came from one client in traditional
+		// order already: adopt the payload, no copy at all.
+		pend.buf = d.Payload
+		return
+	}
+	if pend.buf == nil {
+		pend.buf = make([]byte, pend.job.Bytes)
+	}
+	_, contig := array.ContiguousIn(sub, d.Region)
+	array.CopyRegion(pend.buf, sub, d.Payload, d.Region, d.Region, spec.ElemSize)
+	if !contig {
+		s.chargeReorg(int64(len(d.Payload)))
+	}
+}
+
+// chargeReorg accounts for a strided copy of n bytes.
+func (s *Server) chargeReorg(n int64) {
+	s.stats.ReorgBytes += n
+	if s.cfg.CopyRate > 0 {
+		s.clk.Sleep(copyCost(n, s.cfg.CopyRate))
+	}
+}
+
+// readArray reads this server's sub-chunks of one array sequentially
+// and scatters each piece to the client that needs it.
+func (s *Server) readArray(spec ArraySpec, name string, subs []subchunkJob) error {
+	if len(subs) == 0 {
+		return nil
+	}
+	f, err := s.disk.Open(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	want := serverFileBytes(spec, s.cfg.NumServers, s.index)
+	if sz, serr := f.Size(); serr != nil {
+		return serr
+	} else if sz < want {
+		return fmt.Errorf("file %s holds %d bytes, schema needs %d", name, sz, want)
+	}
+
+	for _, sj := range subs {
+		buf := make([]byte, sj.Bytes)
+		if _, rerr := f.ReadAt(buf, sj.FileOffset); rerr != nil {
+			return rerr
+		}
+		for _, pc := range sj.Pieces {
+			var payload []byte
+			if pc.Region.Equal(sj.Region) {
+				payload = buf
+			} else {
+				off, contig := array.ContiguousIn(sj.Region, pc.Region)
+				n := pc.Region.NumElems() * int64(spec.ElemSize)
+				if contig {
+					start := off * int64(spec.ElemSize)
+					payload = buf[start : start+n]
+				} else {
+					payload = array.Extract(buf, sj.Region, pc.Region, spec.ElemSize)
+					s.chargeReorg(n)
+				}
+			}
+			s.send(pc.Client, tagToClient(s.opSeq), encodeSubData(subData{
+				ArrayIdx: sj.ArrayIdx,
+				Region:   pc.Region,
+				Payload:  payload,
+			}))
+		}
+	}
+	return nil
+}

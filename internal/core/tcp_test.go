@@ -1,0 +1,214 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"panda/internal/array"
+	"panda/internal/mpi"
+	"panda/internal/storage"
+)
+
+// TestCollectiveIOOverTCP runs the full Panda protocol over real TCP
+// sockets on localhost — the paper's network-of-workstations claim —
+// and verifies a write/read round trip bit for bit.
+func TestCollectiveIOOverTCP(t *testing.T) {
+	cfg := Config{NumClients: 4, NumServers: 2, SubchunkBytes: 2 << 10}
+	shape := []int{16, 12, 8}
+	mem := array.MustSchema(shape, []array.Dist{array.Block, array.Block, array.Block}, []int{2, 2, 1})
+	disk := array.MustSchema(shape, []array.Dist{array.Block, array.Star, array.Star}, []int{2})
+	specs := []ArraySpec{{Name: "tcp", ElemSize: 4, Mem: mem, Disk: disk}}
+
+	hub, err := mpi.ListenHub("127.0.0.1:0", cfg.WorldSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hubErr := make(chan error, 1)
+	go func() { hubErr <- hub.Serve() }()
+
+	errs := make([]error, cfg.WorldSize())
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.NumClients; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			comm, err := mpi.DialComm(hub.Addr(), r, cfg.WorldSize())
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			defer mpi.CloseComm(comm)
+			errs[r] = RunClientNode(cfg, comm, func(cl *Client) error {
+				bufs := makeBufs(cl, specs, true)
+				if err := cl.WriteArrays("", specs, bufs); err != nil {
+					return err
+				}
+				got := makeBufs(cl, specs, false)
+				if err := cl.ReadArrays("", specs, got); err != nil {
+					return err
+				}
+				for i := range got {
+					if !bytes.Equal(got[i], bufs[i]) {
+						t.Errorf("client %d: TCP round trip mismatch", cl.Rank())
+					}
+				}
+				return nil
+			})
+		}(r)
+	}
+	for i := 0; i < cfg.NumServers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rank := cfg.ServerRank(i)
+			comm, err := mpi.DialComm(hub.Addr(), rank, cfg.WorldSize())
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			defer mpi.CloseComm(comm)
+			errs[rank] = RunServerNode(cfg, comm, storage.NewMemDisk())
+		}(i)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	if err := <-hubErr; err != nil {
+		t.Fatalf("hub: %v", err)
+	}
+}
+
+func TestRunNodeRankValidation(t *testing.T) {
+	cfg := Config{NumClients: 2, NumServers: 1}
+	w := mpi.NewWorld(cfg.WorldSize())
+	if err := RunClientNode(cfg, w.Comm(2), nil); err == nil {
+		t.Fatal("server rank accepted as client")
+	}
+	if err := RunServerNode(cfg, w.Comm(0), storage.NewMemDisk()); err == nil {
+		t.Fatal("client rank accepted as server")
+	}
+}
+
+// TestCollectiveIOOverMesh runs the protocol over the direct-connection
+// mesh transport.
+func TestCollectiveIOOverMesh(t *testing.T) {
+	cfg := Config{NumClients: 3, NumServers: 2, SubchunkBytes: 1 << 10}
+	shape := []int{12, 9}
+	mem := array.MustSchema(shape, []array.Dist{array.Block, array.Star}, []int{3})
+	disk := array.MustSchema(shape, []array.Dist{array.Star, array.Block}, []int{2})
+	specs := []ArraySpec{{Name: "mesh", ElemSize: 4, Mem: mem, Disk: disk}}
+
+	reg, err := mpi.ListenRegistry("127.0.0.1:0", cfg.WorldSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	regErr := make(chan error, 1)
+	go func() { regErr <- reg.Serve() }()
+
+	errs := make([]error, cfg.WorldSize())
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.WorldSize(); r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			comm, err := mpi.JoinMesh(reg.Addr(), r, cfg.WorldSize())
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			defer mpi.CloseMesh(comm)
+			if cfg.IsServer(r) {
+				errs[r] = RunServerNode(cfg, comm, storage.NewMemDisk())
+				return
+			}
+			errs[r] = RunClientNode(cfg, comm, func(cl *Client) error {
+				bufs := makeBufs(cl, specs, true)
+				if err := cl.WriteArrays("", specs, bufs); err != nil {
+					return err
+				}
+				got := makeBufs(cl, specs, false)
+				if err := cl.ReadArrays("", specs, got); err != nil {
+					return err
+				}
+				return checkBufs(cl, specs, got)
+			})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	if err := <-regErr; err != nil {
+		t.Fatalf("registry: %v", err)
+	}
+}
+
+// TestBackToBackOpsOverTCPNoCrossTalk regresses the operation-sequence
+// tagging: on transports that only order messages per connection pair,
+// operation N's Complete (relayed by the master client) can be
+// overtaken by operation N+1's sub-chunk data from a server. Without
+// sequence tags a client absorbs N+1's data into N's buffers. Large
+// pieces and many back-to-back operations give the race room to show.
+func TestBackToBackOpsOverTCPNoCrossTalk(t *testing.T) {
+	cfg := Config{NumClients: 2, NumServers: 2, SubchunkBytes: 256 << 10}
+	shape := []int{128, 64, 64} // 2 MB at 4 B
+	mem := array.MustSchema(shape, []array.Dist{array.Block, array.Star, array.Star}, []int{2})
+	specs := []ArraySpec{{Name: "seq", ElemSize: 4, Mem: mem, Disk: mem}}
+
+	hub, err := mpi.ListenHub("127.0.0.1:0", cfg.WorldSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hubErr := make(chan error, 1)
+	go func() { hubErr <- hub.Serve() }()
+
+	errs := make([]error, cfg.WorldSize())
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.WorldSize(); r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			comm, err := mpi.DialComm(hub.Addr(), r, cfg.WorldSize())
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			defer mpi.CloseComm(comm)
+			if cfg.IsServer(r) {
+				errs[r] = RunServerNode(cfg, comm, storage.NewMemDisk())
+				return
+			}
+			errs[r] = RunClientNode(cfg, comm, func(cl *Client) error {
+				bufs := makeBufs(cl, specs, true)
+				for round := 0; round < 6; round++ {
+					if err := cl.WriteArrays("", specs, bufs); err != nil {
+						return err
+					}
+					got := makeBufs(cl, specs, false)
+					if err := cl.ReadArrays("", specs, got); err != nil {
+						return err
+					}
+					if err := checkBufs(cl, specs, got); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	if err := <-hubErr; err != nil {
+		t.Fatalf("hub: %v", err)
+	}
+}

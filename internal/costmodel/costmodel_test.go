@@ -1,0 +1,190 @@
+package costmodel
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"panda/internal/array"
+	"panda/internal/clock"
+	"panda/internal/core"
+	"panda/internal/harness"
+	"panda/internal/mpi"
+	"panda/internal/storage"
+)
+
+// simulate runs the real protocol on the simulated SP2 and returns the
+// paper's elapsed metric.
+func simulate(t *testing.T, in Inputs) time.Duration {
+	t.Helper()
+	mk := func(i int, clk clock.Clock) storage.Disk {
+		if in.FastDisk {
+			return storage.NewNullDisk()
+		}
+		return storage.NewSimDisk(storage.NewNullDisk(), in.Disk, clk)
+	}
+	cfg := in.Cfg
+	res, err := core.RunSim(cfg, in.Link, mk, func(cl *core.Client) error {
+		bufs := make([][]byte, len(in.Specs))
+		for i, spec := range in.Specs {
+			bufs[i] = make([]byte, spec.MemChunkBytes(cl.Rank()))
+		}
+		if in.Write {
+			return cl.WriteArrays("", in.Specs, bufs)
+		}
+		// Fabricate files through a write first, then measure the
+		// read; LastElapsed reflects the final call.
+		if err := cl.WriteArrays("", in.Specs, bufs); err != nil {
+			return err
+		}
+		return cl.ReadArrays("", in.Specs, bufs)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.MaxClientElapsed()
+}
+
+func inputsFor(sizeMB int64, nc, ion int, trad, write, fast bool) Inputs {
+	shape, err := harness.Shape3D(sizeMB * harness.MB)
+	if err != nil {
+		panic(err)
+	}
+	mesh := harness.Meshes()[nc]
+	mem := array.MustSchema(shape, []array.Dist{array.Block, array.Block, array.Block}, mesh)
+	disk := mem
+	if trad {
+		disk = array.MustSchema(shape, []array.Dist{array.Block, array.Star, array.Star}, []int{ion})
+	}
+	return Inputs{
+		Cfg: core.Config{NumClients: nc, NumServers: ion,
+			StartupOverhead: harness.StartupOverhead, CopyRate: harness.CopyRate},
+		Specs:    []core.ArraySpec{{Name: "x", ElemSize: harness.ElemSize, Mem: mem, Disk: disk}},
+		Link:     mpi.SP2Link(),
+		Disk:     storage.SP2AIX(),
+		FastDisk: fast,
+		Write:    write,
+	}
+}
+
+func TestPredictionTracksSimulation(t *testing.T) {
+	// Reads with real disks hit the (just-written) buffer cache in
+	// the simulate helper, so the comparison covers real-disk writes
+	// and fast-disk reads/writes — the configurations where the paper
+	// publishes figures for both.
+	cases := []struct {
+		name string
+		in   Inputs
+		tol  float64
+	}{
+		{"write-natural-8c2s-8MB", inputsFor(8, 8, 2, false, true, false), 0.15},
+		{"write-natural-8c4s-16MB", inputsFor(16, 8, 4, false, true, false), 0.15},
+		{"write-trad-16c4s-8MB", inputsFor(8, 16, 4, true, true, false), 0.15},
+		{"write-natural-fast-32c4s-16MB", inputsFor(16, 32, 4, false, true, true), 0.25},
+		{"write-trad-fast-16c4s-16MB", inputsFor(16, 16, 4, true, true, true), 0.30},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Predict(c.in).Elapsed
+			want := simulate(t, c.in)
+			err := math.Abs(got.Seconds()-want.Seconds()) / want.Seconds()
+			if err > c.tol {
+				t.Fatalf("predicted %v, simulated %v (relative error %.1f%% > %.0f%%)",
+					got, want, err*100, c.tol*100)
+			}
+		})
+	}
+}
+
+func TestPredictionScalesWithSizeAndServers(t *testing.T) {
+	small := Predict(inputsFor(8, 8, 2, false, true, false)).Elapsed
+	big := Predict(inputsFor(32, 8, 2, false, true, false)).Elapsed
+	ratio := big.Seconds() / small.Seconds()
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("4x data predicted %.2fx time", ratio)
+	}
+	two := Predict(inputsFor(32, 8, 2, false, true, false)).Elapsed
+	eight := Predict(inputsFor(32, 8, 8, false, true, false)).Elapsed
+	speedup := two.Seconds() / eight.Seconds()
+	if speedup < 3.0 || speedup > 4.5 {
+		t.Fatalf("4x servers predicted %.2fx speedup", speedup)
+	}
+}
+
+func TestPredictionBreakdownConsistent(t *testing.T) {
+	b := Predict(inputsFor(16, 8, 4, true, true, false))
+	if len(b.PerServer) != 4 || len(b.PerClient) != 8 {
+		t.Fatalf("breakdown sizes: %d servers, %d clients", len(b.PerServer), len(b.PerClient))
+	}
+	for s := range b.PerServer {
+		if b.PerServer[s] != b.PerServerDisk[s]+b.PerServerNet[s] {
+			t.Fatalf("server %d: %v != %v + %v (pipeline=1 must be serial)",
+				s, b.PerServer[s], b.PerServerDisk[s], b.PerServerNet[s])
+		}
+		if b.PerServerDisk[s] <= 0 {
+			t.Fatalf("server %d predicted zero disk time", s)
+		}
+	}
+	if b.Elapsed <= b.Startup {
+		t.Fatal("elapsed not above startup")
+	}
+}
+
+func TestPipelinePredictionOverlaps(t *testing.T) {
+	// Real disks: the pipeline hides sub-chunk gathering behind disk
+	// writes, so the overlapped prediction must be strictly smaller.
+	in := inputsFor(16, 16, 4, true, true, false)
+	serial := Predict(in).Elapsed
+	in.Cfg.Pipeline = 4
+	overlapped := Predict(in).Elapsed
+	if overlapped >= serial {
+		t.Fatalf("pipeline prediction %v not below serial %v", overlapped, serial)
+	}
+}
+
+func TestRankPrefersFewerSeeksAndRightSizedChunks(t *testing.T) {
+	// Candidate disk schemas for a 16 MB array on 4 I/O nodes: the
+	// 1-chunk-per-node traditional layout, a natural-chunking layout,
+	// and an absurdly fine-grained layout whose sub-1MB chunks fall
+	// down the request-size curve. The fine-grained one must rank
+	// last.
+	shape, _ := harness.Shape3D(16 * harness.MB)
+	mem := array.MustSchema(shape, []array.Dist{array.Block, array.Block, array.Block}, []int{2, 2, 2})
+	cands := []array.Schema{
+		array.MustSchema(shape, []array.Dist{array.Block, array.Star, array.Star}, []int{4}),
+		mem,
+		array.MustSchema(shape, []array.Dist{array.Block, array.Star, array.Star}, []int{128}),
+	}
+	cfg := core.Config{NumClients: 8, NumServers: 4,
+		StartupOverhead: harness.StartupOverhead, CopyRate: harness.CopyRate}
+	order := Rank(cfg, mpi.SP2Link(), storage.SP2AIX(), mem, harness.ElemSize, cands, true)
+	if order[len(order)-1] != 2 {
+		t.Fatalf("fine-grained schema not ranked last: %v", order)
+	}
+}
+
+func TestRankAgreesWithSimulation(t *testing.T) {
+	// The model's ranking of coarse vs fine striping must match what
+	// the simulator measures.
+	shape, _ := harness.Shape3D(8 * harness.MB)
+	mem := array.MustSchema(shape, []array.Dist{array.Block, array.Block, array.Block}, []int{2, 2, 2})
+	coarse := array.MustSchema(shape, []array.Dist{array.Block, array.Star, array.Star}, []int{2})
+	fine := array.MustSchema(shape, []array.Dist{array.Block, array.Star, array.Star}, []int{64})
+	cfg := core.Config{NumClients: 8, NumServers: 2,
+		StartupOverhead: harness.StartupOverhead, CopyRate: harness.CopyRate}
+
+	var simTimes [2]time.Duration
+	for i, disk := range []array.Schema{coarse, fine} {
+		in := Inputs{Cfg: cfg, Link: mpi.SP2Link(), Disk: storage.SP2AIX(), Write: true,
+			Specs: []core.ArraySpec{{Name: fmt.Sprintf("v%d", i), ElemSize: harness.ElemSize, Mem: mem, Disk: disk}}}
+		simTimes[i] = simulate(t, in)
+	}
+	order := Rank(cfg, mpi.SP2Link(), storage.SP2AIX(), mem, harness.ElemSize,
+		[]array.Schema{coarse, fine}, true)
+	simSaysCoarseFirst := simTimes[0] < simTimes[1]
+	modelSaysCoarseFirst := order[0] == 0
+	if simSaysCoarseFirst != modelSaysCoarseFirst {
+		t.Fatalf("model order %v disagrees with simulation (%v vs %v)", order, simTimes[0], simTimes[1])
+	}
+}

@@ -1,0 +1,171 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"panda/internal/clock"
+	"panda/internal/mpi"
+	"panda/internal/storage"
+	"panda/internal/vtime"
+)
+
+// Calibration reproduces the measured rows of the paper's Table 1 on
+// the simulated substrate: the AIX file system peaks (measured with
+// 1 MB requests against 32/64 MB files) and the message passing latency
+// and bandwidth (measured with a ping-pong).
+type Calibration struct {
+	// ReadPeakMBs and WritePeakMBs are sequential 1 MB-request file
+	// system throughputs, MB/s.
+	ReadPeakMBs, WritePeakMBs float64
+	// Latency is the measured zero-byte one-way message latency.
+	Latency time.Duration
+	// BandwidthMBs is the measured large-message bandwidth, MB/s.
+	BandwidthMBs float64
+	// ReadCurve and WriteCurve give throughput (MB/s) per request
+	// size, demonstrating the small-request decline the paper relies
+	// on.
+	Curve []CurvePoint
+}
+
+// CurvePoint is one (request size, throughput) sample.
+type CurvePoint struct {
+	RequestBytes int
+	ReadMBs      float64
+	WriteMBs     float64
+}
+
+// Calibrate measures the simulated substrate the way the paper measured
+// the SP2.
+func Calibrate() (Calibration, error) {
+	var c Calibration
+
+	// File system peaks: write then (flushed) read a 32 MB file with
+	// 1 MB requests, timing with a virtual clock.
+	read, write, err := measureFS(32*MB, 1*MB)
+	if err != nil {
+		return c, err
+	}
+	c.ReadPeakMBs, c.WritePeakMBs = read, write
+
+	for _, req := range []int{4 << 10, 64 << 10, 256 << 10, 1 << 20} {
+		r, w, err := measureFS(8*MB, int64(req))
+		if err != nil {
+			return c, err
+		}
+		c.Curve = append(c.Curve, CurvePoint{RequestBytes: req, ReadMBs: r, WriteMBs: w})
+	}
+
+	// Message passing: ping-pong an empty message for latency, a 4 MB
+	// message for bandwidth.
+	lat, bw, err := pingPong()
+	if err != nil {
+		return c, err
+	}
+	c.Latency, c.BandwidthMBs = lat, bw
+	return c, nil
+}
+
+// measureFS times sequential writes then flushed sequential reads of a
+// file of the given size with the given request size.
+func measureFS(fileBytes, reqBytes int64) (readMBs, writeMBs float64, err error) {
+	sim := vtime.New()
+	var rSec, wSec float64
+	sim.Spawn("fs", func(p *vtime.Proc) {
+		clk := clock.NewVirtual(p)
+		disk := storage.NewSimDisk(storage.NewNullDisk(), storage.SP2AIX(), clk)
+		f, cerr := disk.Create("bench")
+		if cerr != nil {
+			err = cerr
+			return
+		}
+		buf := make([]byte, reqBytes)
+		start := p.Now()
+		for off := int64(0); off < fileBytes; off += reqBytes {
+			if _, werr := f.WriteAt(buf, off); werr != nil {
+				err = werr
+				return
+			}
+		}
+		if serr := f.Sync(); serr != nil {
+			err = serr
+			return
+		}
+		wSec = (p.Now() - start).Seconds()
+
+		disk.FlushCache() // the paper's pre-read cache flush
+		start = p.Now()
+		for off := int64(0); off < fileBytes; off += reqBytes {
+			if _, rerr := f.ReadAt(buf, off); rerr != nil {
+				err = rerr
+				return
+			}
+		}
+		rSec = (p.Now() - start).Seconds()
+	})
+	if rerr := sim.Run(); rerr != nil {
+		return 0, 0, rerr
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	return float64(fileBytes) / MBps / rSec, float64(fileBytes) / MBps / wSec, nil
+}
+
+// pingPong measures one-way latency (empty messages) and large-message
+// bandwidth on the simulated interconnect.
+func pingPong() (time.Duration, float64, error) {
+	sim := vtime.New()
+	w := mpi.NewSimWorld(sim, 2, mpi.SP2Link())
+	const rounds = 10
+	const big = 4 * int(MB)
+	var lat time.Duration
+	var bw float64
+	sim.Spawn("ping", func(p *vtime.Proc) {
+		c := w.Bind(0, p)
+		start := p.Now()
+		for i := 0; i < rounds; i++ {
+			c.Send(1, 0, nil)
+			c.Recv(1, 0)
+		}
+		lat = (p.Now() - start) / (2 * rounds)
+
+		start = p.Now()
+		c.Send(1, 1, make([]byte, big))
+		c.Recv(1, 1)
+		rtt := (p.Now() - start).Seconds()
+		bw = 2 * float64(big) / MBps / rtt
+	})
+	sim.Spawn("pong", func(p *vtime.Proc) {
+		c := w.Bind(1, p)
+		for i := 0; i < rounds; i++ {
+			c.Recv(0, 0)
+			c.Send(0, 0, nil)
+		}
+		m := c.Recv(0, 1)
+		c.SendOwned(0, 1, m.Data)
+	})
+	if err := sim.Run(); err != nil {
+		return 0, 0, err
+	}
+	return lat, bw, nil
+}
+
+// RenderCalibration renders the calibration next to the paper's
+// Table 1 values.
+func RenderCalibration(c Calibration) string {
+	var b strings.Builder
+	b.WriteString("Table 1 calibration — simulated substrate vs. NAS SP2 measurements\n\n")
+	fmt.Fprintf(&b, "%-44s %10s %10s\n", "quantity", "simulated", "paper")
+	fmt.Fprintf(&b, "%-44s %10.2f %10.2f\n", "AIX fs read peak (MB/s, 1 MB requests)", c.ReadPeakMBs, storage.AIXPeakRead/MBps)
+	fmt.Fprintf(&b, "%-44s %10.2f %10.2f\n", "AIX fs write peak (MB/s, 1 MB requests)", c.WritePeakMBs, storage.AIXPeakWrite/MBps)
+	fmt.Fprintf(&b, "%-44s %9.0fus %9.0fus\n", "message latency (one-way)", float64(c.Latency.Microseconds()), 43.0)
+	fmt.Fprintf(&b, "%-44s %10.2f %10.2f\n", "message bandwidth (MB/s)", c.BandwidthMBs, 34e6/MBps)
+	b.WriteString("\nFile system throughput vs request size (the decline below 1 MB):\n")
+	fmt.Fprintf(&b, "%12s %12s %12s\n", "request", "read MB/s", "write MB/s")
+	for _, pt := range c.Curve {
+		fmt.Fprintf(&b, "%9d KB %12.2f %12.2f\n", pt.RequestBytes/1024, pt.ReadMBs, pt.WriteMBs)
+	}
+	return b.String()
+}

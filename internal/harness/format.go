@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderFigure renders a figure's points as the paper renders them: an
+// aggregate-throughput table and a normalized-throughput table, rows =
+// array size, columns = number of I/O nodes.
+func RenderFigure(f Figure, points []Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", strings.ToUpper(f.ID[:1])+f.ID[1:], f.Title)
+	fmt.Fprintf(&b, "%d compute nodes (%s mesh), %s, %s disk, %s schema\n",
+		f.ComputeNodes, meshString(f.Mesh), f.Op, diskString(f.Disk), schemaString(f.Schema))
+
+	sizes, ions := axes(points)
+
+	b.WriteString("\nAggregate throughput (MB/s):\n")
+	writeTable(&b, sizes, ions, points, func(p Point) string {
+		return fmt.Sprintf("%8.2f", p.AggMBs)
+	})
+	fmt.Fprintf(&b, "\nNormalized throughput (per i/o node / %.2f MB/s peak):\n", f.NormPeak()/MBps)
+	writeTable(&b, sizes, ions, points, func(p Point) string {
+		return fmt.Sprintf("%8.2f", p.Norm)
+	})
+	return b.String()
+}
+
+// RenderCSV renders points as CSV with a figure id column.
+func RenderCSV(f Figure, points []Point) string {
+	var b strings.Builder
+	b.WriteString("figure,size_mb,io_nodes,elapsed_s,aggregate_mb_s,normalized,messages,reorg_bytes,seeks\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%s,%d,%d,%.6f,%.3f,%.4f,%d,%d,%d\n",
+			f.ID, p.ArrayBytes/MB, p.IONodes, p.Elapsed.Seconds(), p.AggMBs, p.Norm,
+			p.Messages, p.ReorgBytes, p.Seeks)
+	}
+	return b.String()
+}
+
+func axes(points []Point) (sizes []int64, ions []int) {
+	seenS := map[int64]bool{}
+	seenI := map[int]bool{}
+	for _, p := range points {
+		if !seenS[p.ArrayBytes] {
+			seenS[p.ArrayBytes] = true
+			sizes = append(sizes, p.ArrayBytes)
+		}
+		if !seenI[p.IONodes] {
+			seenI[p.IONodes] = true
+			ions = append(ions, p.IONodes)
+		}
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+	sort.Ints(ions)
+	return sizes, ions
+}
+
+func writeTable(b *strings.Builder, sizes []int64, ions []int, points []Point, cell func(Point) string) {
+	fmt.Fprintf(b, "%10s", "size\\ion")
+	for _, ion := range ions {
+		fmt.Fprintf(b, "%8d", ion)
+	}
+	b.WriteByte('\n')
+	index := make(map[[2]int64]Point, len(points))
+	for _, p := range points {
+		index[[2]int64{p.ArrayBytes, int64(p.IONodes)}] = p
+	}
+	for _, size := range sizes {
+		fmt.Fprintf(b, "%7d MB", size/MB)
+		for _, ion := range ions {
+			if p, ok := index[[2]int64{size, int64(ion)}]; ok {
+				b.WriteString(cell(p))
+			} else {
+				fmt.Fprintf(b, "%8s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+}
+
+func meshString(mesh []int) string {
+	parts := make([]string, len(mesh))
+	for i, m := range mesh {
+		parts[i] = fmt.Sprint(m)
+	}
+	return strings.Join(parts, "x")
+}
+
+func diskString(d DiskMode) string {
+	if d == FastDisk {
+		return "infinitely fast"
+	}
+	return "AIX-model"
+}
+
+func schemaString(s SchemaMode) string {
+	if s == Traditional {
+		return "traditional order (BLOCK,*,*)"
+	}
+	return "natural chunking"
+}

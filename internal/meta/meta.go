@@ -1,0 +1,258 @@
+// Package meta provides self-describing schema files for Panda data
+// sets. The paper's ArrayGroup constructor names a schema file
+// ("simulation2.schema") that records the group's layout; this package
+// defines that file as JSON, and implements the sequential-consumer
+// side of the paper's migration story: given the schema and the
+// per-I/O-node files, reassemble any array into a single row-major
+// stream on an ordinary workstation — no Panda deployment required.
+package meta
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"panda/internal/array"
+	"panda/internal/core"
+)
+
+// ArrayMeta describes one array of a group.
+type ArrayMeta struct {
+	Name     string   `json:"name"`
+	Shape    []int    `json:"shape"`
+	ElemSize int      `json:"elem_size"`
+	MemDist  []string `json:"mem_dist"`
+	MemMesh  []int    `json:"mem_mesh"`
+	DiskDist []string `json:"disk_dist"`
+	DiskMesh []int    `json:"disk_mesh"`
+}
+
+// GroupMeta is the schema file contents: everything a consumer needs
+// to interpret a Panda file set.
+type GroupMeta struct {
+	// Format identifies the file ("panda-schema") and Version its
+	// revision.
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	// Group is the ArrayGroup name.
+	Group string `json:"group"`
+	// IONodes is the number of I/O nodes the data is striped over.
+	IONodes int `json:"io_nodes"`
+	// Arrays lists the group members in write order.
+	Arrays []ArrayMeta `json:"arrays"`
+}
+
+const (
+	formatName    = "panda-schema"
+	formatVersion = 1
+)
+
+func distStrings(ds []array.Dist) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.String()
+	}
+	return out
+}
+
+func parseDists(ss []string) ([]array.Dist, error) {
+	out := make([]array.Dist, len(ss))
+	for i, s := range ss {
+		switch s {
+		case "BLOCK":
+			out[i] = array.Block
+		case "*":
+			out[i] = array.Star
+		default:
+			return nil, fmt.Errorf("meta: unknown distribution %q", s)
+		}
+	}
+	return out, nil
+}
+
+// FromSpecs builds the schema document for a group.
+func FromSpecs(group string, ioNodes int, specs []core.ArraySpec) GroupMeta {
+	g := GroupMeta{Format: formatName, Version: formatVersion, Group: group, IONodes: ioNodes}
+	for _, s := range specs {
+		g.Arrays = append(g.Arrays, ArrayMeta{
+			Name:     s.Name,
+			Shape:    append([]int(nil), s.Mem.Shape...),
+			ElemSize: s.ElemSize,
+			MemDist:  distStrings(s.Mem.Dist),
+			MemMesh:  append([]int(nil), s.Mem.Mesh...),
+			DiskDist: distStrings(s.Disk.Dist),
+			DiskMesh: append([]int(nil), s.Disk.Mesh...),
+		})
+	}
+	return g
+}
+
+// Specs reconstructs the array specs from a schema document.
+func (g GroupMeta) Specs() ([]core.ArraySpec, error) {
+	if g.Format != formatName {
+		return nil, fmt.Errorf("meta: not a panda schema file (format %q)", g.Format)
+	}
+	if g.Version != formatVersion {
+		return nil, fmt.Errorf("meta: unsupported schema version %d", g.Version)
+	}
+	specs := make([]core.ArraySpec, len(g.Arrays))
+	for i, a := range g.Arrays {
+		md, err := parseDists(a.MemDist)
+		if err != nil {
+			return nil, err
+		}
+		dd, err := parseDists(a.DiskDist)
+		if err != nil {
+			return nil, err
+		}
+		mem, err := array.NewSchema(a.Shape, md, a.MemMesh)
+		if err != nil {
+			return nil, fmt.Errorf("meta: array %s memory schema: %w", a.Name, err)
+		}
+		disk, err := array.NewSchema(a.Shape, dd, a.DiskMesh)
+		if err != nil {
+			return nil, fmt.Errorf("meta: array %s disk schema: %w", a.Name, err)
+		}
+		specs[i] = core.ArraySpec{Name: a.Name, ElemSize: a.ElemSize, Mem: mem, Disk: disk}
+	}
+	return specs, nil
+}
+
+// Find locates one array's spec by name.
+func (g GroupMeta) Find(name string) (core.ArraySpec, error) {
+	specs, err := g.Specs()
+	if err != nil {
+		return core.ArraySpec{}, err
+	}
+	for _, s := range specs {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return core.ArraySpec{}, fmt.Errorf("meta: group %s has no array %q", g.Group, name)
+}
+
+// Save writes the schema document to path.
+func Save(path string, g GroupMeta) error {
+	b, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Load reads a schema document from path.
+func Load(path string) (GroupMeta, error) {
+	var g GroupMeta
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return g, err
+	}
+	if err := json.Unmarshal(b, &g); err != nil {
+		return g, fmt.Errorf("meta: %s: %w", path, err)
+	}
+	if g.Format != formatName {
+		return g, fmt.Errorf("meta: %s is not a panda schema file", path)
+	}
+	if g.IONodes <= 0 {
+		return g, fmt.Errorf("meta: %s: non-positive io_nodes", path)
+	}
+	return g, nil
+}
+
+// FileOpener resolves one I/O node's file for reading. Assemble uses
+// it to abstract over directory layouts.
+type FileOpener func(ioNode int, fileName string) (io.ReaderAt, int64, error)
+
+// Assemble streams one array, stored under its disk schema across
+// IONodes files, into out as a single row-major (traditional order)
+// byte stream — the paper's migration of Panda data to a sequential
+// platform, generalized beyond BLOCK,*,* schemas. Memory use is
+// bounded by one chunk row at a time.
+func Assemble(out io.WriterAt, g GroupMeta, name, suffix string, open FileOpener) error {
+	spec, err := g.Find(name)
+	if err != nil {
+		return err
+	}
+	whole := array.Box(spec.Mem.Shape)
+	elem := int64(spec.ElemSize)
+	offsets := make([]int64, g.IONodes)
+	files := make(map[int]io.ReaderAt)
+
+	for idx := 0; idx < spec.Disk.NumChunks(); idx++ {
+		server := idx % g.IONodes
+		chunk := spec.Disk.Chunk(idx)
+		if chunk.IsEmpty() {
+			continue
+		}
+		f, ok := files[server]
+		if !ok {
+			fileName := spec.FileName(suffix, server)
+			r, size, err := open(server, fileName)
+			if err != nil {
+				return fmt.Errorf("meta: array %s: %w", name, err)
+			}
+			if want := fileBytes(spec, g.IONodes, server); size < want {
+				return fmt.Errorf("meta: file %s holds %d bytes, schema needs %d", fileName, size, want)
+			}
+			files[server] = r
+			f = r
+		}
+		chunkOff := offsets[server]
+		offsets[server] += chunk.NumElems() * elem
+
+		// Copy the chunk run by run. Runs that are contiguous in the
+		// global row-major output are also contiguous in the chunk's
+		// file layout: a run pins the outer dimensions, ranges over
+		// one, and spans the full array extent in the inner ones —
+		// which the chunk therefore also covers fully.
+		for _, run := range array.ContiguousRuns(whole, chunk) {
+			inStart, ok := array.ContiguousIn(chunk, run)
+			if !ok {
+				return fmt.Errorf("meta: internal error: run %v not contiguous in chunk %v", run, chunk)
+			}
+			outStart := whole.LinearIndex(run.Lo)
+			if err := copyRange(out, outStart*elem, f, chunkOff+inStart*elem, run.NumElems()*elem); err != nil {
+				return fmt.Errorf("meta: reading %s chunk %d: %w", name, idx, err)
+			}
+		}
+	}
+	return nil
+}
+
+// copyRange moves n bytes from src@srcOff to dst@dstOff in bounded
+// pieces.
+func copyRange(dst io.WriterAt, dstOff int64, src io.ReaderAt, srcOff, n int64) error {
+	const chunk = 1 << 20
+	buf := make([]byte, min64(n, chunk))
+	for n > 0 {
+		step := min64(n, chunk)
+		if _, err := src.ReadAt(buf[:step], srcOff); err != nil {
+			return err
+		}
+		if _, err := dst.WriteAt(buf[:step], dstOff); err != nil {
+			return err
+		}
+		srcOff += step
+		dstOff += step
+		n -= step
+	}
+	return nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// fileBytes is the expected size of an array's file on one I/O node.
+func fileBytes(spec core.ArraySpec, ioNodes, server int) int64 {
+	var total int64
+	for idx := server; idx < spec.Disk.NumChunks(); idx += ioNodes {
+		total += spec.Disk.Chunk(idx).NumElems() * int64(spec.ElemSize)
+	}
+	return total
+}

@@ -1,0 +1,255 @@
+package meta
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"panda/internal/array"
+	"panda/internal/core"
+	"panda/internal/storage"
+)
+
+func sampleSpecs() []core.ArraySpec {
+	shape := []int{16, 12, 8}
+	mem := array.MustSchema(shape, []array.Dist{array.Block, array.Block, array.Block}, []int{2, 2, 2})
+	disk := array.MustSchema(shape, []array.Dist{array.Block, array.Star, array.Star}, []int{3})
+	disk2 := array.MustSchema([]int{24, 10}, []array.Dist{array.Star, array.Block}, []int{4})
+	mem2 := array.MustSchema([]int{24, 10}, []array.Dist{array.Block, array.Star}, []int{8})
+	return []core.ArraySpec{
+		{Name: "temperature", ElemSize: 4, Mem: mem, Disk: disk},
+		{Name: "density", ElemSize: 8, Mem: mem2, Disk: disk2},
+	}
+}
+
+func TestSchemaSaveLoadRoundTrip(t *testing.T) {
+	specs := sampleSpecs()
+	g := FromSpecs("Sim2", 3, specs)
+	path := filepath.Join(t.TempDir(), "sim.schema.json")
+	if err := Save(path, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Group != "Sim2" || got.IONodes != 3 {
+		t.Fatalf("header %+v", got)
+	}
+	back, err := got.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(specs) {
+		t.Fatalf("%d specs", len(back))
+	}
+	for i := range specs {
+		if back[i].Name != specs[i].Name || back[i].ElemSize != specs[i].ElemSize {
+			t.Fatalf("spec %d: %+v", i, back[i])
+		}
+		if !array.SameDecomposition(back[i].Mem, specs[i].Mem) ||
+			!array.SameDecomposition(back[i].Disk, specs[i].Disk) {
+			t.Fatalf("spec %d schemas differ", i)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"format":"not-panda"}`), 0o644)
+	if _, err := Load(bad); err == nil {
+		t.Fatal("foreign json accepted")
+	}
+	os.WriteFile(bad, []byte(`{{{`), 0o644)
+	if _, err := Load(bad); err == nil {
+		t.Fatal("malformed json accepted")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestFindUnknownArray(t *testing.T) {
+	g := FromSpecs("g", 2, sampleSpecs())
+	if _, err := g.Find("nope"); err == nil {
+		t.Fatal("unknown array found")
+	}
+	if s, err := g.Find("density"); err != nil || s.Name != "density" {
+		t.Fatalf("Find = %+v, %v", s, err)
+	}
+}
+
+// memWriterAt collects WriteAt output in memory.
+type memWriterAt struct{ b []byte }
+
+func (m *memWriterAt) WriteAt(p []byte, off int64) (int, error) {
+	end := off + int64(len(p))
+	if end > int64(len(m.b)) {
+		grown := make([]byte, end)
+		copy(grown, m.b)
+		m.b = grown
+	}
+	copy(m.b[off:end], p)
+	return len(p), nil
+}
+
+// writeThroughPanda runs a real collective write and returns the disks.
+func writeThroughPanda(t *testing.T, cfg core.Config, specs []core.ArraySpec, shape []int) []storage.Disk {
+	t.Helper()
+	disks := make([]storage.Disk, cfg.NumServers)
+	for i := range disks {
+		disks[i] = storage.NewMemDisk()
+	}
+	if err := core.RunReal(cfg, disks, func(cl *core.Client) error {
+		bufs := make([][]byte, len(specs))
+		for i, spec := range specs {
+			bufs[i] = make([]byte, spec.MemChunkBytes(cl.Rank()))
+			fillPattern(bufs[i], spec.MemChunk(cl.Rank()), spec.Mem.Shape)
+		}
+		return cl.WriteArrays("", specs, bufs)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return disks
+}
+
+func fillPattern(buf []byte, r array.Region, shape []int) {
+	global := array.Box(shape)
+	if r.IsEmpty() {
+		return
+	}
+	pt := append([]int(nil), r.Lo...)
+	for {
+		gi := global.LinearIndex(pt)
+		li := r.LinearIndex(pt)
+		binary.LittleEndian.PutUint32(buf[li*4:], uint32(gi*2654435761+97))
+		d := r.Rank() - 1
+		for d >= 0 {
+			pt[d]++
+			if pt[d] < r.Hi[d] {
+				break
+			}
+			pt[d] = r.Lo[d]
+			d--
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+func diskOpener(disks []storage.Disk) FileOpener {
+	return func(ion int, name string) (io.ReaderAt, int64, error) {
+		f, err := disks[ion].Open(name)
+		if err != nil {
+			return nil, 0, err
+		}
+		size, err := f.Size()
+		if err != nil {
+			return nil, 0, err
+		}
+		return f, size, nil
+	}
+}
+
+func TestAssembleReproducesRowMajorOrder(t *testing.T) {
+	rnd := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 25; iter++ {
+		shape := []int{2 + rnd.Intn(12), 2 + rnd.Intn(12), 2 + rnd.Intn(8)}
+		nc := 4
+		ion := 1 + rnd.Intn(4)
+		mem := array.MustSchema(shape, []array.Dist{array.Block, array.Block, array.Star}, []int{2, 2})
+		// Random disk schema.
+		var disk array.Schema
+		switch rnd.Intn(3) {
+		case 0:
+			disk = array.MustSchema(shape, []array.Dist{array.Block, array.Star, array.Star}, []int{1 + rnd.Intn(5)})
+		case 1:
+			disk = array.MustSchema(shape, []array.Dist{array.Block, array.Block, array.Star}, []int{2, 1 + rnd.Intn(3)})
+		default:
+			disk = array.MustSchema(shape, []array.Dist{array.Star, array.Star, array.Block}, []int{1 + rnd.Intn(4)})
+		}
+		specs := []core.ArraySpec{{Name: "vol", ElemSize: 4, Mem: mem, Disk: disk}}
+		cfg := core.Config{NumClients: nc, NumServers: ion, SubchunkBytes: 512}
+		disks := writeThroughPanda(t, cfg, specs, shape)
+
+		g := FromSpecs("grp", ion, specs)
+		var out memWriterAt
+		if err := Assemble(&out, g, "vol", "", diskOpener(disks)); err != nil {
+			t.Fatalf("iter %d (%v / %v): %v", iter, mem, disk, err)
+		}
+		whole := array.Box(shape)
+		want := make([]byte, whole.NumElems()*4)
+		fillPattern(want, whole, shape)
+		if !bytes.Equal(out.b, want) {
+			t.Fatalf("iter %d: assembled stream is not the row-major array (mem %v disk %v)", iter, mem, disk)
+		}
+	}
+}
+
+func TestAssembleMissingFileFails(t *testing.T) {
+	specs := sampleSpecs()[:1]
+	g := FromSpecs("grp", 2, specs)
+	var out memWriterAt
+	err := Assemble(&out, g, "temperature", "", func(ion int, name string) (io.ReaderAt, int64, error) {
+		return nil, 0, fmt.Errorf("no such file %s", name)
+	})
+	if err == nil {
+		t.Fatal("missing file not reported")
+	}
+}
+
+func TestAssembleTruncatedFileFails(t *testing.T) {
+	shape := []int{8, 8}
+	mem := array.MustSchema(shape, []array.Dist{array.Block, array.Star}, []int{4})
+	specs := []core.ArraySpec{{Name: "t", ElemSize: 4, Mem: mem, Disk: mem}}
+	g := FromSpecs("grp", 2, specs)
+	var out memWriterAt
+	err := Assemble(&out, g, "t", "", func(ion int, name string) (io.ReaderAt, int64, error) {
+		return bytes.NewReader([]byte{1, 2, 3}), 3, nil
+	})
+	if err == nil {
+		t.Fatal("truncated file not reported")
+	}
+}
+
+func TestAssembleWithSuffix(t *testing.T) {
+	// Timestep files: assemble a specific step.
+	shape := []int{8, 8}
+	mem := array.MustSchema(shape, []array.Dist{array.Block, array.Star}, []int{4})
+	specs := []core.ArraySpec{{Name: "ts", ElemSize: 4, Mem: mem, Disk: mem}}
+	cfg := core.Config{NumClients: 4, NumServers: 2}
+	disks := make([]storage.Disk, 2)
+	for i := range disks {
+		disks[i] = storage.NewMemDisk()
+	}
+	if err := core.RunReal(cfg, disks, func(cl *core.Client) error {
+		bufs := make([][]byte, 1)
+		bufs[0] = make([]byte, specs[0].MemChunkBytes(cl.Rank()))
+		fillPattern(bufs[0], specs[0].MemChunk(cl.Rank()), shape)
+		return cl.WriteArrays(".t7", specs, bufs)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	g := FromSpecs("grp", 2, specs)
+	var out memWriterAt
+	if err := Assemble(&out, g, "ts", ".t7", diskOpener(disks)); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, array.Box(shape).NumElems()*4)
+	fillPattern(want, array.Box(shape), shape)
+	if !bytes.Equal(out.b, want) {
+		t.Fatal("suffix assembly produced wrong bytes")
+	}
+	// Wrong suffix: files missing.
+	var out2 memWriterAt
+	if err := Assemble(&out2, g, "ts", ".t8", diskOpener(disks)); err == nil {
+		t.Fatal("assembly of missing timestep succeeded")
+	}
+}

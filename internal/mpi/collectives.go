@@ -1,0 +1,112 @@
+package mpi
+
+import "encoding/binary"
+
+// Collective operations built from point-to-point messages. All ranks of
+// the communicator must call the same collective with compatible
+// arguments, in the same order. Tags at and above tagInternal are
+// reserved for these; a fixed per-call tag plus strict program order on
+// every rank keeps rounds from interfering.
+
+const (
+	tagBarrierUp = tagInternal + iota
+	tagBarrierDown
+	tagBcast
+	tagGather
+	tagScatter
+	tagAllreduce
+)
+
+// Barrier blocks until every rank has entered it. It is implemented as
+// a gather-to-0 followed by a broadcast, the flat topology used by small
+// communicators (Panda runs at most a few dozen ranks per role).
+func Barrier(c Comm) {
+	if c.Size() == 1 {
+		return
+	}
+	if c.Rank() == 0 {
+		for i := 1; i < c.Size(); i++ {
+			c.Recv(AnySource, tagBarrierUp)
+		}
+		for i := 1; i < c.Size(); i++ {
+			c.Send(i, tagBarrierDown, nil)
+		}
+	} else {
+		c.Send(0, tagBarrierUp, nil)
+		c.Recv(0, tagBarrierDown)
+	}
+}
+
+// Bcast distributes root's data to every rank and returns it. Non-root
+// callers pass nil.
+func Bcast(c Comm, root int, data []byte) []byte {
+	if c.Rank() == root {
+		for i := 0; i < c.Size(); i++ {
+			if i != root {
+				c.Send(i, tagBcast, data)
+			}
+		}
+		return data
+	}
+	return c.Recv(root, tagBcast).Data
+}
+
+// Gather collects each rank's data at root. At root it returns a slice
+// indexed by rank; elsewhere it returns nil.
+func Gather(c Comm, root int, data []byte) [][]byte {
+	if c.Rank() != root {
+		c.Send(root, tagGather, data)
+		return nil
+	}
+	out := make([][]byte, c.Size())
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	out[root] = cp
+	for i := 1; i < c.Size(); i++ {
+		m := c.Recv(AnySource, tagGather)
+		out[m.Source] = m.Data
+	}
+	return out
+}
+
+// Scatter distributes parts[i] from root to rank i and returns each
+// rank's part. Non-root callers pass nil.
+func Scatter(c Comm, root int, parts [][]byte) []byte {
+	if c.Rank() == root {
+		if len(parts) != c.Size() {
+			panic("mpi: Scatter needs one part per rank")
+		}
+		for i := 0; i < c.Size(); i++ {
+			if i != root {
+				c.Send(i, tagScatter, parts[i])
+			}
+		}
+		return parts[root]
+	}
+	return c.Recv(root, tagScatter).Data
+}
+
+// AllreduceMax computes the maximum of each rank's v across the
+// communicator and returns it on every rank.
+func AllreduceMax(c Comm, v int64) int64 {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(v))
+	max := v
+	if c.Rank() == 0 {
+		for i := 1; i < c.Size(); i++ {
+			m := c.Recv(AnySource, tagAllreduce)
+			got := int64(binary.BigEndian.Uint64(m.Data))
+			if got > max {
+				max = got
+			}
+		}
+		binary.BigEndian.PutUint64(buf[:], uint64(max))
+		for i := 1; i < c.Size(); i++ {
+			c.Send(i, tagAllreduce, buf[:])
+		}
+		return max
+	}
+	c.Send(0, tagAllreduce, buf[:])
+	m := c.Recv(0, tagAllreduce)
+	return int64(binary.BigEndian.Uint64(m.Data))
+}

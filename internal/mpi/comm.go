@@ -1,0 +1,86 @@
+// Package mpi provides the message-passing substrate Panda runs on: a
+// small subset of MPI semantics — ranked endpoints, tagged blocking
+// point-to-point messages with wildcard receives, and the collectives
+// Panda needs (barrier, broadcast, gather).
+//
+// Two interchangeable implementations exist:
+//
+//   - World (inproc.go): every rank is a goroutine in this process and
+//     messages move through in-memory mailboxes in real time. Used for
+//     functional tests and the runnable examples.
+//   - SimWorld (simnet.go): every rank is a vtime process and each
+//     message is charged latency and bandwidth according to a LinkConfig
+//     calibrated from the paper's Table 1 (IBM SP2: 43 µs, 34 MB/s),
+//     with per-direction port contention. Used for the performance
+//     experiments.
+//
+// The original Panda 2.0 used MPI-F on the SP2; this package is the
+// reproduction's stand-in (see DESIGN.md, substitution table).
+package mpi
+
+// AnySource matches messages from every rank when passed to Recv.
+const AnySource = -1
+
+// AnyTag matches every tag when passed to Recv.
+const AnyTag = -1
+
+// Tags at or above tagInternal are reserved for the collectives in this
+// package; application code must use smaller tags.
+const tagInternal = 1 << 24
+
+// Message is a received point-to-point message.
+type Message struct {
+	Source int
+	Tag    int
+	Data   []byte
+}
+
+// Request represents an in-flight nonblocking send.
+type Request interface {
+	// Wait blocks until the send buffer may be reused.
+	Wait()
+}
+
+// Comm is one rank's endpoint into a communicator. All calls are made
+// from the single goroutine (or vtime process) that owns the rank.
+type Comm interface {
+	// Rank is this endpoint's id, in [0, Size).
+	Rank() int
+	// Size is the number of ranks in the communicator.
+	Size() int
+	// Send delivers data to rank `to` with the given tag and blocks
+	// until the caller may reuse data. data is copied.
+	Send(to, tag int, data []byte)
+	// SendOwned is Send but transfers ownership of data to the
+	// communicator: the caller must not touch data afterwards. It
+	// avoids a copy for freshly allocated buffers.
+	SendOwned(to, tag int, data []byte)
+	// Isend starts a send and returns immediately; the buffer is
+	// owned by the communicator until Wait returns.
+	Isend(to, tag int, data []byte) Request
+	// Recv blocks until a message matching (from, tag) arrives and
+	// returns it. from may be AnySource and tag may be AnyTag.
+	Recv(from, tag int) Message
+}
+
+func matches(m Message, from, tag int) bool {
+	if from != AnySource && m.Source != from {
+		return false
+	}
+	if tag != AnyTag && m.Tag != tag {
+		return false
+	}
+	return true
+}
+
+func checkPeer(c Comm, to int) {
+	if to < 0 || to >= c.Size() {
+		panic("mpi: rank out of range")
+	}
+}
+
+func checkTag(tag int) {
+	if tag < 0 {
+		panic("mpi: negative tag")
+	}
+}

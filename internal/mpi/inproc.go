@@ -1,0 +1,99 @@
+package mpi
+
+import "sync"
+
+// World is an in-process communicator running in real time: each rank is
+// an ordinary goroutine, and messages pass through per-rank mailboxes.
+type World struct {
+	size  int
+	boxes []*mailbox
+}
+
+// NewWorld creates a communicator with the given number of ranks.
+func NewWorld(size int) *World {
+	if size <= 0 {
+		panic("mpi: world size must be positive")
+	}
+	w := &World{size: size, boxes: make([]*mailbox, size)}
+	for i := range w.boxes {
+		w.boxes[i] = &mailbox{}
+		w.boxes[i].cond.L = &w.boxes[i].mu
+	}
+	return w
+}
+
+// Comm returns the endpoint for the given rank. Each rank's endpoint
+// must be used by a single goroutine.
+func (w *World) Comm(rank int) Comm {
+	if rank < 0 || rank >= w.size {
+		panic("mpi: rank out of range")
+	}
+	return &inprocComm{world: w, rank: rank}
+}
+
+// mailbox is an unbounded store of delivered messages with matched
+// (source, tag) receive.
+type mailbox struct {
+	mu   sync.Mutex
+	cond sync.Cond
+	msgs []Message
+}
+
+func (b *mailbox) put(m Message) {
+	b.mu.Lock()
+	b.msgs = append(b.msgs, m)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+func (b *mailbox) get(from, tag int) Message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		for i, m := range b.msgs {
+			if matches(m, from, tag) {
+				b.msgs = append(b.msgs[:i], b.msgs[i+1:]...)
+				return m
+			}
+		}
+		b.cond.Wait()
+	}
+}
+
+type inprocComm struct {
+	world *World
+	rank  int
+}
+
+func (c *inprocComm) Rank() int { return c.rank }
+func (c *inprocComm) Size() int { return c.world.size }
+
+func (c *inprocComm) Send(to, tag int, data []byte) {
+	checkPeer(c, to)
+	checkTag(tag)
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.world.boxes[to].put(Message{Source: c.rank, Tag: tag, Data: cp})
+}
+
+func (c *inprocComm) SendOwned(to, tag int, data []byte) {
+	checkPeer(c, to)
+	checkTag(tag)
+	c.world.boxes[to].put(Message{Source: c.rank, Tag: tag, Data: data})
+}
+
+type doneRequest struct{}
+
+func (doneRequest) Wait() {}
+
+func (c *inprocComm) Isend(to, tag int, data []byte) Request {
+	c.Send(to, tag, data)
+	return doneRequest{}
+}
+
+func (c *inprocComm) Recv(from, tag int) Message {
+	if from != AnySource {
+		checkPeer(c, from)
+	}
+	return c.world.boxes[c.rank].get(from, tag)
+}

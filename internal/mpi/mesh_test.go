@@ -1,0 +1,176 @@
+package mpi
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// startMeshWorld spins up a registry and one mesh endpoint per rank.
+func startMeshWorld(t *testing.T, size int) ([]Comm, func()) {
+	t.Helper()
+	reg, err := ListenRegistry("127.0.0.1:0", size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regErr := make(chan error, 1)
+	go func() { regErr <- reg.Serve() }()
+
+	comms := make([]Comm, size)
+	var wg sync.WaitGroup
+	errs := make([]error, size)
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			comms[r], errs[r] = JoinMesh(reg.Addr(), r, size)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d join: %v", r, err)
+		}
+	}
+	if err := <-regErr; err != nil {
+		t.Fatalf("registry: %v", err)
+	}
+	cleanup := func() {
+		for _, c := range comms {
+			CloseMesh(c)
+		}
+	}
+	return comms, cleanup
+}
+
+func runMeshWorld(t *testing.T, size int, fn func(Comm)) {
+	t.Helper()
+	comms, cleanup := startMeshWorld(t, size)
+	defer cleanup()
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			fn(comms[r])
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestMeshSendRecv(t *testing.T) {
+	runMeshWorld(t, 2, func(c Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 4, []byte("direct"))
+		} else {
+			m := c.Recv(0, 4)
+			if string(m.Data) != "direct" || m.Source != 0 {
+				t.Errorf("got %+v", m)
+			}
+		}
+	})
+}
+
+func TestMeshBidirectional(t *testing.T) {
+	// Both directions get their own sockets; a ping-pong exercises
+	// lazy dialing on both sides.
+	runMeshWorld(t, 2, func(c Comm) {
+		for i := 0; i < 10; i++ {
+			if c.Rank() == 0 {
+				c.Send(1, i, []byte{byte(i)})
+				m := c.Recv(1, i)
+				if m.Data[0] != byte(i+1) {
+					t.Errorf("round %d: got %d", i, m.Data[0])
+				}
+			} else {
+				m := c.Recv(0, i)
+				c.Send(0, i, []byte{m.Data[0] + 1})
+			}
+		}
+	})
+}
+
+func TestMeshSelfSend(t *testing.T) {
+	runMeshWorld(t, 2, func(c Comm) {
+		c.Send(c.Rank(), 9, []byte{42})
+		m := c.Recv(c.Rank(), 9)
+		if m.Data[0] != 42 || m.Source != c.Rank() {
+			t.Errorf("self send: %+v", m)
+		}
+	})
+}
+
+func TestMeshSimultaneousAllPairs(t *testing.T) {
+	// Every rank sends to every other rank at once: the directed
+	// connection design must survive all lazy dials racing.
+	const size = 6
+	runMeshWorld(t, size, func(c Comm) {
+		payload := bytes.Repeat([]byte{byte(c.Rank())}, 32<<10)
+		for peer := 0; peer < size; peer++ {
+			if peer != c.Rank() {
+				c.Send(peer, 0, payload)
+			}
+		}
+		for peer := 0; peer < size; peer++ {
+			if peer == c.Rank() {
+				continue
+			}
+			m := c.Recv(peer, 0)
+			if len(m.Data) != 32<<10 || m.Data[0] != byte(peer) {
+				t.Errorf("from %d: bad payload", peer)
+			}
+		}
+	})
+}
+
+func TestMeshOrderingPerPair(t *testing.T) {
+	const n = 300
+	runMeshWorld(t, 2, func(c Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				c.Send(1, 1, []byte{byte(i), byte(i >> 8)})
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				m := c.Recv(0, 1)
+				if got := int(m.Data[0]) | int(m.Data[1])<<8; got != i {
+					t.Fatalf("message %d arrived as %d", i, got)
+				}
+			}
+		}
+	})
+}
+
+func TestMeshCollectives(t *testing.T) {
+	runMeshWorld(t, 5, func(c Comm) {
+		got := Bcast(c, 1, []byte("mesh"))
+		if string(got) != "mesh" {
+			t.Errorf("bcast got %q", got)
+		}
+		Barrier(c)
+		if m := AllreduceMax(c, int64(c.Rank()*7)); m != 28 {
+			t.Errorf("allreduce = %d", m)
+		}
+	})
+}
+
+func TestMeshRegistryRejectsWrongSize(t *testing.T) {
+	reg, err := ListenRegistry("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- reg.Serve() }()
+	if _, err := JoinMesh(reg.Addr(), 0, 3); err == nil {
+		t.Log("join did not fail locally; registry must")
+	}
+	if err := <-done; err == nil {
+		t.Fatal("registry accepted mismatched world size")
+	}
+}
+
+func TestMeshJoinValidatesRank(t *testing.T) {
+	if _, err := JoinMesh("127.0.0.1:1", 7, 3); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+}

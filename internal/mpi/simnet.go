@@ -1,0 +1,169 @@
+package mpi
+
+import (
+	"time"
+
+	"panda/internal/vtime"
+)
+
+// LinkConfig describes the interconnect cost model for a SimWorld.
+// Defaults (SP2Link) reproduce the NAS IBM SP2 figures from Table 1 of
+// the paper: 43 µs one-way message latency and 34 MB/s sustained MPI
+// bandwidth per node port, full-duplex.
+type LinkConfig struct {
+	// Latency is the one-way zero-byte message latency.
+	Latency time.Duration
+	// Bandwidth is the sustained point-to-point bandwidth in bytes
+	// per second; it also caps each node's aggregate ingress and
+	// egress (one serial port per direction).
+	Bandwidth float64
+}
+
+// SP2Link is the interconnect of the NAS IBM SP2 as measured in the
+// paper's Table 1.
+func SP2Link() LinkConfig {
+	return LinkConfig{Latency: 43 * time.Microsecond, Bandwidth: 34e6}
+}
+
+// txTime is the wire occupancy of a message of n bytes.
+func (cfg LinkConfig) txTime(n int) time.Duration {
+	if cfg.Bandwidth <= 0 {
+		panic("mpi: non-positive bandwidth")
+	}
+	return time.Duration(float64(n) / cfg.Bandwidth * float64(time.Second))
+}
+
+// SimWorld is a communicator whose ranks are vtime processes and whose
+// messages are charged the LinkConfig costs. Each node has one egress
+// and one ingress port; concurrent transfers through a port serialize,
+// which is what makes a single I/O node's ingress the bottleneck when
+// many compute nodes send to it at once.
+//
+// A message's delivery time is computed with cut-through semantics:
+// uncontended, a message of n bytes sent at t arrives at
+// t + Latency + n/Bandwidth.
+type SimWorld struct {
+	sim   *vtime.Sim
+	cfg   LinkConfig
+	nodes []*simNode
+	bytes int64
+}
+
+type simNode struct {
+	in, out vtime.Port
+	msgs    []Message
+	waiter  *vtime.Proc
+}
+
+// NewSimWorld creates a simulated communicator of the given size on sim.
+func NewSimWorld(sim *vtime.Sim, size int, cfg LinkConfig) *SimWorld {
+	if size <= 0 {
+		panic("mpi: world size must be positive")
+	}
+	w := &SimWorld{sim: sim, cfg: cfg, nodes: make([]*simNode, size)}
+	for i := range w.nodes {
+		w.nodes[i] = &simNode{}
+	}
+	return w
+}
+
+// Bind returns the endpoint for rank driven by the vtime process p.
+// It must be called from inside p (the process spawned for this rank).
+func (w *SimWorld) Bind(rank int, p *vtime.Proc) Comm {
+	if rank < 0 || rank >= len(w.nodes) {
+		panic("mpi: rank out of range")
+	}
+	return &simComm{world: w, rank: rank, proc: p}
+}
+
+// BytesMoved reports the total payload bytes delivered so far, for
+// utilization accounting.
+func (w *SimWorld) BytesMoved() int64 { return w.bytes }
+
+type simComm struct {
+	world *SimWorld
+	rank  int
+	proc  *vtime.Proc
+}
+
+func (c *simComm) Rank() int { return c.rank }
+func (c *simComm) Size() int { return len(c.world.nodes) }
+
+// transmit books the ports, schedules delivery, and returns the time at
+// which the sender's buffer is free (egress transmission complete).
+func (c *simComm) transmit(to, tag int, data []byte) time.Duration {
+	checkPeer(c, to)
+	checkTag(tag)
+	w := c.world
+	now := c.proc.Now()
+	tx := w.cfg.txTime(len(data))
+	src := w.nodes[c.rank]
+	dst := w.nodes[to]
+
+	outDone := src.out.Reserve(now, tx)
+	// Cut-through: the head of the message reaches the destination
+	// Latency after transmission starts, so ingress occupancy may
+	// begin at outDone - tx + Latency and lasts tx.
+	inDone := dst.in.Reserve(outDone-tx+w.cfg.Latency, tx)
+
+	m := Message{Source: c.rank, Tag: tag, Data: data}
+	w.sim.At(inDone, func() {
+		dst.msgs = append(dst.msgs, m)
+		w.bytes += int64(len(m.Data))
+		if dst.waiter != nil {
+			p := dst.waiter
+			dst.waiter = nil
+			w.sim.Wake(p)
+		}
+	})
+	return outDone
+}
+
+func (c *simComm) Send(to, tag int, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.SendOwned(to, tag, cp)
+}
+
+func (c *simComm) SendOwned(to, tag int, data []byte) {
+	done := c.transmit(to, tag, data)
+	c.proc.SleepUntil(done)
+}
+
+type simRequest struct {
+	proc *vtime.Proc
+	done time.Duration
+}
+
+func (r *simRequest) Wait() {
+	if r.proc.Now() < r.done {
+		r.proc.SleepUntil(r.done)
+	}
+}
+
+func (c *simComm) Isend(to, tag int, data []byte) Request {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	done := c.transmit(to, tag, cp)
+	return &simRequest{proc: c.proc, done: done}
+}
+
+func (c *simComm) Recv(from, tag int) Message {
+	if from != AnySource {
+		checkPeer(c, from)
+	}
+	n := c.world.nodes[c.rank]
+	for {
+		for i, m := range n.msgs {
+			if matches(m, from, tag) {
+				n.msgs = append(n.msgs[:i], n.msgs[i+1:]...)
+				return m
+			}
+		}
+		if n.waiter != nil {
+			panic("mpi: concurrent Recv on one simulated rank")
+		}
+		n.waiter = c.proc
+		c.proc.Park()
+	}
+}

@@ -1,0 +1,281 @@
+package mpi
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCP transport: the paper closes by noting Panda "will be able to run
+// on a network of ordinary workstations without changing any code";
+// this transport makes that literal. A Hub process accepts one
+// connection per rank and routes frames between them, so each node
+// needs exactly one outbound TCP connection and no listener of its own
+// — the simplest thing that works across workstations behind the usual
+// 1995-grade networking.
+//
+// Frame format (all big-endian):
+//
+//	hello:  u32 magic | u32 rank | u32 size
+//	data:   u32 to    | u32 source | u32 tag+1 | u32 len | payload
+//
+// The hub validates that every hello agrees on the world size and that
+// ranks are unique. Sends are reliable and ordered per (source,
+// destination) pair, matching the in-process transports.
+
+const tcpMagic = 0x50414e44 // "PAND"
+
+// Hub routes messages among the ranks of one TCP world. Create with
+// ListenHub, then call Serve.
+type Hub struct {
+	ln    net.Listener
+	size  int
+	mu    sync.Mutex
+	conns map[int]net.Conn
+	wmu   []sync.Mutex // per-rank write locks
+}
+
+// ListenHub starts a hub for a world of the given size on addr (e.g.
+// "127.0.0.1:0"). Use Addr to learn the bound address.
+func ListenHub(addr string, size int) (*Hub, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mpi: world size must be positive")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Hub{ln: ln, size: size, conns: make(map[int]net.Conn), wmu: make([]sync.Mutex, size)}, nil
+}
+
+// Addr returns the hub's listen address.
+func (h *Hub) Addr() string { return h.ln.Addr().String() }
+
+// Serve accepts all ranks, then routes frames until every connection
+// closes. It returns the first routing error, or nil on orderly
+// shutdown (all ranks disconnected).
+func (h *Hub) Serve() error {
+	defer h.ln.Close()
+	// Accept phase: exactly size ranks.
+	for joined := 0; joined < h.size; joined++ {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return err
+		}
+		rank, err := h.handshake(conn)
+		if err != nil {
+			conn.Close()
+			return err
+		}
+		h.mu.Lock()
+		if _, dup := h.conns[rank]; dup {
+			h.mu.Unlock()
+			conn.Close()
+			return fmt.Errorf("mpi: duplicate rank %d", rank)
+		}
+		h.conns[rank] = conn
+		h.mu.Unlock()
+	}
+	// Route phase: one goroutine per source.
+	errs := make(chan error, h.size)
+	var wg sync.WaitGroup
+	for rank, conn := range h.conns {
+		wg.Add(1)
+		go func(rank int, conn net.Conn) {
+			defer wg.Done()
+			errs <- h.route(rank, conn)
+		}(rank, conn)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *Hub) handshake(conn net.Conn) (int, error) {
+	var buf [12]byte
+	if _, err := io.ReadFull(conn, buf[:]); err != nil {
+		return 0, fmt.Errorf("mpi: hub handshake: %w", err)
+	}
+	if binary.BigEndian.Uint32(buf[0:]) != tcpMagic {
+		return 0, fmt.Errorf("mpi: hub handshake: bad magic")
+	}
+	rank := int(binary.BigEndian.Uint32(buf[4:]))
+	size := int(binary.BigEndian.Uint32(buf[8:]))
+	if size != h.size {
+		return 0, fmt.Errorf("mpi: rank %d joined with world size %d, hub expects %d", rank, size, h.size)
+	}
+	if rank < 0 || rank >= h.size {
+		return 0, fmt.Errorf("mpi: rank %d out of range [0,%d)", rank, h.size)
+	}
+	return rank, nil
+}
+
+// route forwards frames from one source connection until EOF.
+func (h *Hub) route(source int, conn net.Conn) error {
+	r := bufio.NewReaderSize(conn, 256<<10)
+	var hdr [16]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return nil // orderly disconnect
+			}
+			return fmt.Errorf("mpi: hub route from %d: %w", source, err)
+		}
+		to := int(binary.BigEndian.Uint32(hdr[0:]))
+		n := int(binary.BigEndian.Uint32(hdr[12:]))
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return fmt.Errorf("mpi: hub route from %d: %w", source, err)
+		}
+		h.mu.Lock()
+		dst := h.conns[to]
+		h.mu.Unlock()
+		if dst == nil {
+			return fmt.Errorf("mpi: frame from %d for unknown rank %d", source, to)
+		}
+		h.wmu[to].Lock()
+		_, err := dst.Write(hdr[:])
+		if err == nil && n > 0 {
+			_, err = dst.Write(payload)
+		}
+		h.wmu[to].Unlock()
+		if err != nil {
+			return fmt.Errorf("mpi: hub forward to %d: %w", to, err)
+		}
+	}
+}
+
+// tcpComm is one rank's endpoint of a TCP world.
+type tcpComm struct {
+	rank, size int
+	conn       net.Conn
+	wmu        sync.Mutex
+	box        *mailbox
+	readErr    error
+	readOnce   sync.Once
+}
+
+// DialComm connects rank to the hub at addr in a world of the given
+// size. The returned Comm is ready once every rank has dialed; Close
+// the underlying connection by calling CloseComm when done.
+func DialComm(addr string, rank, size int) (Comm, error) {
+	if rank < 0 || rank >= size {
+		return nil, fmt.Errorf("mpi: rank %d out of range [0,%d)", rank, size)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	var hello [12]byte
+	binary.BigEndian.PutUint32(hello[0:], tcpMagic)
+	binary.BigEndian.PutUint32(hello[4:], uint32(rank))
+	binary.BigEndian.PutUint32(hello[8:], uint32(size))
+	if _, err := conn.Write(hello[:]); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c := &tcpComm{rank: rank, size: size, conn: conn, box: &mailbox{}}
+	c.box.cond.L = &c.box.mu
+	go c.reader()
+	return c, nil
+}
+
+// CloseComm tears down a TCP endpoint created by DialComm. Pending
+// receives fail by panicking on connection loss, so close only after
+// all communication is complete.
+func CloseComm(c Comm) error {
+	tc, ok := c.(*tcpComm)
+	if !ok {
+		return fmt.Errorf("mpi: not a TCP endpoint")
+	}
+	return tc.conn.Close()
+}
+
+func (c *tcpComm) reader() {
+	r := bufio.NewReaderSize(c.conn, 256<<10)
+	var hdr [16]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			c.failReads(err)
+			return
+		}
+		source := int(binary.BigEndian.Uint32(hdr[4:]))
+		tag := int(binary.BigEndian.Uint32(hdr[8:])) - 1
+		n := int(binary.BigEndian.Uint32(hdr[12:]))
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			c.failReads(err)
+			return
+		}
+		c.box.put(Message{Source: source, Tag: tag, Data: payload})
+	}
+}
+
+// failReads records the connection error and wakes blocked receivers,
+// which then panic with the transport failure (Comm's interface has no
+// error returns; a dead link is unrecoverable for an SPMD run).
+func (c *tcpComm) failReads(err error) {
+	c.box.mu.Lock()
+	c.readErr = err
+	c.box.mu.Unlock()
+	c.box.cond.Broadcast()
+}
+
+func (c *tcpComm) Rank() int { return c.rank }
+func (c *tcpComm) Size() int { return c.size }
+
+func (c *tcpComm) Send(to, tag int, data []byte) {
+	checkPeer(c, to)
+	checkTag(tag)
+	var hdr [16]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(to))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(c.rank))
+	binary.BigEndian.PutUint32(hdr[8:], uint32(tag)+1)
+	binary.BigEndian.PutUint32(hdr[12:], uint32(len(data)))
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.conn.Write(hdr[:]); err != nil {
+		panic(fmt.Sprintf("mpi: tcp send: %v", err))
+	}
+	if len(data) > 0 {
+		if _, err := c.conn.Write(data); err != nil {
+			panic(fmt.Sprintf("mpi: tcp send: %v", err))
+		}
+	}
+}
+
+func (c *tcpComm) SendOwned(to, tag int, data []byte) { c.Send(to, tag, data) }
+
+func (c *tcpComm) Isend(to, tag int, data []byte) Request {
+	c.Send(to, tag, data)
+	return doneRequest{}
+}
+
+func (c *tcpComm) Recv(from, tag int) Message {
+	if from != AnySource {
+		checkPeer(c, from)
+	}
+	b := c.box
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		for i, m := range b.msgs {
+			if matches(m, from, tag) {
+				b.msgs = append(b.msgs[:i], b.msgs[i+1:]...)
+				return m
+			}
+		}
+		if c.readErr != nil {
+			panic(fmt.Sprintf("mpi: tcp recv on rank %d: %v", c.rank, c.readErr))
+		}
+		b.cond.Wait()
+	}
+}

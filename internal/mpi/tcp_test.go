@@ -1,0 +1,234 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// startTCPWorld spins up a hub and one endpoint per rank on localhost.
+func startTCPWorld(t *testing.T, size int) ([]Comm, func()) {
+	t.Helper()
+	hub, err := ListenHub("127.0.0.1:0", size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hubErr := make(chan error, 1)
+	go func() { hubErr <- hub.Serve() }()
+
+	comms := make([]Comm, size)
+	var wg sync.WaitGroup
+	errs := make([]error, size)
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			comms[r], errs[r] = DialComm(hub.Addr(), r, size)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d dial: %v", r, err)
+		}
+	}
+	cleanup := func() {
+		for _, c := range comms {
+			CloseComm(c)
+		}
+		if err := <-hubErr; err != nil {
+			t.Errorf("hub: %v", err)
+		}
+	}
+	return comms, cleanup
+}
+
+func runTCPWorld(t *testing.T, size int, fn func(Comm)) {
+	t.Helper()
+	comms, cleanup := startTCPWorld(t, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			fn(comms[r])
+		}(r)
+	}
+	wg.Wait()
+	cleanup()
+}
+
+func TestTCPSendRecv(t *testing.T) {
+	runTCPWorld(t, 2, func(c Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 5, []byte("over the wire"))
+		} else {
+			m := c.Recv(0, 5)
+			if string(m.Data) != "over the wire" || m.Source != 0 || m.Tag != 5 {
+				t.Errorf("got %+v", m)
+			}
+		}
+	})
+}
+
+func TestTCPZeroTagAndEmptyPayload(t *testing.T) {
+	// Tag 0 and nil payloads must survive the framing (tag is stored
+	// +1 on the wire).
+	runTCPWorld(t, 2, func(c Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 0, nil)
+		} else {
+			m := c.Recv(0, 0)
+			if m.Tag != 0 || len(m.Data) != 0 {
+				t.Errorf("got %+v", m)
+			}
+		}
+	})
+}
+
+func TestTCPLargeMessage(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xC3}, 4<<20)
+	runTCPWorld(t, 2, func(c Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, payload)
+		} else {
+			m := c.Recv(0, 1)
+			if !bytes.Equal(m.Data, payload) {
+				t.Error("4 MB payload corrupted in transit")
+			}
+		}
+	})
+}
+
+func TestTCPOrderingPerPair(t *testing.T) {
+	const n = 200
+	runTCPWorld(t, 2, func(c Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				c.Send(1, 3, []byte{byte(i)})
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				m := c.Recv(0, 3)
+				if m.Data[0] != byte(i) {
+					t.Fatalf("message %d arrived out of order (%d)", i, m.Data[0])
+				}
+			}
+		}
+	})
+}
+
+func TestTCPCollectives(t *testing.T) {
+	runTCPWorld(t, 5, func(c Comm) {
+		got := Bcast(c, 2, []byte("tcp-bcast"))
+		if string(got) != "tcp-bcast" {
+			t.Errorf("rank %d bcast got %q", c.Rank(), got)
+		}
+		Barrier(c)
+		all := Gather(c, 0, []byte{byte(c.Rank() * 3)})
+		if c.Rank() == 0 {
+			for r, d := range all {
+				if d[0] != byte(r*3) {
+					t.Errorf("gather slot %d = %v", r, d)
+				}
+			}
+		}
+		if m := AllreduceMax(c, int64(100-c.Rank())); m != 100 {
+			t.Errorf("allreduce = %d", m)
+		}
+	})
+}
+
+func TestTCPManyToOne(t *testing.T) {
+	const size = 8
+	runTCPWorld(t, size, func(c Comm) {
+		if c.Rank() == 0 {
+			seen := make(map[int]int)
+			for i := 0; i < (size-1)*10; i++ {
+				m := c.Recv(AnySource, AnyTag)
+				seen[m.Source]++
+			}
+			for r := 1; r < size; r++ {
+				if seen[r] != 10 {
+					t.Errorf("rank %d delivered %d of 10", r, seen[r])
+				}
+			}
+		} else {
+			for i := 0; i < 10; i++ {
+				c.Send(0, i, []byte{byte(c.Rank())})
+			}
+		}
+	})
+}
+
+func TestTCPHubRejectsWrongWorldSize(t *testing.T) {
+	hub, err := ListenHub("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- hub.Serve() }()
+	if _, err := DialComm(hub.Addr(), 0, 3); err != nil {
+		// Dial itself may succeed (handshake is one-way); the hub
+		// must fail.
+		t.Logf("dial error (acceptable): %v", err)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("hub accepted mismatched world size")
+	}
+}
+
+func TestTCPHubRejectsDuplicateRank(t *testing.T) {
+	hub, err := ListenHub("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- hub.Serve() }()
+	c1, err := DialComm(hub.Addr(), 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseComm(c1)
+	c2, err := DialComm(hub.Addr(), 1, 2)
+	if err == nil {
+		defer CloseComm(c2)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("hub accepted duplicate rank")
+	}
+}
+
+func TestTCPDialValidatesRank(t *testing.T) {
+	if _, err := DialComm("127.0.0.1:1", 5, 2); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+}
+
+func TestTCPStress(t *testing.T) {
+	// All-pairs chatter with mixed tags and sizes.
+	const size = 4
+	runTCPWorld(t, size, func(c Comm) {
+		for peer := 0; peer < size; peer++ {
+			if peer == c.Rank() {
+				continue
+			}
+			for i := 0; i < 20; i++ {
+				c.Send(peer, i%3, bytes.Repeat([]byte{byte(c.Rank())}, i*100))
+			}
+		}
+		for peer := 0; peer < size; peer++ {
+			if peer == c.Rank() {
+				continue
+			}
+			for i := 0; i < 20; i++ {
+				m := c.Recv(peer, i%3)
+				if len(m.Data) != 0 && m.Data[0] != byte(peer) {
+					t.Errorf("payload from %d carries %d", peer, m.Data[0])
+				}
+			}
+		}
+	})
+	_ = fmt.Sprint
+}

@@ -1,0 +1,101 @@
+package storage
+
+import "container/list"
+
+// blockCache models a file system buffer cache at block granularity with
+// LRU eviction. It tracks residency only — data lives in the wrapped
+// Disk — which is all the cost model needs.
+type blockCache struct {
+	blockSize int
+	capacity  int64 // bytes
+	used      int64
+	lru       *list.List // of blockKey, front = most recent
+	index     map[blockKey]*list.Element
+}
+
+type blockKey struct {
+	file  string
+	block int64
+}
+
+func newBlockCache(blockSize int, capacity int64) *blockCache {
+	return &blockCache{
+		blockSize: blockSize,
+		capacity:  capacity,
+		lru:       list.New(),
+		index:     make(map[blockKey]*list.Element),
+	}
+}
+
+func (c *blockCache) blocksOf(off, n int64) (first, last int64) {
+	bs := int64(c.blockSize)
+	return off / bs, (off + n - 1) / bs
+}
+
+// contains reports whether the whole byte range [off, off+n) is resident.
+func (c *blockCache) contains(file string, off, n int64) bool {
+	if c == nil || c.capacity == 0 || n <= 0 {
+		return false
+	}
+	first, last := c.blocksOf(off, n)
+	for b := first; b <= last; b++ {
+		if _, ok := c.index[blockKey{file, b}]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// insert marks the byte range resident, touching LRU order and evicting
+// as needed.
+func (c *blockCache) insert(file string, off, n int64) {
+	if c == nil || c.capacity == 0 || n <= 0 {
+		return
+	}
+	first, last := c.blocksOf(off, n)
+	for b := first; b <= last; b++ {
+		k := blockKey{file, b}
+		if e, ok := c.index[k]; ok {
+			c.lru.MoveToFront(e)
+			continue
+		}
+		c.index[k] = c.lru.PushFront(k)
+		c.used += int64(c.blockSize)
+		for c.used > c.capacity {
+			oldest := c.lru.Back()
+			if oldest == nil {
+				break
+			}
+			ok := oldest.Value.(blockKey)
+			c.lru.Remove(oldest)
+			delete(c.index, ok)
+			c.used -= int64(c.blockSize)
+		}
+	}
+}
+
+// drop removes every resident block of the named file.
+func (c *blockCache) drop(file string) {
+	if c == nil {
+		return
+	}
+	for e := c.lru.Front(); e != nil; {
+		next := e.Next()
+		if e.Value.(blockKey).file == file {
+			delete(c.index, e.Value.(blockKey))
+			c.lru.Remove(e)
+			c.used -= int64(c.blockSize)
+		}
+		e = next
+	}
+}
+
+// flush empties the cache.
+func (c *blockCache) flush() {
+	if c == nil {
+		return
+	}
+	c.lru.Init()
+	c.index = make(map[blockKey]*list.Element)
+	c.used = 0
+}

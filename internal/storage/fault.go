@@ -1,0 +1,106 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is the error FaultDisk injects.
+var ErrInjected = errors.New("storage: injected fault")
+
+// FaultDisk wraps a Disk and injects failures for testing error paths:
+// after FailWritesAfter successful writes every further write fails,
+// and likewise for reads. Zero thresholds disable that class of fault.
+// Opens fail once FailOpens is set. FaultDisk is safe for concurrent
+// use to the extent the wrapped disk is.
+type FaultDisk struct {
+	Inner Disk
+	// FailWritesAfter > 0 fails every write after that many succeed.
+	FailWritesAfter int64
+	// FailReadsAfter > 0 fails every read after that many succeed.
+	FailReadsAfter int64
+	// FailOpens makes Open/Create fail outright.
+	FailOpens bool
+
+	mu     sync.Mutex
+	writes int64
+	reads  int64
+}
+
+// Heal atomically disables all injected faults.
+func (d *FaultDisk) Heal() {
+	d.mu.Lock()
+	d.FailWritesAfter = 0
+	d.FailReadsAfter = 0
+	d.FailOpens = false
+	d.mu.Unlock()
+}
+
+// Create implements Disk.
+func (d *FaultDisk) Create(name string) (File, error) {
+	if d.failOpens() {
+		return nil, ErrInjected
+	}
+	f, err := d.Inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{disk: d, inner: f}, nil
+}
+
+func (d *FaultDisk) failOpens() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.FailOpens
+}
+
+// Open implements Disk.
+func (d *FaultDisk) Open(name string) (File, error) {
+	if d.failOpens() {
+		return nil, ErrInjected
+	}
+	f, err := d.Inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{disk: d, inner: f}, nil
+}
+
+// Remove implements Disk.
+func (d *FaultDisk) Remove(name string) error { return d.Inner.Remove(name) }
+
+// FlushCache implements Disk.
+func (d *FaultDisk) FlushCache() { d.Inner.FlushCache() }
+
+type faultFile struct {
+	disk  *FaultDisk
+	inner File
+}
+
+func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	d := f.disk
+	d.mu.Lock()
+	d.writes++
+	fail := d.FailWritesAfter > 0 && d.writes > d.FailWritesAfter
+	d.mu.Unlock()
+	if fail {
+		return 0, ErrInjected
+	}
+	return f.inner.WriteAt(p, off)
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	d := f.disk
+	d.mu.Lock()
+	d.reads++
+	fail := d.FailReadsAfter > 0 && d.reads > d.FailReadsAfter
+	d.mu.Unlock()
+	if fail {
+		return 0, ErrInjected
+	}
+	return f.inner.ReadAt(p, off)
+}
+
+func (f *faultFile) Sync() error          { return f.inner.Sync() }
+func (f *faultFile) Size() (int64, error) { return f.inner.Size() }
+func (f *faultFile) Close() error         { return f.inner.Close() }

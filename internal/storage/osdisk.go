@@ -1,0 +1,71 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// OSDisk stores files under a root directory of the host file system.
+// It is the backend for functional tests and the runnable examples: the
+// concatenation property of traditional-order disk schemas (paper §3)
+// can be demonstrated on real files with cat.
+type OSDisk struct {
+	root string
+}
+
+// NewOSDisk returns a Disk rooted at dir, creating it if necessary.
+func NewOSDisk(dir string) (*OSDisk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &OSDisk{root: dir}, nil
+}
+
+// Root returns the backing directory.
+func (d *OSDisk) Root() string { return d.root }
+
+// path maps a file name to a host path, flattening separators so names
+// like "temperature.3" or "ckpt/density.0" stay inside the root.
+func (d *OSDisk) path(name string) string {
+	clean := strings.ReplaceAll(name, string(os.PathSeparator), "_")
+	return filepath.Join(d.root, clean)
+}
+
+type osFile struct{ *os.File }
+
+func (f osFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Create implements Disk.
+func (d *OSDisk) Create(name string) (File, error) {
+	f, err := os.OpenFile(d.path(name), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Open implements Disk.
+func (d *OSDisk) Open(name string) (File, error) {
+	f, err := os.OpenFile(d.path(name), os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Remove implements Disk.
+func (d *OSDisk) Remove(name string) error {
+	return os.Remove(d.path(name))
+}
+
+// FlushCache implements Disk. Dropping the host page cache requires
+// privileges we do not assume, so this is a no-op; timing on OSDisk is
+// not used for the paper's figures (SimDisk is).
+func (d *OSDisk) FlushCache() {}

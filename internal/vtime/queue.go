@@ -1,0 +1,72 @@
+package vtime
+
+import "time"
+
+// Queue is an unbounded blocking FIFO carrying values of type T between
+// simulated processes. Push never blocks; Pop blocks the calling process
+// until a value is available. Values are delivered in push order, and
+// waiting processes are served in arrival order.
+type Queue[T any] struct {
+	sim     *Sim
+	items   []T
+	waiters []*Proc
+}
+
+// NewQueue returns an empty queue bound to s.
+func NewQueue[T any](s *Sim) *Queue[T] {
+	return &Queue[T]{sim: s}
+}
+
+// Len reports the number of values currently buffered.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Push appends v immediately (at the current virtual instant) and wakes
+// one waiting process, if any. It may be called from a process or from a
+// scheduler callback.
+func (q *Queue[T]) Push(v T) {
+	q.items = append(q.items, v)
+	q.wakeOne()
+}
+
+// PushAt schedules v to arrive at virtual time at.
+func (q *Queue[T]) PushAt(at time.Duration, v T) {
+	q.sim.At(at, func() {
+		q.items = append(q.items, v)
+		q.wakeOne()
+	})
+}
+
+func (q *Queue[T]) wakeOne() {
+	if len(q.waiters) == 0 {
+		return
+	}
+	p := q.waiters[0]
+	q.waiters = q.waiters[1:]
+	q.sim.Wake(p)
+}
+
+// Pop removes and returns the oldest value, blocking p until one exists.
+func (q *Queue[T]) Pop(p *Proc) T {
+	for len(q.items) == 0 {
+		q.waiters = append(q.waiters, p)
+		p.Park()
+	}
+	v := q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return v
+}
+
+// TryPop removes and returns the oldest value without blocking. The
+// second result reports whether a value was available.
+func (q *Queue[T]) TryPop() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return v, true
+}

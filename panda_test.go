@@ -1,0 +1,373 @@
+package panda
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fillChunk writes a pattern keyed by (seed, position) into a chunk
+// buffer.
+func fillChunk(buf []byte, seed uint32) {
+	for i := 0; i+4 <= len(buf); i += 4 {
+		binary.LittleEndian.PutUint32(buf[i:], seed+uint32(i))
+	}
+}
+
+func checkChunk(buf []byte, seed uint32) error {
+	for i := 0; i+4 <= len(buf); i += 4 {
+		if got := binary.LittleEndian.Uint32(buf[i:]); got != seed+uint32(i) {
+			return fmt.Errorf("byte %d: got %d, want %d", i, got, seed+uint32(i))
+		}
+	}
+	return nil
+}
+
+func figure2Arrays(t *testing.T) (*Array, *Array, *Array, *Group) {
+	t.Helper()
+	memory := NewLayout("memory layout", []int{2, 2})
+	disk := NewLayout("disk layout", []int{2})
+	mk := func(name string, size []int) *Array {
+		a, err := NewArray(name, size, 4,
+			memory, []Distribution{BLOCK, BLOCK, NONE},
+			disk, []Distribution{BLOCK, NONE, NONE})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	temperature := mk("temperature", []int{16, 16, 16})
+	pressure := mk("pressure", []int{16, 16, 16})
+	density := mk("density", []int{8, 8, 8})
+	sim := NewGroup("Sim2")
+	sim.Include(temperature)
+	sim.Include(pressure)
+	sim.Include(density)
+	return temperature, pressure, density, sim
+}
+
+func TestFigure2Workflow(t *testing.T) {
+	// The paper's Figure 2, condensed: three arrays in a group,
+	// repeated timesteps, one checkpoint, then a restart.
+	temperature, pressure, density, sim := figure2Arrays(t)
+	cluster, err := NewCluster(Config{ComputeNodes: 4, IONodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cluster.Run(func(n *Node) error {
+		for _, a := range sim.Arrays() {
+			buf := make([]byte, n.ChunkBytes(a))
+			fillChunk(buf, uint32(n.Rank()*1000))
+			if err := n.Bind(a, buf); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < 3; i++ {
+			if err := n.Timestep(sim); err != nil {
+				return err
+			}
+			if i == 1 {
+				if err := n.Checkpoint(sim); err != nil {
+					return err
+				}
+			}
+		}
+		if n.TimestepCount(sim) != 3 {
+			return fmt.Errorf("timestep count %d", n.TimestepCount(sim))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart on the same cluster: fresh buffers restored from the
+	// checkpoint.
+	err = cluster.Run(func(n *Node) error {
+		for _, a := range []*Array{temperature, pressure, density} {
+			if err := n.Bind(a, make([]byte, n.ChunkBytes(a))); err != nil {
+				return err
+			}
+		}
+		if err := n.Restart(sim); err != nil {
+			return err
+		}
+		for _, a := range sim.Arrays() {
+			buf := make([]byte, n.ChunkBytes(a))
+			fillChunk(buf, uint32(n.Rank()*1000))
+			got, _, err := n.boundFor(a)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(got, buf) {
+				return fmt.Errorf("node %d: %s restart mismatch", n.Rank(), a.Name())
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// boundFor exposes bound buffers for test verification.
+func (n *Node) boundFor(a *Array) ([]byte, int64, error) {
+	buf, ok := n.data[a]
+	if !ok {
+		return nil, 0, fmt.Errorf("no buffer bound")
+	}
+	return buf, int64(len(buf)), nil
+}
+
+func TestWriteReadSingleArrayOnRealFiles(t *testing.T) {
+	dir := t.TempDir()
+	memory := NewLayout("mem", []int{2, 2})
+	disk := NewLayout("disk", []int{3})
+	a, err := NewArray("grid", []int{12, 8}, 8,
+		memory, []Distribution{BLOCK, BLOCK},
+		disk, []Distribution{BLOCK, NONE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := NewCluster(Config{ComputeNodes: 4, IONodes: 3, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Run(func(n *Node) error {
+		buf := make([]byte, n.ChunkBytes(a))
+		fillChunk(buf, uint32(100+n.Rank()))
+		if err := n.Bind(a, buf); err != nil {
+			return err
+		}
+		return n.WriteArray(a)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Files exist on the host FS.
+	for i := 0; i < 3; i++ {
+		name := filepath.Join(cluster.IONodeDir(i), fmt.Sprintf("grid.%d", i))
+		if _, err := os.Stat(name); err != nil {
+			t.Fatalf("expected file %s: %v", name, err)
+		}
+	}
+	// A second cluster over the same directory reads it back.
+	cluster2, err := NewCluster(Config{ComputeNodes: 4, IONodes: 3, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster2.Run(func(n *Node) error {
+		buf := make([]byte, n.ChunkBytes(a))
+		if err := n.Bind(a, buf); err != nil {
+			return err
+		}
+		if err := n.ReadArray(a); err != nil {
+			return err
+		}
+		return checkChunk(buf, uint32(100+n.Rank()))
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcatenationOnHostFS(t *testing.T) {
+	// Traditional-order schema: cat ion0/x.0 ion1/x.1 equals the
+	// row-major array.
+	dir := t.TempDir()
+	memory := NewLayout("mem", []int{4})
+	disk := NewLayout("disk", []int{2})
+	a, err := NewArray("x", []int{8, 4}, 4,
+		memory, []Distribution{BLOCK, NONE},
+		disk, []Distribution{BLOCK, NONE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := NewCluster(Config{ComputeNodes: 4, IONodes: 2, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Run(func(n *Node) error {
+		buf := make([]byte, n.ChunkBytes(a))
+		// Global row-major pattern: each node's chunk is rows
+		// [rank*2, rank*2+2) of an 8x4 array.
+		lo, _ := n.ChunkBounds(a)
+		for i := 0; i+4 <= len(buf); i += 4 {
+			global := lo[0]*4*4 + i
+			binary.LittleEndian.PutUint32(buf[i:], uint32(global))
+		}
+		if err := n.Bind(a, buf); err != nil {
+			return err
+		}
+		return n.WriteArray(a)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var concat []byte
+	for i := 0; i < 2; i++ {
+		b, err := os.ReadFile(filepath.Join(cluster.IONodeDir(i), fmt.Sprintf("x.%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		concat = append(concat, b...)
+	}
+	if len(concat) != 8*4*4 {
+		t.Fatalf("concatenation holds %d bytes", len(concat))
+	}
+	for i := 0; i+4 <= len(concat); i += 4 {
+		if got := binary.LittleEndian.Uint32(concat[i:]); got != uint32(i) {
+			t.Fatalf("byte %d: %d, not traditional order", i, got)
+		}
+	}
+}
+
+func TestNewArrayValidation(t *testing.T) {
+	mem := NewLayout("m", []int{2, 2})
+	disk := NewLayout("d", []int{2})
+	if _, err := NewArray("a", []int{8, 8}, 4, mem,
+		[]Distribution{BLOCK, NONE}, disk, []Distribution{BLOCK, NONE}); err == nil {
+		t.Fatal("BLOCK count / layout rank mismatch accepted")
+	}
+	if _, err := NewArray("a", []int{8, 8}, 4, mem,
+		[]Distribution{BLOCK}, disk, []Distribution{BLOCK, NONE}); err == nil {
+		t.Fatal("directive rank mismatch accepted")
+	}
+	if _, err := NewArray("a", []int{8, 8}, 4, nil,
+		[]Distribution{BLOCK, BLOCK}, disk, []Distribution{BLOCK, NONE}); err == nil {
+		t.Fatal("nil layout accepted")
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(Config{ComputeNodes: 0, IONodes: 1}); err == nil {
+		t.Fatal("zero compute nodes accepted")
+	}
+	if _, err := NewCluster(Config{ComputeNodes: 1, IONodes: 0}); err == nil {
+		t.Fatal("zero I/O nodes accepted")
+	}
+}
+
+func TestUnboundArrayFails(t *testing.T) {
+	mem := NewLayout("m", []int{2})
+	disk := NewLayout("d", []int{1})
+	a, _ := NewArray("u", []int{8}, 4, mem, []Distribution{BLOCK}, disk, []Distribution{BLOCK})
+	cluster, _ := NewCluster(Config{ComputeNodes: 2, IONodes: 1})
+	err := cluster.Run(func(n *Node) error { return n.WriteArray(a) })
+	if err == nil {
+		t.Fatal("write of unbound array succeeded")
+	}
+}
+
+func TestBindRejectsWrongSize(t *testing.T) {
+	mem := NewLayout("m", []int{2})
+	disk := NewLayout("d", []int{1})
+	a, _ := NewArray("w", []int{8}, 4, mem, []Distribution{BLOCK}, disk, []Distribution{BLOCK})
+	cluster, _ := NewCluster(Config{ComputeNodes: 2, IONodes: 1})
+	err := cluster.Run(func(n *Node) error {
+		if err := n.Bind(a, make([]byte, 3)); err == nil {
+			return fmt.Errorf("bad bind accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	mem := NewLayout("m", []int{2, 2})
+	disk := NewLayout("d", []int{4})
+	a, err := NewArray("acc", []int{8, 6}, 8, mem,
+		[]Distribution{BLOCK, BLOCK}, disk, []Distribution{BLOCK, NONE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "acc" || a.ElemSize() != 8 || a.TotalBytes() != 8*6*8 {
+		t.Fatalf("accessors: %s %d %d", a.Name(), a.ElemSize(), a.TotalBytes())
+	}
+	if got := a.Size(); got[0] != 8 || got[1] != 6 {
+		t.Fatalf("Size = %v", got)
+	}
+	if mem.Name() != "m" || mem.Size() != 4 || disk.Size() != 4 {
+		t.Fatal("layout accessors")
+	}
+	g := NewGroup("g")
+	g.Include(a)
+	if g.Name() != "g" || len(g.Arrays()) != 1 {
+		t.Fatal("group accessors")
+	}
+}
+
+func TestSchemaFileAndAssemble(t *testing.T) {
+	// Write a group with a non-traditional disk schema, save the
+	// schema file, and reassemble an array with no cluster — the
+	// sequential-consumer path behind cmd/pandacat.
+	dir := t.TempDir()
+	memory := NewLayout("m", []int{2, 2})
+	disk := NewLayout("d", []int{2, 2}) // natural chunking: NOT trivially concatenable
+	a, err := NewArray("field", []int{8, 12}, 4,
+		memory, []Distribution{BLOCK, BLOCK},
+		disk, []Distribution{BLOCK, BLOCK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGroup("sim")
+	g.Include(a)
+	cluster, err := NewCluster(Config{ComputeNodes: 4, IONodes: 2, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape := []int{8, 12}
+	if err := cluster.Run(func(n *Node) error {
+		buf := make([]byte, n.ChunkBytes(a))
+		lo, hi := n.ChunkBounds(a)
+		i := 0
+		for x := lo[0]; x < hi[0]; x++ {
+			for y := lo[1]; y < hi[1]; y++ {
+				binary.LittleEndian.PutUint32(buf[i:], uint32(x*shape[1]+y))
+				i += 4
+			}
+		}
+		if err := n.Bind(a, buf); err != nil {
+			return err
+		}
+		return n.Write(g)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	schemaPath := filepath.Join(dir, "sim.schema.json")
+	if err := cluster.SaveSchema(g, schemaPath); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := LoadSchema(schemaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Group() != "sim" || s.IONodes() != 2 || len(s.ArrayNames()) != 1 || s.ArrayNames()[0] != "field" {
+		t.Fatalf("schema header: %s %d %v", s.Group(), s.IONodes(), s.ArrayNames())
+	}
+	outPath := filepath.Join(dir, "field.raw")
+	if err := AssembleArray(s, dir, "field", "", outPath); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 8*12*4 {
+		t.Fatalf("assembled %d bytes", len(data))
+	}
+	for i := 0; i+4 <= len(data); i += 4 {
+		if got := binary.LittleEndian.Uint32(data[i:]); got != uint32(i/4) {
+			t.Fatalf("element %d = %d: not row-major", i/4, got)
+		}
+	}
+}
+
+func TestLoadSchemaErrors(t *testing.T) {
+	if _, err := LoadSchema(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing schema accepted")
+	}
+}
