@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build test race vet fuzz ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the whole suite under the race detector — the chaos and
+# transport tests drive many goroutines through the protocol, so this
+# is the main concurrency gate.
+race:
+	$(GO) test -race ./...
+
+# Short fuzz campaigns over the wire decoders; lengthen FUZZTIME for a
+# real hunt.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDecodeOpRequest -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzDecodeSubData -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzDecodeSubReq -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzDecodeStatus -fuzztime $(FUZZTIME) ./internal/core
+
+ci: vet race
+
+clean:
+	$(GO) clean -testcache

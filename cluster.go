@@ -3,10 +3,20 @@ package panda
 import (
 	"fmt"
 	"path/filepath"
+	"time"
 
 	"panda/internal/core"
 	"panda/internal/storage"
 )
+
+// ErrTimeout reports a collective operation that exceeded the cluster's
+// OpTimeout. Match it with errors.Is; the cluster remains usable for
+// further operations.
+var ErrTimeout = core.ErrTimeout
+
+// ErrPeerLost reports a collective operation abandoned because a
+// participating node was observed dead (rather than merely slow).
+var ErrPeerLost = core.ErrPeerLost
 
 // Config describes a Panda deployment: how many compute nodes (Panda
 // clients) and I/O nodes (Panda servers) to run, and where the I/O
@@ -28,6 +38,18 @@ type Config struct {
 	// Pipeline is the number of sub-chunks each I/O node keeps in
 	// flight during writes; 0 or 1 is the paper's blocking behaviour.
 	Pipeline int
+	// OpTimeout bounds every collective operation. A node that cannot
+	// finish within the budget abandons the operation and returns an
+	// error matching ErrTimeout (or ErrPeerLost when a participant is
+	// known dead); the cluster stays usable afterwards. Zero — the
+	// default — keeps the paper's original unbounded blocking
+	// behaviour.
+	OpTimeout time.Duration
+	// PullRetries is how many times an I/O node re-requests missing
+	// write data inside the OpTimeout budget before giving up; pulls
+	// are idempotent so retries are safe. Meaningless without
+	// OpTimeout.
+	PullRetries int
 }
 
 // Cluster is an in-process Panda deployment. Its I/O-node state (the
@@ -46,6 +68,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		NumServers:    cfg.IONodes,
 		SubchunkBytes: cfg.SubchunkBytes,
 		Pipeline:      cfg.Pipeline,
+		OpTimeout:     cfg.OpTimeout,
+		PullRetries:   cfg.PullRetries,
 	}
 	if err := ccfg.Validate(); err != nil {
 		return nil, err

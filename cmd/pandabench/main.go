@@ -82,6 +82,16 @@ func runFigure(f harness.Figure, opt harness.Options, csv bool) {
 		return
 	}
 	fmt.Println(harness.RenderFigure(f, points))
+	// The paper's experiments run on a perfect simulated network, so
+	// any failure traffic means the measurement is suspect — say so.
+	var timeouts, retries int64
+	for _, p := range points {
+		timeouts += p.Timeouts
+		retries += p.Retries
+	}
+	if timeouts > 0 || retries > 0 {
+		fmt.Printf("WARNING: %s saw failure traffic: %d timeouts, %d pull retries\n", f.ID, timeouts, retries)
+	}
 }
 
 func runBaseline(opt harness.Options) {

@@ -39,9 +39,11 @@ func main() {
 	dir := flag.String("dir", "", "i/o node storage directory (role server; empty = in-memory)")
 	transport := flag.String("transport", "hub", "hub (routed) or mesh (direct peer connections)")
 	sizeMB := flag.Int64("size", 16, "demo array size in MB, power of two (role client)")
+	opTimeout := flag.Duration("optimeout", 0, "per-operation deadline; a node that cannot finish in time fails with a typed error instead of hanging (0 = block forever, the paper's behaviour)")
+	retries := flag.Int("retries", 0, "write-pull retries inside the optimeout budget (requires -optimeout)")
 	flag.Parse()
 
-	cfg := core.Config{NumClients: *clients, NumServers: *servers}
+	cfg := core.Config{NumClients: *clients, NumServers: *servers, OpTimeout: *opTimeout, PullRetries: *retries}
 	if err := cfg.Validate(); err != nil {
 		log.Fatal(err)
 	}

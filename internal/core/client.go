@@ -83,16 +83,41 @@ func (c *Client) collective(op byte, suffix string, specs []ArraySpec, bufs [][]
 	}
 
 	// The master client sends the high-level request to the master
-	// server; everyone then serves until completion. All of this
-	// operation's traffic carries its sequence number.
+	// server; everyone then serves until completion. The request goes
+	// on the fixed control tag and carries the sequence explicitly so
+	// servers stay synchronized even if earlier requests were lost;
+	// all other traffic of this operation carries its sequence number
+	// in the tag.
 	seq := c.opSeq
 	c.opSeq++
+	deadline := clientOpDeadline(c.cfg, c.clk)
 	if c.IsMaster() {
-		c.send(c.cfg.MasterServer(), tagToServer(seq), encodeOpRequest(opRequest{Op: op, Suffix: suffix, Specs: specs}))
+		c.send(c.cfg.MasterServer(), tagControl, encodeOpRequest(opRequest{Op: op, Seq: uint32(seq), Suffix: suffix, Specs: specs}))
 	}
 
+	// On reads the client knows exactly how many bytes it must absorb,
+	// so it can (a) drop duplicate pieces a faulty transport delivers
+	// twice and (b) keep waiting when a Complete overtakes in-flight
+	// data on a transport with no cross-pair ordering.
+	var wantBytes, gotBytes int64
+	var seen map[string]bool
+	if op == opRead {
+		for _, spec := range specs {
+			wantBytes += spec.MemChunkBytes(c.Rank())
+		}
+		seen = make(map[string]bool)
+	}
+	completed := false
+
 	for {
-		m := c.comm.Recv(mpi.AnySource, tagToClient(seq))
+		if completed && gotBytes >= wantBytes {
+			return nil
+		}
+		m, err := recvBounded(c.comm, c.clk, mpi.AnySource, tagToClient(seq), deadline)
+		if err != nil {
+			c.stats.Timeouts++
+			return fmt.Errorf("core: client %d, operation %d: %w", c.Rank(), seq, err)
+		}
 		c.stats.MsgsRecv++
 		c.stats.BytesRecv += int64(len(m.Data))
 		if len(m.Data) == 0 {
@@ -113,8 +138,16 @@ func (c *Client) collective(op byte, suffix string, specs []ArraySpec, bufs [][]
 			if err != nil {
 				return err
 			}
+			key := pieceKey(d.ArrayIdx, d.Region)
+			if seen != nil && seen[key] {
+				continue // duplicate delivery of a piece already absorbed
+			}
 			if err := c.absorbData(specs, bufs, d); err != nil {
 				return err
+			}
+			if seen != nil {
+				seen[key] = true
+				gotBytes += int64(len(d.Payload))
 			}
 		case msgComplete:
 			status, err := decodeStatus(&r)
@@ -122,21 +155,27 @@ func (c *Client) collective(op byte, suffix string, specs []ArraySpec, bufs [][]
 				return err
 			}
 			if c.IsMaster() {
-				// Relay completion to the other clients.
+				// Relay completion to the other clients — before acting
+				// on the outcome, so a failure reaches every rank.
 				for i := 1; i < c.cfg.NumClients; i++ {
 					cp := make([]byte, len(m.Data))
 					copy(cp, m.Data)
 					c.send(i, tagToClient(seq), cp)
 				}
 			}
-			if status != "" {
-				return errors.New(status)
+			if status != nil {
+				return status
 			}
-			return nil
+			completed = true
 		default:
 			return fmt.Errorf("core: client %d: unexpected message type %d", c.Rank(), t)
 		}
 	}
+}
+
+// pieceKey identifies one piece of one array for duplicate detection.
+func pieceKey(arrayIdx int, reg array.Region) string {
+	return fmt.Sprintf("%d:%v:%v", arrayIdx, reg.Lo, reg.Hi)
 }
 
 // serveRequest answers one sub-chunk request during a write: extract

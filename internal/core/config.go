@@ -61,6 +61,24 @@ type Config struct {
 	// free. Contiguous transfers are never charged (the natural
 	// chunking fast path).
 	CopyRate float64
+	// OpTimeout bounds every collective operation: a node that cannot
+	// finish its part within the budget abandons the operation and
+	// returns an error wrapping ErrTimeout (or ErrPeerLost when the
+	// transport knows a participant died). Servers spend at most 1.5x
+	// the budget per operation (their own share plus completion
+	// collection); clients wait up to 2x the budget for the outcome, so
+	// a backlogged server drains faster than failed operations pile up.
+	// Zero — the default — disables deadlines entirely and reproduces
+	// the paper's original blocking protocol; simulations use zero so
+	// virtual-time runs stay byte-for-byte deterministic.
+	OpTimeout time.Duration
+	// PullRetries is the number of times a server re-requests the
+	// missing pieces of an in-flight sub-chunk during a write before
+	// giving up, spacing the attempts evenly inside OpTimeout. Pulls
+	// are idempotent (clients re-extract and servers deduplicate), so
+	// retries mask transient message loss. 0 means no retries; the
+	// field is meaningless unless OpTimeout is set.
+	PullRetries int
 }
 
 // Validate checks the configuration.
@@ -76,6 +94,12 @@ func (c Config) Validate() error {
 	}
 	if c.Pipeline < 0 {
 		return fmt.Errorf("core: negative Pipeline")
+	}
+	if c.OpTimeout < 0 {
+		return fmt.Errorf("core: negative OpTimeout")
+	}
+	if c.PullRetries < 0 {
+		return fmt.Errorf("core: negative PullRetries")
 	}
 	return nil
 }

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"panda/internal/clock"
+	"panda/internal/mpi"
+)
+
+// recvBounded is Recv bounded by an absolute deadline on clk (0 = no
+// deadline, block forever exactly as the original protocol did).
+// Transport-level failures are translated to this package's typed
+// sentinels: mpi.ErrTimeout → ErrTimeout, mpi.ErrPeerLost →
+// ErrPeerLost.
+func recvBounded(comm mpi.Comm, clk clock.Clock, from, tag int, deadline time.Duration) (mpi.Message, error) {
+	if deadline <= 0 {
+		return comm.Recv(from, tag), nil
+	}
+	dc, ok := comm.(mpi.DeadlineComm)
+	if !ok {
+		// No deadline support: degrade to the blocking protocol.
+		return comm.Recv(from, tag), nil
+	}
+	remaining := deadline - clk.Now()
+	if remaining <= 0 {
+		return mpi.Message{}, ErrTimeout
+	}
+	m, err := dc.RecvTimeout(from, tag, remaining)
+	if err != nil {
+		return mpi.Message{}, mapTransportErr(err)
+	}
+	return m, nil
+}
+
+// mapTransportErr converts mpi-layer failures into core's typed errors.
+func mapTransportErr(err error) error {
+	switch {
+	case errors.Is(err, mpi.ErrTimeout):
+		return ErrTimeout
+	case errors.Is(err, mpi.ErrPeerLost):
+		return fmt.Errorf("%v: %w", err, ErrPeerLost)
+	default:
+		return err
+	}
+}
+
+// opDeadline computes the absolute deadline for an operation entered
+// now, or 0 when deadlines are disabled.
+func opDeadline(cfg Config, clk clock.Clock) time.Duration {
+	if cfg.OpTimeout <= 0 {
+		return 0
+	}
+	return clk.Now() + cfg.OpTimeout
+}
+
+// clientOpDeadline is the client-side patience for one collective:
+// twice the operation budget. The master server may legitimately need
+// up to 1.5x OpTimeout before its Complete goes out (its own budget
+// plus half a budget of Done-collection slack), and giving clients
+// strictly more than that keeps a backlogged deployment self-healing:
+// a failed operation costs a client 2x OpTimeout but adds at most
+// 1.5x OpTimeout of work to a server, so server lag shrinks across
+// consecutive failures instead of compounding until nothing completes.
+func clientOpDeadline(cfg Config, clk clock.Clock) time.Duration {
+	if cfg.OpTimeout <= 0 {
+		return 0
+	}
+	return clk.Now() + 2*cfg.OpTimeout
+}

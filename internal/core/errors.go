@@ -1,0 +1,74 @@
+package core
+
+import "errors"
+
+// ErrTimeout is the typed failure a collective returns when the
+// operation deadline (Config.OpTimeout) expires before the protocol
+// completes — a lost message, a straggler past its budget, a dead hub.
+// The deployment remains usable: the next collective starts clean.
+var ErrTimeout = errors.New("core: collective operation timed out")
+
+// ErrPeerLost is the typed failure a collective returns when the
+// transport reports a participant gone (TCP hub death notification,
+// mesh link failure, injected crash) rather than merely late.
+var ErrPeerLost = errors.New("core: peer lost during collective operation")
+
+// Status codes carried by Done and Complete messages so typed errors
+// survive the wire: a client that receives a Complete with
+// statusTimeout returns an error wrapping ErrTimeout, exactly as if it
+// had hit the deadline locally.
+const (
+	statusOK byte = iota
+	statusFailed
+	statusTimeout
+	statusPeerLost
+)
+
+// statusCode classifies err for the wire.
+func statusCode(err error) byte {
+	switch {
+	case err == nil:
+		return statusOK
+	case errors.Is(err, ErrTimeout):
+		return statusTimeout
+	case errors.Is(err, ErrPeerLost):
+		return statusPeerLost
+	default:
+		return statusFailed
+	}
+}
+
+// statusError reconstructs a typed error from a wire status. msg is
+// the human-readable detail; an empty msg with a non-OK code still
+// yields the sentinel.
+func statusError(code byte, msg string) error {
+	switch code {
+	case statusOK:
+		return nil
+	case statusTimeout:
+		if msg == "" {
+			return ErrTimeout
+		}
+		return wrapped{msg: msg, sentinel: ErrTimeout}
+	case statusPeerLost:
+		if msg == "" {
+			return ErrPeerLost
+		}
+		return wrapped{msg: msg, sentinel: ErrPeerLost}
+	default:
+		if msg == "" {
+			msg = "core: collective operation failed"
+		}
+		return errors.New(msg)
+	}
+}
+
+// wrapped carries a remote error message while staying errors.Is-able
+// against the local sentinel.
+type wrapped struct {
+	msg      string
+	sentinel error
+}
+
+func (w wrapped) Error() string { return w.msg }
+func (w wrapped) Unwrap() error { return w.sentinel }

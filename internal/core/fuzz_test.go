@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"panda/internal/array"
@@ -22,6 +23,14 @@ func FuzzDecodeOpRequest(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{msgOpRequest})
 	f.Add([]byte{msgOpRequest, opWrite, 0xFF, 0xFF})
+	// A frame carrying a non-zero operation sequence, and truncations
+	// that cut through the sequence field itself.
+	seq := encodeOpRequest(opRequest{Op: opRead, Seq: 0xDEAD, Suffix: "", Specs: []ArraySpec{
+		{Name: "b", ElemSize: 8, Mem: sch, Disk: sch},
+	}})
+	f.Add(seq)
+	f.Add(seq[:3])
+	f.Add(seq[:5])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, err := decodeOpRequest(data)
 		if err == nil {
@@ -59,5 +68,48 @@ func FuzzDecodeSubReq(f *testing.F) {
 		r := rbuf{b: data}
 		r.u8()
 		_, _ = decodeSubReq(&r)
+	})
+}
+
+func FuzzDecodeStatus(f *testing.F) {
+	// Status frames carry operation outcomes (Complete, Done, Abort)
+	// across the wire, including the typed-error code. Corrupted or
+	// truncated ones must decode to an error, never panic, and whatever
+	// decodes must be a usable error value.
+	f.Add(encodeStatus(msgComplete, nil))
+	f.Add(encodeStatus(msgComplete, ErrTimeout))
+	f.Add(encodeStatus(msgDone, ErrPeerLost))
+	f.Add(encodeAbort(errors.New("disk exploded")))
+	valid := encodeStatus(msgComplete, ErrTimeout)
+	f.Add(valid[:len(valid)-1])
+	f.Add([]byte{msgAbort})
+	f.Add([]byte{msgAbort, 0xFF})                  // unknown status code
+	f.Add([]byte{msgComplete, 1, 0xFF, 0xFF, 'x'}) // length field past the buffer
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		r := rbuf{b: data}
+		r.u8()
+		status, err := decodeStatus(&r)
+		if err != nil {
+			return
+		}
+		if status != nil {
+			_ = status.Error()
+			// The sentinel classification must round-trip through a
+			// re-encode of the reconstructed error.
+			again := encodeStatus(msgComplete, status)
+			r2 := rbuf{b: again}
+			r2.u8()
+			status2, err2 := decodeStatus(&r2)
+			if err2 != nil || status2 == nil {
+				t.Fatalf("re-encode of %v failed to decode: %v", status, err2)
+			}
+			if errors.Is(status, ErrTimeout) != errors.Is(status2, ErrTimeout) ||
+				errors.Is(status, ErrPeerLost) != errors.Is(status2, ErrPeerLost) {
+				t.Fatalf("sentinel classification lost in round trip: %v vs %v", status, status2)
+			}
+		}
 	})
 }

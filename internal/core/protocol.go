@@ -23,19 +23,33 @@ import (
 // operations locally — clients per collective call, servers per
 // request handled — so the counters agree without extra traffic.
 //
-//	tagToServer(seq) — OpRequest (master client → master server),
-//	              forwarded OpRequest (master server → servers),
-//	              sub-chunk data replies (clients → server), Shutdown
-//	              (master client → servers, at seq = total ops).
+//	tagToServer(seq) — sub-chunk data replies (clients → server) and
+//	              abort broadcasts (master server → servers).
 //	tagToClient(seq) — sub-chunk requests (server → clients, writes),
 //	              sub-chunk data (server → clients, reads), Complete
 //	              (master server → master client → clients).
+//	tagDoneFor(seq) — Done reports (servers → master server).
+//	tagControl   — OpRequest (master client → master server, and the
+//	              forwarded copy to the other servers) and Shutdown.
+//	              Fixed rather than sequenced: requests carry an
+//	              explicit Seq field, so a server whose local count
+//	              drifted (it never saw a lost operation) adopts the
+//	              master's numbering instead of deadlocking on a tag it
+//	              will never receive.
 //
-// The strides keep the two families and the fixed tags (tagDone,
-// tagAppDone) disjoint for every sequence number.
+// The strides keep the three sequenced families and the fixed tags
+// (tagControl, tagAppDone) disjoint for every sequence number.
 func tagToServer(seq int) int { return 10 + 16*seq }
 
 func tagToClient(seq int) int { return 11 + 16*seq }
+
+// tagDoneFor carries server→master-server completion reports for one
+// operation. Sequenced so a Done from an abandoned (timed-out)
+// operation cannot be mistaken for a Done of the current one.
+func tagDoneFor(seq int) int { return 12 + 16*seq }
+
+// tagControl carries OpRequest and Shutdown; see the tag table above.
+const tagControl = 14
 
 // Message types.
 const (
@@ -45,6 +59,7 @@ const (
 	msgDone
 	msgComplete
 	msgShutdown
+	msgAbort
 )
 
 // Operation kinds.
@@ -199,9 +214,12 @@ func (r *rbuf) schema() array.Schema {
 
 // opRequest is the "short very-high-level description" the master
 // client sends to the master server (paper §2): the operation kind, the
-// file-name suffix, and the two schemas of every array.
+// file-name suffix, and the two schemas of every array. Seq is the
+// master client's operation counter; servers adopt it so their tag
+// numbering cannot drift from the clients' even when requests are lost.
 type opRequest struct {
 	Op     byte
+	Seq    uint32
 	Suffix string
 	Specs  []ArraySpec
 }
@@ -210,6 +228,7 @@ func encodeOpRequest(req opRequest) []byte {
 	var w wbuf
 	w.u8(msgOpRequest)
 	w.u8(req.Op)
+	w.u32(req.Seq)
 	w.str(req.Suffix)
 	w.u16(uint16(len(req.Specs)))
 	for _, s := range req.Specs {
@@ -229,6 +248,7 @@ func decodeOpRequest(b []byte) (opRequest, error) {
 	}
 	var req opRequest
 	req.Op = r.u8()
+	req.Seq = r.u32()
 	req.Suffix = r.str()
 	n := int(r.u16())
 	req.Specs = make([]ArraySpec, n)
@@ -298,17 +318,35 @@ func decodeSubData(r *rbuf) (subData, error) {
 	return d, r.err
 }
 
-// status is carried by Done and Complete: empty means success.
-func encodeStatus(typ byte, errMsg string) []byte {
+// status is carried by Done and Complete: a one-byte code (statusOK,
+// statusFailed, statusTimeout, statusPeerLost) classifying the outcome
+// so typed errors survive the wire, then the human-readable detail.
+func encodeStatus(typ byte, opErr error) []byte {
 	var w wbuf
 	w.u8(typ)
-	w.str(errMsg)
+	w.u8(statusCode(opErr))
+	msg := ""
+	if opErr != nil {
+		msg = opErr.Error()
+	}
+	w.str(msg)
 	return w.b
 }
 
-func decodeStatus(r *rbuf) (string, error) {
-	s := r.str()
-	return s, r.err
+// decodeStatus returns the operation outcome carried by a Done or
+// Complete body: nil for success, a typed error otherwise. A decode
+// failure is reported separately.
+func decodeStatus(r *rbuf) (error, error) {
+	code := r.u8()
+	msg := r.str()
+	if r.err != nil {
+		return nil, r.err
+	}
+	return statusError(code, msg), nil
 }
 
 func encodeShutdown() []byte { return []byte{msgShutdown} }
+
+// encodeAbort builds the master server's abort broadcast: the typed
+// status tells a stuck server why the operation is being abandoned.
+func encodeAbort(opErr error) []byte { return encodeStatus(msgAbort, opErr) }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"reflect"
 	"testing"
 	"testing/quick"
@@ -75,15 +77,49 @@ func TestSubDataRoundTrip(t *testing.T) {
 }
 
 func TestStatusRoundTrip(t *testing.T) {
-	for _, msg := range []string{"", "disk exploded"} {
-		b := encodeStatus(msgComplete, msg)
+	cases := []error{
+		nil,
+		errors.New("disk exploded"),
+		ErrTimeout,
+		ErrPeerLost,
+		fmt.Errorf("server 3: %w", ErrTimeout),
+		fmt.Errorf("rank 2 gone: %w", ErrPeerLost),
+	}
+	for _, in := range cases {
+		b := encodeStatus(msgComplete, in)
 		r := rbuf{b: b}
 		if typ := r.u8(); typ != msgComplete {
 			t.Fatalf("type = %d", typ)
 		}
 		got, err := decodeStatus(&r)
-		if err != nil || got != msg {
-			t.Fatalf("got %q, %v", got, err)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case in == nil:
+			if got != nil {
+				t.Fatalf("nil status decoded as %v", got)
+			}
+		default:
+			if got == nil || got.Error() != in.Error() {
+				t.Fatalf("status %v decoded as %v", in, got)
+			}
+			// Typed sentinels must survive the wire.
+			if errors.Is(in, ErrTimeout) != errors.Is(got, ErrTimeout) ||
+				errors.Is(in, ErrPeerLost) != errors.Is(got, ErrPeerLost) {
+				t.Fatalf("status %v lost its type over the wire: %v", in, got)
+			}
+		}
+	}
+}
+
+func TestStatusTruncatedFails(t *testing.T) {
+	full := encodeStatus(msgDone, errors.New("boom"))
+	for cut := 1; cut < len(full); cut++ {
+		r := rbuf{b: full[:cut]}
+		r.u8()
+		if _, err := decodeStatus(&r); err == nil {
+			t.Fatalf("truncation at %d decoded without error", cut)
 		}
 	}
 }

@@ -21,16 +21,21 @@ const tagAppDone = 13
 // same collective calls in the same order on every rank (SPMD).
 type App func(cl *Client) error
 
-// clientMain wraps app with the shutdown handshake.
+// clientMain wraps app with the shutdown handshake. With OpTimeout set
+// the handshake waits are bounded: a dead client cannot keep the
+// master from shutting the servers down (best-effort — the master
+// proceeds after one OpTimeout per missing peer).
 func clientMain(cfg Config, comm mpi.Comm, clk clock.Clock, app App) error {
 	cl := NewClient(cfg, comm, clk)
 	err := app(cl)
 	if cl.IsMaster() {
 		for i := 1; i < cfg.NumClients; i++ {
-			comm.Recv(mpi.AnySource, tagAppDone)
+			if _, herr := recvBounded(comm, clk, mpi.AnySource, tagAppDone, opDeadline(cfg, clk)); herr != nil {
+				break // a peer is gone or late; shut down anyway
+			}
 		}
 		for i := 0; i < cfg.NumServers; i++ {
-			comm.Send(cfg.ServerRank(i), tagToServer(cl.opSeq), encodeShutdown())
+			comm.Send(cfg.ServerRank(i), tagControl, encodeShutdown())
 		}
 	} else {
 		comm.Send(cfg.MasterClient(), tagAppDone, nil)
@@ -49,10 +54,29 @@ func RunReal(cfg Config, disks []storage.Disk, app App) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
-	if len(disks) != cfg.NumServers {
-		return fmt.Errorf("core: %d disks for %d servers", len(disks), cfg.NumServers)
-	}
 	world := mpi.NewWorld(cfg.WorldSize())
+	comms := make([]mpi.Comm, cfg.WorldSize())
+	for r := range comms {
+		comms[r] = world.Comm(r)
+	}
+	_, err := RunWith(cfg, comms, disks, app)
+	return err
+}
+
+// RunWith is RunReal over caller-supplied endpoints, one per rank —
+// the hook for interposing transport wrappers such as mpi.WrapFault.
+// It returns every node's outcome (indexed by rank) plus the first
+// non-nil one.
+func RunWith(cfg Config, comms []mpi.Comm, disks []storage.Disk, app App) ([]error, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(comms) != cfg.WorldSize() {
+		return nil, fmt.Errorf("core: %d endpoints for a world of %d", len(comms), cfg.WorldSize())
+	}
+	if len(disks) != cfg.NumServers {
+		return nil, fmt.Errorf("core: %d disks for %d servers", len(disks), cfg.NumServers)
+	}
 	clk := clock.NewReal()
 
 	errs := make([]error, cfg.WorldSize())
@@ -61,7 +85,7 @@ func RunReal(cfg Config, disks []storage.Disk, app App) error {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			errs[r] = clientMain(cfg, world.Comm(r), clk, app)
+			errs[r] = clientMain(cfg, comms[r], clk, app)
 		}(r)
 	}
 	for i := 0; i < cfg.NumServers; i++ {
@@ -69,17 +93,17 @@ func RunReal(cfg Config, disks []storage.Disk, app App) error {
 		go func(i int) {
 			defer wg.Done()
 			rank := cfg.ServerRank(i)
-			srv := NewServer(cfg, world.Comm(rank), disks[i], clk)
+			srv := NewServer(cfg, comms[rank], disks[i], clk)
 			errs[rank] = srv.Serve()
 		}(i)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return err
+			return errs, err
 		}
 	}
-	return nil
+	return errs, nil
 }
 
 // SimResult reports what a simulated deployment did.

@@ -1,19 +1,15 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"panda/internal/array"
 	"panda/internal/clock"
 	"panda/internal/mpi"
 	"panda/internal/storage"
 )
-
-// tagDone carries server→master-server completion reports. It is
-// separate from tagToServer so a master server still executing its own
-// share never confuses an early Done from a fast server with a
-// sub-chunk data reply.
-const tagDone = 12
 
 // Server is a Panda server: the code that runs on one I/O node. It
 // owns that node's file system and directs the data flow of every
@@ -26,7 +22,7 @@ type Server struct {
 	index int // server index in [0, NumServers)
 
 	nextReqID uint32
-	opSeq     int // operations handled so far
+	opSeq     int // sequence of the operation being handled
 	stats     Stats
 }
 
@@ -39,6 +35,15 @@ type Stats struct {
 	// ReorgBytes counts bytes moved by non-contiguous
 	// (reorganization) copies; natural chunking keeps this at zero.
 	ReorgBytes int64
+	// Timeouts counts deadline expiries and peer losses this node hit
+	// locally (always zero when Config.OpTimeout is unset).
+	Timeouts int64
+	// Retries counts sub-chunk pull re-requests this server issued to
+	// mask lost messages during writes.
+	Retries int64
+	// Aborts counts operations this node abandoned — on the master
+	// server, abort broadcasts sent; elsewhere, aborts obeyed.
+	Aborts int64
 }
 
 // NewServer creates the server for one I/O node. disk is that node's
@@ -56,10 +61,16 @@ func (s *Server) IsMaster() bool { return s.comm.Rank() == s.cfg.MasterServer() 
 // Serve handles collective operations until a shutdown message
 // arrives. It returns nil on orderly shutdown; protocol-level failures
 // inside an operation are reported to the clients through the
-// completion status, not returned here.
+// completion status, not returned here. With OpTimeout set, Serve also
+// returns (with an error wrapping ErrPeerLost) when the transport
+// reports the master client dead — the deployment cannot receive
+// further work or an orderly shutdown once its coordinator is gone.
 func (s *Server) Serve() error {
 	for {
-		m := s.recvServer()
+		m, err := s.recvControl()
+		if err != nil {
+			return fmt.Errorf("core: server %d: %w", s.index, err)
+		}
 		if len(m.Data) == 0 {
 			return fmt.Errorf("core: server %d: empty message from %d", s.index, m.Source)
 		}
@@ -67,7 +78,14 @@ func (s *Server) Serve() error {
 		case msgShutdown:
 			return nil
 		case msgOpRequest:
-			s.handleOp(m.Data)
+			req, derr := decodeOpRequest(m.Data)
+			if derr == nil {
+				if int(req.Seq) < s.opSeq {
+					continue // duplicate delivery of an operation already handled
+				}
+				s.opSeq = int(req.Seq)
+			}
+			s.handleOp(m.Data, req, derr)
 			s.opSeq++
 		default:
 			return fmt.Errorf("core: server %d: unexpected message type %d outside operation", s.index, m.Data[0])
@@ -75,11 +93,57 @@ func (s *Server) Serve() error {
 	}
 }
 
-func (s *Server) recvServer() mpi.Message {
-	m := s.comm.Recv(mpi.AnySource, tagToServer(s.opSeq))
+// recvControl waits — idle, between operations — for the next request
+// or shutdown on the control tag. Without deadlines this is a plain
+// blocking receive. With deadlines it wakes every OpTimeout to check
+// whether the transport has declared the master client dead.
+func (s *Server) recvControl() (mpi.Message, error) {
+	dc, bounded := s.comm.(mpi.DeadlineComm)
+	if s.cfg.OpTimeout <= 0 || !bounded {
+		m := s.comm.Recv(mpi.AnySource, tagControl)
+		s.stats.MsgsRecv++
+		s.stats.BytesRecv += int64(len(m.Data))
+		return m, nil
+	}
+	for {
+		m, err := dc.RecvTimeout(mpi.AnySource, tagControl, s.cfg.OpTimeout)
+		if err == nil {
+			s.stats.MsgsRecv++
+			s.stats.BytesRecv += int64(len(m.Data))
+			return m, nil
+		}
+		if errors.Is(err, mpi.ErrTimeout) {
+			if pc, ok := s.comm.(mpi.PeerChecker); ok && pc.PeerLost(s.cfg.MasterClient()) {
+				return mpi.Message{}, fmt.Errorf("master client gone while idle: %w", ErrPeerLost)
+			}
+			continue // idle waits are unbounded; only failures end them
+		}
+		return mpi.Message{}, mapTransportErr(err)
+	}
+}
+
+// recvData receives one in-operation message on this operation's
+// server tag. deadline bounds the whole operation; quiet, when
+// positive, bounds this single wait so the caller can re-request lost
+// pulls before the operation budget runs out.
+func (s *Server) recvData(deadline, quiet time.Duration) (mpi.Message, error) {
+	if deadline <= 0 {
+		m := s.comm.Recv(mpi.AnySource, tagToServer(s.opSeq))
+		s.stats.MsgsRecv++
+		s.stats.BytesRecv += int64(len(m.Data))
+		return m, nil
+	}
+	wait := deadline
+	if quiet > 0 && s.clk.Now()+quiet < deadline {
+		wait = s.clk.Now() + quiet
+	}
+	m, err := recvBounded(s.comm, s.clk, mpi.AnySource, tagToServer(s.opSeq), wait)
+	if err != nil {
+		return mpi.Message{}, err
+	}
 	s.stats.MsgsRecv++
 	s.stats.BytesRecv += int64(len(m.Data))
-	return m
+	return m, nil
 }
 
 func (s *Server) send(to, tag int, data []byte) {
@@ -89,8 +153,11 @@ func (s *Server) send(to, tag int, data []byte) {
 }
 
 // handleOp runs one collective operation end to end on this server.
-func (s *Server) handleOp(raw []byte) {
-	req, err := decodeOpRequest(raw)
+// req/decodeErr are the already-decoded request (decoding happens in
+// Serve so the sequence can be adopted before any deadline starts).
+func (s *Server) handleOp(raw []byte, req opRequest, decodeErr error) {
+	deadline := opDeadline(s.cfg, s.clk)
+	err := decodeErr
 
 	if s.IsMaster() {
 		// Charge Panda's fixed startup cost (paper: ~13 ms measured
@@ -102,7 +169,7 @@ func (s *Server) handleOp(raw []byte) {
 			if rank := s.cfg.ServerRank(i); rank != s.comm.Rank() {
 				cp := make([]byte, len(raw))
 				copy(cp, raw)
-				s.send(rank, tagToServer(s.opSeq), cp)
+				s.send(rank, tagControl, cp)
 			}
 		}
 	}
@@ -111,34 +178,59 @@ func (s *Server) handleOp(raw []byte) {
 		err = validateSpecs(s.cfg, req.Specs)
 	}
 	if err == nil {
-		err = s.execute(req)
-	}
-
-	status := ""
-	if err != nil {
-		status = err.Error()
+		err = s.execute(req, deadline)
 	}
 
 	if !s.IsMaster() {
-		s.send(s.cfg.MasterServer(), tagDone, encodeStatus(msgDone, status))
+		s.send(s.cfg.MasterServer(), tagDoneFor(s.opSeq), encodeStatus(msgDone, err))
 		return
 	}
 
 	// Master server: collect Done from every other server, aggregate
-	// the first failure, and inform the master client.
+	// the first failure, and inform the master client. With deadlines
+	// the collection gets half an extra OpTimeout of slack beyond the
+	// operation budget: a peer that hit its own deadline needs a
+	// moment for its Done to arrive before the master declares it
+	// lost.
+	collectBy := time.Duration(0)
+	if deadline > 0 {
+		collectBy = deadline + s.cfg.OpTimeout/2
+	}
+	status := err
 	for i := 1; i < s.cfg.NumServers; i++ {
-		m := s.comm.Recv(mpi.AnySource, tagDone)
+		m, rerr := recvBounded(s.comm, s.clk, mpi.AnySource, tagDoneFor(s.opSeq), collectBy)
+		if rerr != nil {
+			s.stats.Timeouts++
+			if status == nil {
+				status = fmt.Errorf("core: master server: waiting for server completions: %w", rerr)
+			}
+			break
+		}
 		s.stats.MsgsRecv++
 		s.stats.BytesRecv += int64(len(m.Data))
 		r := rbuf{b: m.Data}
 		if t := r.u8(); t != msgDone {
-			status = fmt.Sprintf("core: master server: expected Done, got type %d", t)
+			if status == nil {
+				status = fmt.Errorf("core: master server: expected Done, got type %d", t)
+			}
 			continue
 		}
 		if msg, derr := decodeStatus(&r); derr != nil {
-			status = derr.Error()
-		} else if msg != "" && status == "" {
+			status = derr
+		} else if msg != nil && status == nil {
 			status = msg
+		}
+	}
+
+	if status != nil && deadline > 0 {
+		// Abort broadcast: unstick any server still waiting for pulls
+		// of this operation. Servers that already finished see the
+		// abort on a stale tag and never read it — harmless.
+		s.stats.Aborts++
+		for i := 0; i < s.cfg.NumServers; i++ {
+			if rank := s.cfg.ServerRank(i); rank != s.comm.Rank() {
+				s.send(rank, tagToServer(s.opSeq), encodeAbort(status))
+			}
 		}
 	}
 	s.send(s.cfg.MasterClient(), tagToClient(s.opSeq), encodeStatus(msgComplete, status))
@@ -146,8 +238,8 @@ func (s *Server) handleOp(raw []byte) {
 
 // execute performs this server's share of the operation: every array in
 // order, every assigned chunk in file order, every sub-chunk
-// sequentially.
-func (s *Server) execute(req opRequest) error {
+// sequentially. deadline (0 = none) bounds the whole operation.
+func (s *Server) execute(req opRequest, deadline time.Duration) error {
 	for ai, spec := range req.Specs {
 		jobs := assignChunks(spec.Disk, spec.ElemSize, s.cfg.NumServers, s.index)
 		subs := planSubchunks(ai, spec, jobs, spec.subchunkBytes(s.cfg))
@@ -156,7 +248,7 @@ func (s *Server) execute(req opRequest) error {
 		var err error
 		switch req.Op {
 		case opWrite:
-			err = s.writeArray(spec, name, subs)
+			err = s.writeArray(spec, name, subs, deadline)
 		case opRead:
 			err = s.readArray(spec, name, subs)
 		default:
@@ -169,11 +261,15 @@ func (s *Server) execute(req opRequest) error {
 	return nil
 }
 
-// pending is a sub-chunk being assembled from client pieces.
+// pending is a sub-chunk being assembled from client pieces. got
+// records which pieces have arrived so duplicate deliveries (a faulty
+// transport, or a retried pull whose original reply was merely slow)
+// are deposited exactly once.
 type pending struct {
 	job       subchunkJob
 	buf       []byte
 	remaining int
+	got       map[string]bool
 }
 
 // writeArray gathers this server's sub-chunks of one array from the
@@ -181,7 +277,15 @@ type pending struct {
 // cfg.Pipeline sub-chunks are kept in flight; completed sub-chunks are
 // written in plan order so the file access pattern stays sequential
 // regardless of reply interleaving.
-func (s *Server) writeArray(spec ArraySpec, name string, subs []subchunkJob) error {
+//
+// With a deadline, pulls are retried: if no reply arrives for a quiet
+// period (OpTimeout spread evenly over PullRetries+1 attempts), every
+// missing piece of every in-flight sub-chunk is requested again. Pulls
+// are idempotent — clients re-extract from their buffers and the got
+// map drops duplicates — so retries mask transient message loss
+// without corrupting the file. Stale replies (for sub-chunks already
+// retired, or already-seen pieces) are ignored, not errors.
+func (s *Server) writeArray(spec ArraySpec, name string, subs []subchunkJob, deadline time.Duration) error {
 	if len(subs) == 0 {
 		return nil // this server owns no data of this array
 	}
@@ -196,9 +300,11 @@ func (s *Server) writeArray(spec ArraySpec, name string, subs []subchunkJob) err
 	var order []uint32
 	next, written := 0, 0
 
-	// drainErr receives and discards outstanding replies after a
-	// failure so the mailbox is clean for the next operation.
-	outstanding := 0
+	quiet := time.Duration(0)
+	if deadline > 0 {
+		quiet = s.cfg.OpTimeout / time.Duration(s.cfg.PullRetries+1)
+	}
+	retriesLeft := s.cfg.PullRetries
 
 	for written < len(subs) {
 		for next < len(subs) && len(inflight) < window {
@@ -206,40 +312,75 @@ func (s *Server) writeArray(spec ArraySpec, name string, subs []subchunkJob) err
 			next++
 			s.nextReqID++
 			id := s.nextReqID
-			pend := &pending{job: sj, remaining: len(sj.Pieces)}
+			pend := &pending{job: sj, remaining: len(sj.Pieces), got: make(map[string]bool, len(sj.Pieces))}
 			inflight[id] = pend
 			order = append(order, id)
 			for _, pc := range sj.Pieces {
 				s.send(pc.Client, tagToClient(s.opSeq), encodeSubReq(subReq{ArrayIdx: sj.ArrayIdx, ReqID: id, Region: pc.Region}))
-				outstanding++
 			}
 		}
 
-		m := s.recvServer()
-		outstanding--
+		m, rerr := s.recvData(deadline, quiet)
+		if rerr != nil {
+			if errors.Is(rerr, ErrTimeout) && retriesLeft > 0 && s.clk.Now() < deadline {
+				// Quiet period expired with budget to spare: re-request
+				// every piece not yet received.
+				retriesLeft--
+				for id, pend := range inflight {
+					for _, pc := range pend.job.Pieces {
+						if !pend.got[pieceKey(pend.job.ArrayIdx, pc.Region)] {
+							s.stats.Retries++
+							s.send(pc.Client, tagToClient(s.opSeq), encodeSubReq(subReq{ArrayIdx: pend.job.ArrayIdx, ReqID: id, Region: pc.Region}))
+						}
+					}
+				}
+				continue
+			}
+			s.stats.Timeouts++
+			return rerr
+		}
 		r := rbuf{b: m.Data}
-		if t := r.u8(); t != msgSubData {
-			s.drain(outstanding)
+		switch t := r.u8(); t {
+		case msgAbort:
+			s.stats.Aborts++
+			status, derr := decodeStatus(&r)
+			if derr != nil {
+				return derr
+			}
+			if status == nil {
+				status = errors.New("core: operation aborted")
+			}
+			return fmt.Errorf("aborted by master server: %w", status)
+		case msgSubData:
+			d, derr := decodeSubData(&r)
+			if derr != nil {
+				return derr
+			}
+			pend, ok := inflight[d.ReqID]
+			if !ok {
+				continue // reply for a retired sub-chunk: stale duplicate
+			}
+			key := pieceKey(pend.job.ArrayIdx, d.Region)
+			if pend.got[key] {
+				continue // duplicate delivery of a piece already deposited
+			}
+			if !pend.job.Region.Contains(d.Region) {
+				return fmt.Errorf("piece %v outside sub-chunk %v", d.Region, pend.job.Region)
+			}
+			if want := d.Region.NumElems() * int64(spec.ElemSize); int64(len(d.Payload)) != want {
+				return fmt.Errorf("piece %v carries %d bytes, want %d", d.Region, len(d.Payload), want)
+			}
+			s.depositPiece(spec, pend, d)
+			pend.got[key] = true
+			pend.remaining--
+		default:
 			return fmt.Errorf("expected sub-chunk data, got message type %d", t)
 		}
-		d, derr := decodeSubData(&r)
-		if derr != nil {
-			s.drain(outstanding)
-			return derr
-		}
-		pend, ok := inflight[d.ReqID]
-		if !ok {
-			s.drain(outstanding)
-			return fmt.Errorf("reply for unknown request %d", d.ReqID)
-		}
-		s.depositPiece(spec, pend, d)
-		pend.remaining--
 
 		// Retire completed sub-chunks strictly in plan order.
 		for len(order) > 0 && inflight[order[0]].remaining == 0 {
 			head := inflight[order[0]]
 			if _, werr := f.WriteAt(head.buf, head.job.FileOffset); werr != nil {
-				s.drain(outstanding)
 				return werr
 			}
 			delete(inflight, order[0])
@@ -248,14 +389,6 @@ func (s *Server) writeArray(spec ArraySpec, name string, subs []subchunkJob) err
 		}
 	}
 	return f.Sync()
-}
-
-// drain consumes n leftover data replies after an error so they cannot
-// poison the next operation.
-func (s *Server) drain(n int) {
-	for i := 0; i < n; i++ {
-		s.recvServer()
-	}
 }
 
 // depositPiece places one received piece into the sub-chunk under

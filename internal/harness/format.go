@@ -31,11 +31,11 @@ func RenderFigure(f Figure, points []Point) string {
 // RenderCSV renders points as CSV with a figure id column.
 func RenderCSV(f Figure, points []Point) string {
 	var b strings.Builder
-	b.WriteString("figure,size_mb,io_nodes,elapsed_s,aggregate_mb_s,normalized,messages,reorg_bytes,seeks\n")
+	b.WriteString("figure,size_mb,io_nodes,elapsed_s,aggregate_mb_s,normalized,messages,reorg_bytes,seeks,timeouts,retries\n")
 	for _, p := range points {
-		fmt.Fprintf(&b, "%s,%d,%d,%.6f,%.3f,%.4f,%d,%d,%d\n",
+		fmt.Fprintf(&b, "%s,%d,%d,%.6f,%.3f,%.4f,%d,%d,%d,%d,%d\n",
 			f.ID, p.ArrayBytes/MB, p.IONodes, p.Elapsed.Seconds(), p.AggMBs, p.Norm,
-			p.Messages, p.ReorgBytes, p.Seeks)
+			p.Messages, p.ReorgBytes, p.Seeks, p.Timeouts, p.Retries)
 	}
 	return b.String()
 }

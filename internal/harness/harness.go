@@ -189,6 +189,12 @@ type Point struct {
 	Messages int64
 	// Seeks counts non-sequential disk requests across servers.
 	Seeks int64
+	// Timeouts and Retries sum the robustness counters across all
+	// nodes. Both stay zero in the paper's experiments (simulations
+	// run without OpTimeout); they are surfaced so fault-injection
+	// runs can report what the protocol absorbed.
+	Timeouts int64
+	Retries  int64
 }
 
 // Shape3D factors totalBytes/ElemSize into a 3-D power-of-two shape as

@@ -3,7 +3,6 @@ package harness
 import (
 	"strings"
 	"testing"
-	"time"
 )
 
 func TestShape3D(t *testing.T) {
@@ -311,7 +310,6 @@ func TestRunCellElapsedPositiveAndDeterministic(t *testing.T) {
 		// acceptable seeks are none.
 		t.Fatalf("server-directed write produced %d seeks", a.Seeks)
 	}
-	_ = time.Now
 }
 
 func TestSharingSlowsBothApplicationsDown(t *testing.T) {

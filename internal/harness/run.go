@@ -114,10 +114,14 @@ func RunCell(f Figure, sizeBytes int64, ion int, opt Options) (Point, error) {
 	for _, st := range res.ClientStats {
 		p.Messages += st.MsgsSent
 		p.ReorgBytes += st.ReorgBytes
+		p.Timeouts += st.Timeouts
+		p.Retries += st.Retries
 	}
 	for _, st := range res.ServerStats {
 		p.Messages += st.MsgsSent
 		p.ReorgBytes += st.ReorgBytes
+		p.Timeouts += st.Timeouts
+		p.Retries += st.Retries
 	}
 	for _, st := range res.DiskStats {
 		p.Seeks += st.Seeks

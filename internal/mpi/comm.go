@@ -18,6 +18,20 @@
 // reproduction's stand-in (see DESIGN.md, substitution table).
 package mpi
 
+import (
+	"errors"
+	"time"
+)
+
+// ErrTimeout is returned by RecvTimeout when the wait bound expires
+// before a matching message arrives.
+var ErrTimeout = errors.New("mpi: receive timed out")
+
+// ErrPeerLost is returned by RecvTimeout when the transport knows the
+// awaited peer (or this endpoint's own link) is gone and the message can
+// never arrive.
+var ErrPeerLost = errors.New("mpi: peer lost")
+
 // AnySource matches messages from every rank when passed to Recv.
 const AnySource = -1
 
@@ -61,6 +75,27 @@ type Comm interface {
 	// Recv blocks until a message matching (from, tag) arrives and
 	// returns it. from may be AnySource and tag may be AnyTag.
 	Recv(from, tag int) Message
+}
+
+// DeadlineComm is implemented by communicators that support bounded
+// receives. All transports in this package implement it.
+type DeadlineComm interface {
+	Comm
+	// RecvTimeout is Recv with a bound. timeout > 0 waits at most that
+	// long and returns ErrTimeout if no matching message arrived.
+	// timeout <= 0 waits forever — like Recv — but still surfaces
+	// transport-level failures (a dead link, a lost peer) as
+	// ErrPeerLost instead of panicking.
+	RecvTimeout(from, tag int, timeout time.Duration) (Message, error)
+}
+
+// PeerChecker is implemented by communicators that can observe peer
+// death (TCP hub notifications, mesh connection loss, injected
+// crashes). Transports that cannot lose peers (inproc, simnet) do not
+// implement it.
+type PeerChecker interface {
+	// PeerLost reports whether the transport knows rank is gone.
+	PeerLost(rank int) bool
 }
 
 func matches(m Message, from, tag int) bool {

@@ -1,0 +1,289 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"panda/internal/clock"
+)
+
+// FaultPlan is the shared configuration and bookkeeping for a set of
+// FaultComm endpoints — the transport analogue of storage.FaultDisk.
+// One plan is shared by every rank of a deployment so crash state is
+// globally visible and the statistics aggregate across the world.
+//
+// Probabilities are evaluated per message on a seeded rng, so a chaos
+// schedule is reproducible given its seed. All methods are safe for
+// concurrent use.
+type FaultPlan struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// DropProb is the probability a Send is silently discarded.
+	DropProb float64
+	// DupProb is the probability a Send is delivered twice.
+	DupProb float64
+	// DelayProb is the probability a Send is held for Delay before
+	// delivery (charged on the endpoint's clock, so it is virtual-time
+	// aware in simulations).
+	DelayProb float64
+	// Delay is the hold applied to delayed messages.
+	Delay time.Duration
+	// ReorderProb is the probability a Send is held back and emitted
+	// after the sender's next Send, swapping adjacent messages.
+	ReorderProb float64
+
+	crashed map[int]bool
+	stats   FaultStats
+}
+
+// FaultStats counts the faults a plan has injected.
+type FaultStats struct {
+	Dropped      int64 // messages discarded by DropProb
+	Duplicated   int64 // extra deliveries from DupProb
+	Delayed      int64 // messages held for Delay
+	Reordered    int64 // adjacent swaps from ReorderProb
+	CrashedSends int64 // sends discarded because an endpoint crashed
+}
+
+// NewFaultPlan returns a plan with no faults enabled, seeded for
+// reproducible schedules. Set the probability fields before wrapping
+// endpoints, or at any quiesced moment between operations.
+func NewFaultPlan(seed int64) *FaultPlan {
+	return &FaultPlan{rng: rand.New(rand.NewSource(seed)), crashed: make(map[int]bool)}
+}
+
+// CrashRank marks a rank dead: its endpoint's sends are discarded, its
+// receives fail with ErrPeerLost, and other ranks observe it via
+// PeerLost. The crash is permanent until Heal.
+func (p *FaultPlan) CrashRank(rank int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.crashed[rank] = true
+}
+
+// Crashed reports whether rank has been crashed.
+func (p *FaultPlan) Crashed(rank int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.crashed[rank]
+}
+
+// Heal clears all probabilities and revives crashed ranks, restoring a
+// perfect network — mirroring storage.FaultDisk.Heal.
+func (p *FaultPlan) Heal() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.DropProb, p.DupProb, p.DelayProb, p.ReorderProb = 0, 0, 0, 0
+	p.crashed = make(map[int]bool)
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (p *FaultPlan) Stats() FaultStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// roll draws the fate of one send. It centralizes rng use under the
+// plan lock so concurrent ranks cannot race the generator.
+func (p *FaultPlan) roll(from, to int) (verdict sendVerdict) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.crashed[from] || p.crashed[to] {
+		p.stats.CrashedSends++
+		return sendVerdict{drop: true}
+	}
+	if p.DropProb > 0 && p.rng.Float64() < p.DropProb {
+		p.stats.Dropped++
+		return sendVerdict{drop: true}
+	}
+	if p.DupProb > 0 && p.rng.Float64() < p.DupProb {
+		p.stats.Duplicated++
+		verdict.dup = true
+	}
+	if p.DelayProb > 0 && p.rng.Float64() < p.DelayProb {
+		p.stats.Delayed++
+		verdict.delay = p.Delay
+	}
+	if p.ReorderProb > 0 && p.rng.Float64() < p.ReorderProb {
+		p.stats.Reordered++
+		verdict.hold = true
+	}
+	return verdict
+}
+
+type sendVerdict struct {
+	drop  bool
+	dup   bool
+	hold  bool
+	delay time.Duration
+}
+
+// FaultComm wraps one rank's endpoint and applies its plan's faults to
+// outgoing messages. The inner endpoint must support deadlines; like
+// every Comm, a FaultComm is driven by its rank's single goroutine.
+type FaultComm struct {
+	inner DeadlineComm
+	plan  *FaultPlan
+	clk   clock.Clock
+	held  *heldSend // reordering: previous send awaiting the next one
+}
+
+type heldSend struct {
+	to, tag int
+	data    []byte
+}
+
+// WrapFault wraps inner with fault injection governed by plan. clk
+// charges injected delays, so pass the node's own clock (virtual in
+// simulations). inner must implement DeadlineComm.
+func WrapFault(inner Comm, plan *FaultPlan, clk clock.Clock) *FaultComm {
+	dc, ok := inner.(DeadlineComm)
+	if !ok {
+		panic(fmt.Sprintf("mpi: %T does not support deadlines; cannot inject faults", inner))
+	}
+	return &FaultComm{inner: dc, plan: plan, clk: clk}
+}
+
+func (c *FaultComm) Rank() int { return c.inner.Rank() }
+func (c *FaultComm) Size() int { return c.inner.Size() }
+
+// deliver pushes one message through the fault pipeline.
+func (c *FaultComm) deliver(to, tag int, data []byte, owned bool) {
+	v := c.plan.roll(c.Rank(), to)
+	if v.drop {
+		return
+	}
+	if v.delay > 0 {
+		// Holding the sender is the cheapest faithful model: the paper's
+		// transports are ordered per pair, so a delayed message delays
+		// everything behind it too — exactly a slow link.
+		c.clk.Sleep(v.delay)
+	}
+	send := func(d []byte) {
+		cp := make([]byte, len(d))
+		copy(cp, d)
+		c.inner.SendOwned(to, tag, cp)
+	}
+	if v.hold {
+		// Emit the previously held message (if any) after this one.
+		prev := c.held
+		if owned {
+			c.held = &heldSend{to: to, tag: tag, data: data}
+		} else {
+			cp := make([]byte, len(data))
+			copy(cp, data)
+			c.held = &heldSend{to: to, tag: tag, data: cp}
+		}
+		if prev != nil {
+			c.inner.SendOwned(prev.to, prev.tag, prev.data)
+		}
+		return
+	}
+	if prev := c.held; prev != nil {
+		c.held = nil
+		// The held message goes out after the current one: swap.
+		send(data)
+		c.inner.SendOwned(prev.to, prev.tag, prev.data)
+		if v.dup {
+			send(data)
+		}
+		return
+	}
+	send(data)
+	if v.dup {
+		send(data)
+	}
+}
+
+func (c *FaultComm) Send(to, tag int, data []byte) {
+	c.deliver(to, tag, data, false)
+}
+
+func (c *FaultComm) SendOwned(to, tag int, data []byte) {
+	c.deliver(to, tag, data, true)
+}
+
+func (c *FaultComm) Isend(to, tag int, data []byte) Request {
+	c.deliver(to, tag, data, false)
+	return doneRequest{}
+}
+
+// Flush emits any message held back for reordering. Call between
+// operations if a schedule must not leak messages across phases.
+func (c *FaultComm) Flush() {
+	if prev := c.held; prev != nil {
+		c.held = nil
+		c.inner.SendOwned(prev.to, prev.tag, prev.data)
+	}
+}
+
+// crashPollQuantum bounds how long a blocked receive can overlook a
+// freshly injected crash: unbounded and long waits are sliced into
+// quanta so the crash map is re-consulted between slices.
+const crashPollQuantum = 10 * time.Millisecond
+
+func (c *FaultComm) Recv(from, tag int) Message {
+	m, err := c.RecvTimeout(from, tag, 0)
+	if err != nil {
+		panic(fmt.Sprintf("mpi: faulty recv on rank %d: %v", c.Rank(), err))
+	}
+	return m
+}
+
+// RecvTimeout implements DeadlineComm. A receive on a crashed rank —
+// this one, or a specific awaited peer — fails with ErrPeerLost.
+func (c *FaultComm) RecvTimeout(from, tag int, timeout time.Duration) (Message, error) {
+	deadline := time.Duration(0)
+	if timeout > 0 {
+		deadline = c.clk.Now() + timeout
+	}
+	for {
+		if err := c.checkCrash(from); err != nil {
+			return Message{}, err
+		}
+		slice := crashPollQuantum
+		if deadline > 0 {
+			left := deadline - c.clk.Now()
+			if left <= 0 {
+				return Message{}, ErrTimeout
+			}
+			if left < slice {
+				slice = left
+			}
+		}
+		m, err := c.inner.RecvTimeout(from, tag, slice)
+		if err == nil {
+			return m, nil
+		}
+		if !errors.Is(err, ErrTimeout) {
+			return Message{}, err
+		}
+	}
+}
+
+func (c *FaultComm) checkCrash(from int) error {
+	if c.plan.Crashed(c.Rank()) {
+		return fmt.Errorf("mpi: rank %d crashed: %w", c.Rank(), ErrPeerLost)
+	}
+	if from != AnySource && c.plan.Crashed(from) {
+		return fmt.Errorf("mpi: rank %d crashed: %w", from, ErrPeerLost)
+	}
+	return nil
+}
+
+// PeerLost implements PeerChecker, combining injected crashes with
+// whatever the inner transport observes.
+func (c *FaultComm) PeerLost(rank int) bool {
+	if c.plan.Crashed(rank) {
+		return true
+	}
+	if pc, ok := c.inner.(PeerChecker); ok {
+		return pc.PeerLost(rank)
+	}
+	return false
+}

@@ -1,6 +1,9 @@
 package mpi
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // World is an in-process communicator running in real time: each rank is
 // an ordinary goroutine, and messages pass through per-rank mailboxes.
@@ -60,6 +63,46 @@ func (b *mailbox) get(from, tag int) Message {
 	}
 }
 
+// getWait is the wall-clock bounded variant of get, shared by the
+// real-time transports (inproc, tcp, mesh). timeout <= 0 waits forever.
+// check, when non-nil, runs under the mailbox lock on every pass and
+// aborts the wait by returning a non-nil error (used for dead links and
+// lost peers); it is consulted only after the queue has been scanned, so
+// already-delivered messages are still receivable after a failure.
+func (b *mailbox) getWait(from, tag int, timeout time.Duration, check func() error) (Message, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+		// The timer takes the lock before broadcasting so the wakeup
+		// cannot fall between a waiter's deadline check and its Wait.
+		t := time.AfterFunc(timeout, func() {
+			b.mu.Lock()
+			b.mu.Unlock() //nolint:staticcheck // empty section synchronizes with waiters
+			b.cond.Broadcast()
+		})
+		defer t.Stop()
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		for i, m := range b.msgs {
+			if matches(m, from, tag) {
+				b.msgs = append(b.msgs[:i], b.msgs[i+1:]...)
+				return m, nil
+			}
+		}
+		if check != nil {
+			if err := check(); err != nil {
+				return Message{}, err
+			}
+		}
+		if timeout > 0 && !time.Now().Before(deadline) {
+			return Message{}, ErrTimeout
+		}
+		b.cond.Wait()
+	}
+}
+
 type inprocComm struct {
 	world *World
 	rank  int
@@ -96,4 +139,13 @@ func (c *inprocComm) Recv(from, tag int) Message {
 		checkPeer(c, from)
 	}
 	return c.world.boxes[c.rank].get(from, tag)
+}
+
+// RecvTimeout implements DeadlineComm. In-process ranks cannot die, so
+// the only error it returns is ErrTimeout.
+func (c *inprocComm) RecvTimeout(from, tag int, timeout time.Duration) (Message, error) {
+	if from != AnySource {
+		checkPeer(c, from)
+	}
+	return c.world.boxes[c.rank].getWait(from, tag, timeout, nil)
 }

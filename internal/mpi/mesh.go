@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // Mesh TCP transport: unlike the Hub (tcp.go), which routes every frame
@@ -132,6 +133,9 @@ type meshComm struct {
 	mu      sync.Mutex  // guards peers and inbound
 	peers   []*meshPeer // outbound (write-only) connections, by rank
 	inbound []net.Conn  // accepted (read-only) connections
+
+	closed   bool         // set by CloseMesh, guarded by mu
+	peerDead map[int]bool // inbound links that broke, guarded by box.mu
 }
 
 type meshPeer struct {
@@ -149,7 +153,7 @@ func JoinMesh(addr string, rank, size int) (Comm, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &meshComm{rank: rank, size: size, ln: ln, box: &mailbox{}, peers: make([]*meshPeer, size)}
+	c := &meshComm{rank: rank, size: size, ln: ln, box: &mailbox{}, peers: make([]*meshPeer, size), peerDead: make(map[int]bool)}
 	c.box.cond.L = &c.box.mu
 
 	// Register and receive the table.
@@ -207,6 +211,7 @@ func CloseMesh(c Comm) error {
 	mc.ln.Close()
 	mc.mu.Lock()
 	defer mc.mu.Unlock()
+	mc.closed = true
 	for _, p := range mc.peers {
 		if p != nil {
 			p.conn.Close()
@@ -282,24 +287,40 @@ func (c *meshComm) peerFor(rank int) (*meshPeer, error) {
 	return p, nil
 }
 
-// readLoop feeds frames from one peer into the mailbox.
+// readLoop feeds frames from one peer into the mailbox. When the link
+// breaks outside an orderly CloseMesh, the peer is marked dead so
+// bounded receives waiting on it fail with ErrPeerLost instead of
+// hanging (plain Recv still blocks — SPMD teardown closes everything).
 func (c *meshComm) readLoop(peer int, conn net.Conn) {
 	r := bufio.NewReaderSize(conn, 256<<10)
 	var hdr [8]byte
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			return // closed; pending receives from this peer will
-			// hang, which Recv surfaces via the whole-endpoint error
-			// only on CloseMesh — acceptable for SPMD teardown.
+			c.markPeerDead(peer)
+			return
 		}
 		tag := int(binary.BigEndian.Uint32(hdr[0:])) - 1
 		n := int(binary.BigEndian.Uint32(hdr[4:]))
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(r, payload); err != nil {
+			c.markPeerDead(peer)
 			return
 		}
 		c.box.put(Message{Source: peer, Tag: tag, Data: payload})
 	}
+}
+
+func (c *meshComm) markPeerDead(peer int) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return
+	}
+	c.box.mu.Lock()
+	c.peerDead[peer] = true
+	c.box.mu.Unlock()
+	c.box.cond.Broadcast()
 }
 
 func (c *meshComm) Rank() int { return c.rank }
@@ -345,4 +366,26 @@ func (c *meshComm) Recv(from, tag int) Message {
 		checkPeer(c, from)
 	}
 	return c.box.get(from, tag)
+}
+
+// RecvTimeout implements DeadlineComm. A wait on a specific rank whose
+// inbound link has broken fails with ErrPeerLost; AnySource waits rely
+// on the timeout bound.
+func (c *meshComm) RecvTimeout(from, tag int, timeout time.Duration) (Message, error) {
+	if from != AnySource {
+		checkPeer(c, from)
+	}
+	return c.box.getWait(from, tag, timeout, func() error {
+		if from != AnySource && c.peerDead[from] {
+			return fmt.Errorf("mpi: rank %d is gone: %w", from, ErrPeerLost)
+		}
+		return nil
+	})
+}
+
+// PeerLost implements PeerChecker from observed inbound link failures.
+func (c *meshComm) PeerLost(rank int) bool {
+	c.box.mu.Lock()
+	defer c.box.mu.Unlock()
+	return c.peerDead[rank]
 }

@@ -53,6 +53,10 @@ type simNode struct {
 	in, out vtime.Port
 	msgs    []Message
 	waiter  *vtime.Proc
+	// waitGen invalidates pending timeout events: each park bumps it,
+	// so a timeout scheduled for an earlier wait never fires a wake for
+	// a later one.
+	waitGen uint64
 }
 
 // NewSimWorld creates a simulated communicator of the given size on sim.
@@ -164,6 +168,49 @@ func (c *simComm) Recv(from, tag int) Message {
 			panic("mpi: concurrent Recv on one simulated rank")
 		}
 		n.waiter = c.proc
+		n.waitGen++
+		c.proc.Park()
+	}
+}
+
+// RecvTimeout implements DeadlineComm under virtual time: the wait
+// bound is charged on the simulation clock, so a timeout advances this
+// rank to exactly now+timeout. Simulated ranks cannot die, so the only
+// error is ErrTimeout.
+func (c *simComm) RecvTimeout(from, tag int, timeout time.Duration) (Message, error) {
+	if timeout <= 0 {
+		return c.Recv(from, tag), nil
+	}
+	if from != AnySource {
+		checkPeer(c, from)
+	}
+	w := c.world
+	n := w.nodes[c.rank]
+	deadline := c.proc.Now() + timeout
+	for {
+		for i, m := range n.msgs {
+			if matches(m, from, tag) {
+				n.msgs = append(n.msgs[:i], n.msgs[i+1:]...)
+				return m, nil
+			}
+		}
+		if c.proc.Now() >= deadline {
+			return Message{}, ErrTimeout
+		}
+		if n.waiter != nil {
+			panic("mpi: concurrent Recv on one simulated rank")
+		}
+		n.waiter = c.proc
+		n.waitGen++
+		gen := n.waitGen
+		w.sim.At(deadline, func() {
+			// Fire only if this exact wait is still parked: message
+			// delivery clears waiter, and a later wait bumps waitGen.
+			if n.waiter == c.proc && n.waitGen == gen {
+				n.waiter = nil
+				w.sim.Wake(c.proc)
+			}
+		})
 		c.proc.Park()
 	}
 }

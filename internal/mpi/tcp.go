@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // TCP transport: the paper closes by noting Panda "will be able to run
@@ -22,11 +23,22 @@ import (
 //	hello:  u32 magic | u32 rank | u32 size
 //	data:   u32 to    | u32 source | u32 tag+1 | u32 len | payload
 //
+// A wire tag of zero (impossible for data, whose tags are stored +1)
+// marks a control frame. The only control frame is peer death: when a
+// rank's connection drops, the hub broadcasts `u32 to | u32 deadRank |
+// u32 0 | u32 0` to every surviving rank, whose endpoint records the
+// death so bounded receives can fail fast with ErrPeerLost instead of
+// waiting out their timeout.
+//
 // The hub validates that every hello agrees on the world size and that
 // ranks are unique. Sends are reliable and ordered per (source,
 // destination) pair, matching the in-process transports.
 
 const tcpMagic = 0x50414e44 // "PAND"
+
+// tagControlWire is the on-wire tag value (tag field zero) reserved for
+// hub control frames.
+const tagControlWire = 0
 
 // Hub routes messages among the ranks of one TCP world. Create with
 // ListenHub, then call Serve.
@@ -35,6 +47,7 @@ type Hub struct {
 	size  int
 	mu    sync.Mutex
 	conns map[int]net.Conn
+	dead  map[int]bool
 	wmu   []sync.Mutex // per-rank write locks
 }
 
@@ -48,7 +61,7 @@ func ListenHub(addr string, size int) (*Hub, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Hub{ln: ln, size: size, conns: make(map[int]net.Conn), wmu: make([]sync.Mutex, size)}, nil
+	return &Hub{ln: ln, size: size, conns: make(map[int]net.Conn), dead: make(map[int]bool), wmu: make([]sync.Mutex, size)}, nil
 }
 
 // Addr returns the hub's listen address.
@@ -79,14 +92,18 @@ func (h *Hub) Serve() error {
 		h.conns[rank] = conn
 		h.mu.Unlock()
 	}
-	// Route phase: one goroutine per source.
+	// Route phase: one goroutine per source. When a source's connection
+	// ends — orderly or not — the survivors are told so their pending
+	// receives from that rank can fail fast.
 	errs := make(chan error, h.size)
 	var wg sync.WaitGroup
 	for rank, conn := range h.conns {
 		wg.Add(1)
 		go func(rank int, conn net.Conn) {
 			defer wg.Done()
-			errs <- h.route(rank, conn)
+			err := h.route(rank, conn)
+			h.announceDeath(rank)
+			errs <- err
 		}(rank, conn)
 	}
 	wg.Wait()
@@ -118,6 +135,39 @@ func (h *Hub) handshake(conn net.Conn) (int, error) {
 	return rank, nil
 }
 
+// announceDeath marks a rank dead and broadcasts a peer-death control
+// frame to every surviving rank. Write failures are ignored: a survivor
+// that is itself dying needs no notification.
+func (h *Hub) announceDeath(rank int) {
+	h.mu.Lock()
+	if h.dead[rank] {
+		h.mu.Unlock()
+		return
+	}
+	h.dead[rank] = true
+	type target struct {
+		rank int
+		conn net.Conn
+	}
+	var targets []target
+	for r, c := range h.conns {
+		if r != rank && !h.dead[r] {
+			targets = append(targets, target{r, c})
+		}
+	}
+	h.mu.Unlock()
+
+	var hdr [16]byte
+	binary.BigEndian.PutUint32(hdr[4:], uint32(rank))
+	binary.BigEndian.PutUint32(hdr[8:], tagControlWire)
+	for _, t := range targets {
+		binary.BigEndian.PutUint32(hdr[0:], uint32(t.rank))
+		h.wmu[t.rank].Lock()
+		t.conn.Write(hdr[:]) //nolint:errcheck // best effort
+		h.wmu[t.rank].Unlock()
+	}
+}
+
 // route forwards frames from one source connection until EOF.
 func (h *Hub) route(source int, conn net.Conn) error {
 	r := bufio.NewReaderSize(conn, 256<<10)
@@ -137,9 +187,13 @@ func (h *Hub) route(source int, conn net.Conn) error {
 		}
 		h.mu.Lock()
 		dst := h.conns[to]
+		gone := h.dead[to]
 		h.mu.Unlock()
 		if dst == nil {
 			return fmt.Errorf("mpi: frame from %d for unknown rank %d", source, to)
+		}
+		if gone {
+			continue // destination died; drop, sender learns via death frame
 		}
 		h.wmu[to].Lock()
 		_, err := dst.Write(hdr[:])
@@ -148,7 +202,10 @@ func (h *Hub) route(source int, conn net.Conn) error {
 		}
 		h.wmu[to].Unlock()
 		if err != nil {
-			return fmt.Errorf("mpi: hub forward to %d: %w", to, err)
+			// The destination's connection broke mid-write: treat it as
+			// dead rather than failing the whole hub, so the remaining
+			// ranks keep communicating and learn of the loss.
+			h.announceDeath(to)
 		}
 	}
 }
@@ -159,8 +216,8 @@ type tcpComm struct {
 	conn       net.Conn
 	wmu        sync.Mutex
 	box        *mailbox
-	readErr    error
-	readOnce   sync.Once
+	readErr    error        // guarded by box.mu
+	peerDead   map[int]bool // guarded by box.mu
 }
 
 // DialComm connects rank to the hub at addr in a world of the given
@@ -182,7 +239,7 @@ func DialComm(addr string, rank, size int) (Comm, error) {
 		conn.Close()
 		return nil, err
 	}
-	c := &tcpComm{rank: rank, size: size, conn: conn, box: &mailbox{}}
+	c := &tcpComm{rank: rank, size: size, conn: conn, box: &mailbox{}, peerDead: make(map[int]bool)}
 	c.box.cond.L = &c.box.mu
 	go c.reader()
 	return c, nil
@@ -208,14 +265,22 @@ func (c *tcpComm) reader() {
 			return
 		}
 		source := int(binary.BigEndian.Uint32(hdr[4:]))
-		tag := int(binary.BigEndian.Uint32(hdr[8:])) - 1
+		wireTag := binary.BigEndian.Uint32(hdr[8:])
 		n := int(binary.BigEndian.Uint32(hdr[12:]))
+		if wireTag == tagControlWire {
+			// Peer-death notification from the hub.
+			c.box.mu.Lock()
+			c.peerDead[source] = true
+			c.box.mu.Unlock()
+			c.box.cond.Broadcast()
+			continue
+		}
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(r, payload); err != nil {
 			c.failReads(err)
 			return
 		}
-		c.box.put(Message{Source: source, Tag: tag, Data: payload})
+		c.box.put(Message{Source: source, Tag: int(wireTag) - 1, Data: payload})
 	}
 }
 
@@ -278,4 +343,31 @@ func (c *tcpComm) Recv(from, tag int) Message {
 		}
 		b.cond.Wait()
 	}
+}
+
+// RecvTimeout implements DeadlineComm. It fails with ErrPeerLost when
+// this endpoint's own link is down, or when waiting on a specific rank
+// the hub has announced dead. AnySource waits do not fail on peer
+// deaths — another rank may still satisfy them — and rely on the
+// timeout bound instead.
+func (c *tcpComm) RecvTimeout(from, tag int, timeout time.Duration) (Message, error) {
+	if from != AnySource {
+		checkPeer(c, from)
+	}
+	return c.box.getWait(from, tag, timeout, func() error {
+		if c.readErr != nil {
+			return fmt.Errorf("mpi: tcp recv on rank %d: %v: %w", c.rank, c.readErr, ErrPeerLost)
+		}
+		if from != AnySource && c.peerDead[from] {
+			return fmt.Errorf("mpi: rank %d is gone: %w", from, ErrPeerLost)
+		}
+		return nil
+	})
+}
+
+// PeerLost implements PeerChecker using the hub's death notifications.
+func (c *tcpComm) PeerLost(rank int) bool {
+	c.box.mu.Lock()
+	defer c.box.mu.Unlock()
+	return c.peerDead[rank]
 }

@@ -2,9 +2,13 @@ package mpi
 
 import (
 	"bytes"
-	"fmt"
+	"encoding/binary"
+	"errors"
+	"net"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // startTCPWorld spins up a hub and one endpoint per rank on localhost.
@@ -206,6 +210,121 @@ func TestTCPDialValidatesRank(t *testing.T) {
 	}
 }
 
+func TestTCPHubRejectsBadMagic(t *testing.T) {
+	hub, err := ListenHub("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- hub.Serve() }()
+	conn, err := net.Dial("tcp", hub.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var hello [12]byte
+	binary.BigEndian.PutUint32(hello[0:], 0xDEADBEEF)
+	if _, err := conn.Write(hello[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("hub accepted bad magic: %v", err)
+	}
+}
+
+func TestTCPHubRejectsOutOfRangeRank(t *testing.T) {
+	hub, err := ListenHub("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- hub.Serve() }()
+	conn, err := net.Dial("tcp", hub.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var hello [12]byte
+	binary.BigEndian.PutUint32(hello[0:], tcpMagic)
+	binary.BigEndian.PutUint32(hello[4:], 7) // rank 7 of a 2-rank world
+	binary.BigEndian.PutUint32(hello[8:], 2)
+	if _, err := conn.Write(hello[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("hub accepted out-of-range rank")
+	}
+}
+
+func TestTCPPeerDisconnectSurfacesErrPeerLost(t *testing.T) {
+	// Rank 2 dies mid-operation. A bounded receive on rank 0 waiting
+	// specifically for rank 2 must fail with ErrPeerLost — well before
+	// its generous bound — rather than hang.
+	comms, _ := startTCPWorld(t, 3)
+	if err := CloseComm(comms[2]); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := comms[0].(DeadlineComm).RecvTimeout(2, 5, time.Minute)
+	if !errors.Is(err, ErrPeerLost) {
+		t.Fatalf("err = %v, want ErrPeerLost", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("took %v, death notification should be prompt", elapsed)
+	}
+	if !comms[0].(PeerChecker).PeerLost(2) {
+		t.Fatal("PeerLost(2) = false after disconnect")
+	}
+	// Survivors keep communicating.
+	comms[1].Send(0, 9, []byte("still here"))
+	m, err := comms[0].(DeadlineComm).RecvTimeout(1, 9, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Data) != "still here" {
+		t.Fatalf("got %q", m.Data)
+	}
+	// Tear down the rest; the hub exits once every rank is gone.
+	CloseComm(comms[0])
+	CloseComm(comms[1])
+}
+
+func TestTCPDeathNotificationDoesNotDropQueuedMessages(t *testing.T) {
+	// Messages delivered before the peer died must still be receivable.
+	comms, _ := startTCPWorld(t, 2)
+	comms[1].Send(0, 4, []byte("parting gift"))
+	// Give the hub a moment to forward before the disconnect.
+	dc := comms[0].(DeadlineComm)
+	if _, err := dc.RecvTimeout(1, 4, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	comms[1].Send(0, 4, []byte("second"))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if comms[0].(PeerChecker).PeerLost(1) {
+			break
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	CloseComm(comms[1])
+	// The queued message beats the death frame (same connection,
+	// ordered), so it must be returned before ErrPeerLost.
+	m, err := dc.RecvTimeout(1, 4, 5*time.Second)
+	if err != nil {
+		t.Fatalf("queued message lost: %v", err)
+	}
+	if string(m.Data) != "second" {
+		t.Fatalf("got %q", m.Data)
+	}
+	if _, err := dc.RecvTimeout(1, 4, 5*time.Second); !errors.Is(err, ErrPeerLost) {
+		t.Fatalf("err = %v, want ErrPeerLost", err)
+	}
+	CloseComm(comms[0])
+}
+
 func TestTCPStress(t *testing.T) {
 	// All-pairs chatter with mixed tags and sizes.
 	const size = 4
@@ -230,5 +349,4 @@ func TestTCPStress(t *testing.T) {
 			}
 		}
 	})
-	_ = fmt.Sprint
 }
