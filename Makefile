@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fuzz ci clean
+.PHONY: all build test race vet staticcheck fuzz bench-baseline ci clean
 
 all: build
 
@@ -12,6 +12,15 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs when the binary is on PATH (CI installs it; local
+# developers may not have it) and is a no-op otherwise.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not installed; skipping" ; \
+	fi
 
 # race runs the whole suite under the race detector — the chaos and
 # transport tests drive many goroutines through the protocol, so this
@@ -28,7 +37,15 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeSubReq -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzDecodeStatus -fuzztime $(FUZZTIME) ./internal/core
 
-ci: vet race
+# bench-baseline snapshots the staged-engine performance on the Table 1
+# configurations (serial vs staged, reads and writes) into
+# BENCH_engine.json, for before/after comparison of engine changes.
+# Scale 3 shrinks arrays 8x so the snapshot takes seconds.
+BENCH_SCALE ?= 3
+bench-baseline:
+	$(GO) run ./cmd/pandabench -engine-json BENCH_engine.json -scale $(BENCH_SCALE)
+
+ci: vet staticcheck race
 
 clean:
 	$(GO) clean -testcache

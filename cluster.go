@@ -37,7 +37,14 @@ type Config struct {
 	SubchunkBytes int64
 	// Pipeline is the number of sub-chunks each I/O node keeps in
 	// flight during writes; 0 or 1 is the paper's blocking behaviour.
+	// 2 or more also engages the staged engine: a storage stage writes
+	// completed sub-chunks behind the network stage, overlapping disk
+	// and communication.
 	Pipeline int
+	// ReadAhead is the number of sub-chunks each I/O node prefetches
+	// beyond the one it is scattering during reads; 0 is the paper's
+	// serial behaviour, 1 or more overlaps disk reads with scattering.
+	ReadAhead int
 	// OpTimeout bounds every collective operation. A node that cannot
 	// finish within the budget abandons the operation and returns an
 	// error matching ErrTimeout (or ErrPeerLost when a participant is
@@ -68,6 +75,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		NumServers:    cfg.IONodes,
 		SubchunkBytes: cfg.SubchunkBytes,
 		Pipeline:      cfg.Pipeline,
+		ReadAhead:     cfg.ReadAhead,
 		OpTimeout:     cfg.OpTimeout,
 		PullRetries:   cfg.PullRetries,
 	}

@@ -9,9 +9,12 @@
 //	go run ./cmd/pandabench -fig baseline
 //	go run ./cmd/pandabench -fig ablations
 //	go run ./cmd/pandabench -csv       # machine-readable output
+//	go run ./cmd/pandabench -engine-json BENCH_engine.json -scale 3
+//	                                    # staged-engine baseline snapshot
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -25,7 +28,9 @@ func main() {
 	scale := flag.Uint("scale", 0, "divide array sizes by 2^scale (0 = paper-sized)")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	subchunk := flag.Int64("subchunk", 0, "sub-chunk size limit in bytes (0 = paper's 1 MB)")
-	pipeline := flag.Int("pipeline", 0, "server write pipeline depth (0 = paper's blocking behaviour)")
+	pipeline := flag.Int("pipeline", 0, "server write pipeline depth (0 = paper's blocking behaviour; 2+ adds write-behind)")
+	readahead := flag.Int("readahead", 0, "server read prefetch depth (0 = paper's serial reads)")
+	engineJSON := flag.String("engine-json", "", "write the staged-engine baseline (Table 1 configs, serial vs staged) as JSON to this file and exit")
 	verbose := flag.Bool("v", false, "print each measurement as it completes")
 	flag.Parse()
 
@@ -33,7 +38,13 @@ func main() {
 		Scale:         *scale,
 		SubchunkBytes: *subchunk,
 		Pipeline:      *pipeline,
+		ReadAhead:     *readahead,
 		Verbose:       *verbose,
+	}
+
+	if *engineJSON != "" {
+		runEngineBaseline(*engineJSON, opt)
+		return
 	}
 
 	switch *fig {
@@ -132,6 +143,94 @@ func runAblations(opt harness.Options) {
 	fmt.Println(harness.RenderAblation(
 		fmt.Sprintf("Ablation: chunk striping granularity — write %d MB, 8 CN / 4 ION (k chunks per i/o node)", size/harness.MB),
 		"k", gran))
+}
+
+// engineRow is one measurement of the staged-engine baseline.
+type engineRow struct {
+	Figure    string  `json:"figure"`
+	Op        string  `json:"op"`
+	SizeMB    int64   `json:"size_mb"`
+	IONodes   int     `json:"io_nodes"`
+	Pipeline  int     `json:"pipeline"`
+	ReadAhead int     `json:"readahead"`
+	ElapsedNs int64   `json:"elapsed_ns"`
+	AggMBs    float64 `json:"agg_mbs"`
+	Norm      float64 `json:"norm"`
+	OverlapNs int64   `json:"overlap_ns"`
+	StallNs   int64   `json:"stall_ns"`
+	Seeks     int64   `json:"seeks"`
+	Messages  int64   `json:"messages"`
+}
+
+// runEngineBaseline measures the paper's Table 1 real-disk
+// configurations (Figure 3 reads, Figure 4 writes) with the serial
+// engine and with the staged engine, and writes the results as JSON —
+// the regression baseline `make bench-baseline` tracks.
+func runEngineBaseline(path string, opt harness.Options) {
+	engines := []struct {
+		name      string
+		pipeline  int
+		readahead int
+	}{
+		{"serial", 1, 0},
+		{"staged", 4, 2},
+	}
+	var rows []engineRow
+	for _, figID := range []string{"fig3", "fig4"} {
+		f, err := harness.FigureByID(figID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sizeMB := int64(64)
+		size := sizeMB * harness.MB >> opt.Scale
+		for _, ion := range []int{2, 4, 8} {
+			for _, eng := range engines {
+				o := opt
+				o.Pipeline, o.ReadAhead = eng.pipeline, eng.readahead
+				p, err := harness.RunCell(f, size, ion, o)
+				if err != nil {
+					log.Fatalf("%s ion %d %s: %v", figID, ion, eng.name, err)
+				}
+				rows = append(rows, engineRow{
+					Figure:    figID,
+					Op:        f.Op.String(),
+					SizeMB:    p.ArrayBytes / harness.MB,
+					IONodes:   ion,
+					Pipeline:  eng.pipeline,
+					ReadAhead: eng.readahead,
+					ElapsedNs: p.Elapsed.Nanoseconds(),
+					AggMBs:    p.AggMBs,
+					Norm:      p.Norm,
+					OverlapNs: p.OverlapNanos,
+					StallNs:   p.StallNanos,
+					Seeks:     p.Seeks,
+					Messages:  p.Messages,
+				})
+				if opt.Verbose {
+					fmt.Printf("%s ion=%d %-6s  %8.2f MB/s  overlap=%v\n",
+						figID, ion, eng.name, p.AggMBs, p.OverlapNanos)
+				}
+			}
+		}
+	}
+	out := struct {
+		Description string      `json:"description"`
+		Scale       uint        `json:"scale"`
+		Rows        []engineRow `json:"rows"`
+	}{
+		Description: "staged server engine baseline: Table 1 AIX disk + SP2 link, serial vs staged (pipeline=4, readahead=2)",
+		Scale:       opt.Scale,
+		Rows:        rows,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d measurements to %s\n", len(rows), path)
 }
 
 func runSharing(opt harness.Options) {

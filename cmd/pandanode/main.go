@@ -41,9 +41,11 @@ func main() {
 	sizeMB := flag.Int64("size", 16, "demo array size in MB, power of two (role client)")
 	opTimeout := flag.Duration("optimeout", 0, "per-operation deadline; a node that cannot finish in time fails with a typed error instead of hanging (0 = block forever, the paper's behaviour)")
 	retries := flag.Int("retries", 0, "write-pull retries inside the optimeout budget (requires -optimeout)")
+	pipeline := flag.Int("pipeline", 0, "i/o node write pipeline depth; 2+ overlaps disk writes with network pulls (0 = paper's blocking behaviour)")
+	readahead := flag.Int("readahead", 0, "i/o node read prefetch depth; 1+ overlaps disk reads with scattering (0 = paper's serial reads)")
 	flag.Parse()
 
-	cfg := core.Config{NumClients: *clients, NumServers: *servers, OpTimeout: *opTimeout, PullRetries: *retries}
+	cfg := core.Config{NumClients: *clients, NumServers: *servers, OpTimeout: *opTimeout, PullRetries: *retries, Pipeline: *pipeline, ReadAhead: *readahead}
 	if err := cfg.Validate(); err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,10 @@
 package array
 
-import "fmt"
+import (
+	"fmt"
+
+	"panda/internal/bufpool"
+)
 
 // CopyRegion copies the elements of sect from src to dst.
 //
@@ -86,10 +90,12 @@ func offsetOf(pt []int, r Region, st []int64) int64 {
 	return off
 }
 
-// Extract copies region sect out of a buffer holding srcR into a fresh
-// buffer holding exactly sect.
+// Extract copies region sect out of a buffer holding srcR into a
+// buffer holding exactly sect. The buffer is drawn from bufpool (and
+// fully overwritten); hot paths may hand it back with bufpool.Put once
+// the bytes are dead, and callers that keep it simply forfeit reuse.
 func Extract(src []byte, srcR, sect Region, elemSize int) []byte {
-	out := make([]byte, sect.NumElems()*int64(elemSize))
+	out := bufpool.GetRaw(int(sect.NumElems() * int64(elemSize)))
 	CopyRegion(out, sect, src, srcR, sect, elemSize)
 	return out
 }

@@ -1,0 +1,121 @@
+// Package bufpool recycles the byte buffers of the collective-I/O hot
+// path: sub-chunk assembly buffers, read staging buffers, and wire
+// frames. Buffers are pooled in size classes (powers of two, plus a
+// small "frame" sibling per class that fits a payload of that size and
+// its protocol header), so a steady-state server moves arbitrarily much
+// data with a bounded, constant set of live buffers.
+//
+// Only Get/GetRaw buffers come from the pool, but Put accepts any slice:
+// a slice whose capacity is not exactly a class size is silently
+// dropped. This makes ownership mistakes safe — handing back a subslice
+// of a pooled buffer (or a buffer that never came from the pool) cannot
+// poison a class with short capacities; it merely forfeits reuse.
+//
+// All operations are lock-free (sync.Pool plus atomic counters), so the
+// pool is safe to use from vtime simulated processes: nothing parks.
+package bufpool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// frameSlack is the extra room of each class's frame sibling: enough
+// for any protocol header this codebase puts in front of a sub-chunk
+// payload.
+const frameSlack = 4096
+
+const (
+	minShift = 8  // smallest class: 256 B
+	maxShift = 22 // largest class: 4 MiB (+ slack sibling)
+)
+
+// classSizes lists the class capacities in ascending order.
+var classSizes = func() []int {
+	var s []int
+	for shift := minShift; shift <= maxShift; shift++ {
+		s = append(s, 1<<shift, 1<<shift+frameSlack)
+	}
+	return s
+}()
+
+// Each pool stores *[]byte so a Put costs one slice-header box rather
+// than re-boxing megabytes of payload into the interface.
+var pools = func() []*sync.Pool {
+	ps := make([]*sync.Pool, len(classSizes))
+	for i, size := range classSizes {
+		size := size
+		ps[i] = &sync.Pool{New: func() any { b := make([]byte, size); return &b }}
+	}
+	return ps
+}()
+
+// Counters for tests and benchmarks.
+var gets, puts, drops atomic.Int64
+
+// classFor returns the index of the smallest class holding n bytes, or
+// -1 when n exceeds every class.
+func classFor(n int) int {
+	for i, size := range classSizes {
+		if n <= size {
+			return i
+		}
+	}
+	return -1
+}
+
+// classOf returns the class whose capacity is exactly c, or -1.
+func classOf(c int) int {
+	for i, size := range classSizes {
+		if c == size {
+			return i
+		}
+		if c < size {
+			return -1
+		}
+	}
+	return -1
+}
+
+// GetRaw returns a buffer of length n whose contents are arbitrary
+// (recycled bytes). Use it when every byte will be overwritten —
+// ReadAt staging, wire frames about to be encoded into.
+func GetRaw(n int) []byte {
+	gets.Add(1)
+	i := classFor(n)
+	if i < 0 {
+		return make([]byte, n)
+	}
+	return (*pools[i].Get().(*[]byte))[:n]
+}
+
+// Get returns a zeroed buffer of length n. Use it when the caller may
+// leave gaps (e.g. a sub-chunk assembled from strided pieces), so a
+// recycled buffer cannot leak stale bytes into fresh data.
+func Get(n int) []byte {
+	b := GetRaw(n)
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
+// Put returns a dead buffer to its class. Slices whose capacity is not
+// exactly a class size (subslices, foreign buffers, nil) are dropped.
+// The caller must not touch b afterwards.
+func Put(b []byte) {
+	i := classOf(cap(b))
+	if i < 0 {
+		drops.Add(1)
+		return
+	}
+	puts.Add(1)
+	s := b[:cap(b)]
+	pools[i].Put(&s)
+}
+
+// Stats reports cumulative Get (both flavours), Put, and dropped-Put
+// counts since process start.
+func Stats() (got, put, dropped int64) {
+	return gets.Load(), puts.Load(), drops.Load()
+}

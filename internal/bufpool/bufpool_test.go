@@ -1,0 +1,81 @@
+package bufpool
+
+import (
+	"testing"
+)
+
+func TestClassRounding(t *testing.T) {
+	cases := []struct{ n, wantCap int }{
+		{1, 256},
+		{256, 256},
+		{257, 256 + frameSlack},
+		{1 << 20, 1 << 20},
+		{1<<20 + 25, 1<<20 + frameSlack}, // a 1 MB payload plus protocol header
+		{1 << 22, 1 << 22},
+	}
+	for _, c := range cases {
+		b := GetRaw(c.n)
+		if len(b) != c.n || cap(b) != c.wantCap {
+			t.Errorf("GetRaw(%d): len=%d cap=%d, want len=%d cap=%d", c.n, len(b), cap(b), c.n, c.wantCap)
+		}
+		Put(b)
+	}
+}
+
+func TestOversizeFallsBack(t *testing.T) {
+	n := 1<<22 + frameSlack + 1
+	b := GetRaw(n)
+	if len(b) != n {
+		t.Fatalf("len = %d, want %d", len(b), n)
+	}
+	_, _, droppedBefore := Stats()
+	Put(b)
+	if _, _, dropped := Stats(); dropped != droppedBefore+1 {
+		t.Errorf("oversize Put was not dropped")
+	}
+}
+
+func TestGetZeroesRecycledBytes(t *testing.T) {
+	b := GetRaw(512)
+	for i := range b {
+		b[i] = 0xAA
+	}
+	Put(b)
+	z := Get(512)
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("Get returned dirty byte %#x at %d", v, i)
+		}
+	}
+	Put(z)
+}
+
+func TestSubslicePutIsDropped(t *testing.T) {
+	b := GetRaw(1024)
+	_, _, droppedBefore := Stats()
+	Put(b[10:500]) // capacity 1014: not a class size
+	if _, _, dropped := Stats(); dropped != droppedBefore+1 {
+		t.Errorf("subslice Put was recycled; it must be dropped")
+	}
+}
+
+func TestReuse(t *testing.T) {
+	// Not guaranteed by sync.Pool, but overwhelmingly likely within one
+	// goroutine with no GC in between: a Put buffer comes back.
+	b := GetRaw(2048)
+	b[0] = 0x5A
+	Put(b)
+	got := false
+	for i := 0; i < 100; i++ {
+		c := GetRaw(2048)
+		if &c[0] == &b[0] {
+			got = true
+			Put(c)
+			break
+		}
+		defer Put(c)
+	}
+	if !got {
+		t.Skip("sync.Pool declined to recycle; nothing to assert")
+	}
+}

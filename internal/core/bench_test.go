@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"panda/internal/array"
+	"panda/internal/bufpool"
+)
+
+// Allocation benchmarks for the sub-chunk hot path. Every sub-chunk a
+// server moves costs one wire frame (encodeSubData) and, off the
+// contiguous fast path, one extract scratch buffer; at paper scale that
+// is thousands of megabyte-sized allocations per collective. The
+// consumers recycle both through bufpool, so the steady state should
+// run at ~zero heap allocations per sub-chunk. The *Fresh variants
+// measure the same work with plain make() for contrast.
+
+func BenchmarkSubchunkFramePooled(b *testing.B) {
+	d := subData{ArrayIdx: 1, ReqID: 7,
+		Region:  array.NewRegion([]int{0, 0, 0}, []int{64, 64, 64}),
+		Payload: make([]byte, 1<<20)}
+	b.SetBytes(1 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame := encodeSubData(d)
+		if len(frame) < 1<<20 {
+			b.Fatal("short encode")
+		}
+		bufpool.Put(frame) // what every frame consumer does after copy-out
+	}
+}
+
+func BenchmarkSubchunkFrameFresh(b *testing.B) {
+	payload := make([]byte, 1<<20)
+	b.SetBytes(1 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame := make([]byte, len(payload)+32)
+		if copy(frame[32:], payload) != len(payload) {
+			b.Fatal("short copy")
+		}
+	}
+}
+
+func BenchmarkExtractPooled(b *testing.B) {
+	outer := array.Box([]int{128, 128})
+	sect := array.NewRegion([]int{0, 32}, []int{128, 96})
+	src := make([]byte, outer.NumElems()*8)
+	b.SetBytes(sect.NumElems() * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tmp := array.Extract(src, outer, sect, 8)
+		bufpool.Put(tmp) // the scatter/gather paths recycle the scratch
+	}
+}

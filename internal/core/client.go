@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"panda/internal/array"
+	"panda/internal/bufpool"
 	"panda/internal/clock"
 	"panda/internal/mpi"
 )
@@ -133,6 +134,7 @@ func (c *Client) collective(op byte, suffix string, specs []ArraySpec, bufs [][]
 			if err := c.serveRequest(seq, specs, bufs, m.Source, q); err != nil {
 				return err
 			}
+			bufpool.Put(m.Data) // the request is fully decoded; recycle the frame
 		case msgSubData:
 			d, err := decodeSubData(&r)
 			if err != nil {
@@ -140,6 +142,7 @@ func (c *Client) collective(op byte, suffix string, specs []ArraySpec, bufs [][]
 			}
 			key := pieceKey(d.ArrayIdx, d.Region)
 			if seen != nil && seen[key] {
+				bufpool.Put(m.Data)
 				continue // duplicate delivery of a piece already absorbed
 			}
 			if err := c.absorbData(specs, bufs, d); err != nil {
@@ -149,6 +152,7 @@ func (c *Client) collective(op byte, suffix string, specs []ArraySpec, bufs [][]
 				seen[key] = true
 				gotBytes += int64(len(d.Payload))
 			}
+			bufpool.Put(m.Data) // payload copied into the user buffer; recycle the frame
 		case msgComplete:
 			status, err := decodeStatus(&r)
 			if err != nil {
@@ -193,13 +197,14 @@ func (c *Client) serveRequest(seq int, specs []ArraySpec, bufs [][]byte, server 
 		return fmt.Errorf("core: client %d: request %v outside chunk %v", c.Rank(), q.Region, chunk)
 	}
 
-	var payload []byte
+	var payload, tmp []byte
 	if off, contig := array.ContiguousIn(chunk, q.Region); contig {
 		start := off * int64(spec.ElemSize)
 		n := q.Region.NumElems() * int64(spec.ElemSize)
 		payload = bufs[q.ArrayIdx][start : start+n]
 	} else {
-		payload = array.Extract(bufs[q.ArrayIdx], chunk, q.Region, spec.ElemSize)
+		tmp = array.Extract(bufs[q.ArrayIdx], chunk, q.Region, spec.ElemSize)
+		payload = tmp
 		c.chargeReorg(int64(len(payload)))
 	}
 	c.send(server, tagToServer(seq), encodeSubData(subData{
@@ -208,6 +213,9 @@ func (c *Client) serveRequest(seq int, specs []ArraySpec, bufs [][]byte, server 
 		Region:   q.Region,
 		Payload:  payload,
 	}))
+	if tmp != nil {
+		bufpool.Put(tmp) // the frame copied it; recycle the extract scratch
+	}
 	return nil
 }
 

@@ -50,8 +50,20 @@ type Config struct {
 	// Pipeline is the number of sub-chunks a server keeps in flight
 	// during writes; 1 (or 0, meaning 1) reproduces the paper's
 	// blocking behaviour, larger values implement the non-blocking
-	// overlap the paper proposes as future work.
+	// overlap the paper proposes as future work. At 2 or more the
+	// server also engages its staged engine: completed sub-chunks are
+	// handed to a storage stage that writes behind the network stage,
+	// overlapping disk and communication. The write-behind queue depth
+	// equals Pipeline, so a write holds at most 2*Pipeline+1 sub-chunk
+	// buffers.
 	Pipeline int
+	// ReadAhead is the number of sub-chunks the storage stage prefetches
+	// beyond the one currently being scattered during reads. 0 — the
+	// default — reproduces the paper's strictly serial read-then-scatter
+	// loop; 1 or more engages the staged engine, overlapping disk reads
+	// with piece scattering while keeping file access strictly
+	// sequential. A read holds at most ReadAhead+2 sub-chunk buffers.
+	ReadAhead int
 	// StartupOverhead is charged once per collective operation at the
 	// master server, modelling the measured ~13 ms fixed cost of a
 	// Panda operation on the SP2. Zero for real-time runs.
@@ -95,6 +107,9 @@ func (c Config) Validate() error {
 	if c.Pipeline < 0 {
 		return fmt.Errorf("core: negative Pipeline")
 	}
+	if c.ReadAhead < 0 {
+		return fmt.Errorf("core: negative ReadAhead")
+	}
 	if c.OpTimeout < 0 {
 		return fmt.Errorf("core: negative OpTimeout")
 	}
@@ -134,4 +149,11 @@ func (c Config) pipeline() int {
 		return 1
 	}
 	return c.Pipeline
+}
+
+func (c Config) readAhead() int {
+	if c.ReadAhead <= 0 {
+		return 0
+	}
+	return c.ReadAhead
 }

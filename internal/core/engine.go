@@ -1,0 +1,395 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"panda/internal/bufpool"
+	"panda/internal/clock"
+	"panda/internal/storage"
+)
+
+// The staged server engine.
+//
+// A server's share of one collective operation is a three-stage
+// pipeline:
+//
+//	planner  — assignChunks/planSubchunks (pure math, runs inline);
+//	mover    — the network stage: pulls pieces from clients (writes) or
+//	           scatters them (reads), and owns all deadline, retry and
+//	           abort handling. The mover runs on the server's main
+//	           process because the communicator endpoint is bound to it.
+//	storage  — the disk stage: a per-operation writer or reader that
+//	           issues strictly in-order WriteAt/ReadAt calls from its
+//	           own concurrent activity (goroutine under the wall clock,
+//	           simulated process under vtime), preserving the paper's
+//	           sequential-file guarantee while overlapping disk time
+//	           with network time.
+//
+// The stages are connected by a bounded SPSC pipe from the clock
+// domain, so the same engine code runs identically — and, under vtime,
+// deterministically — in real and simulated deployments. With
+// Pipeline <= 1 and ReadAhead == 0 (the paper's configuration) the
+// storage stage is not spawned at all: writes and reads run the
+// original strictly serial path, byte-for-byte reproducing the paper's
+// timings.
+//
+// Failure model across the stage boundary: the mover keeps exclusive
+// ownership of deadlines, retries and aborts (PR 1's semantics are
+// unchanged). A storage-stage error raises a stop flag the mover
+// observes on its next hand-off; a mover abort raises the same flag so
+// the storage stage discards queued work. Either way the mover joins
+// the storage stage before returning, so an operation never leaks a
+// concurrent activity, and the first error in pipeline order wins.
+
+// stageResult is what the storage stage reports back when it drains:
+// its outcome and the time it spent inside disk calls.
+type stageResult struct {
+	err       error
+	diskNanos int64
+}
+
+// wbItem is one completed sub-chunk travelling mover → storage during a
+// write. pooled marks buffers owned by bufpool (assembled sub-chunks);
+// adopted wire frames are not recyclable.
+type wbItem struct {
+	buf    []byte
+	off    int64
+	pooled bool
+}
+
+// rdItem is one prefetched sub-chunk travelling storage → mover during
+// a read. The buffer is always pooled.
+type rdItem struct {
+	buf []byte
+}
+
+// errStorageStopped reports that the storage stage ended before the
+// mover expected it to — it carries no cause; join for the real error.
+var errStorageStopped = errors.New("core: storage stage stopped early")
+
+// writeSink absorbs completed sub-chunks in plan order. Exactly one of
+// finish (success path: sync, close, surface storage errors) or abandon
+// (mover failed: discard queued work, still join) must be called.
+type writeSink interface {
+	write(buf []byte, off int64, pooled bool) error
+	finish() error
+	abandon()
+	report() (diskNanos, stallNanos int64)
+}
+
+// readSource produces sub-chunks in plan order. Exactly one of finish
+// or abandon must be called.
+type readSource interface {
+	next(sj subchunkJob) ([]byte, error)
+	finish() error
+	abandon()
+	report() (diskNanos, stallNanos int64)
+}
+
+// mergeStage folds a completed stage's accounting into the server
+// stats: the disk time the pipeline hid is what the storage stage spent
+// on disk beyond the mover's waits for it.
+func (s *Server) mergeStage(diskNanos, stallNanos int64) {
+	s.stats.StallNanos += stallNanos
+	if hidden := diskNanos - stallNanos; hidden > 0 {
+		s.stats.OverlapNanos += hidden
+	}
+}
+
+// --- write path ---------------------------------------------------------
+
+// newWriteSink picks the write-behind engine when the configuration and
+// clock allow overlap, and the paper's inline writer otherwise.
+func (s *Server) newWriteSink(name string) (writeSink, error) {
+	if dom, ok := s.clk.(clock.Domain); ok && s.cfg.pipeline() >= 2 {
+		return s.newStagedWriteSink(dom, name), nil
+	}
+	f, err := s.disk.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &serialWriteSink{f: f}, nil
+}
+
+// serialWriteSink is the paper's behaviour: WriteAt inline on the mover.
+type serialWriteSink struct {
+	f storage.File
+}
+
+func (k *serialWriteSink) write(buf []byte, off int64, pooled bool) error {
+	_, err := k.f.WriteAt(buf, off)
+	if pooled {
+		bufpool.Put(buf)
+	}
+	return err
+}
+
+func (k *serialWriteSink) finish() error {
+	err := k.f.Sync()
+	if cerr := k.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (k *serialWriteSink) abandon() { k.f.Close() }
+
+func (k *serialWriteSink) report() (int64, int64) { return 0, 0 }
+
+// stagedWriteSink hands sub-chunks to a storage-stage activity through a
+// bounded pipe and writes behind the network.
+type stagedWriteSink struct {
+	clk    clock.Clock // the mover's clock: stalls are charged to it
+	pipe   clock.Pipe
+	done   clock.Pipe
+	stop   *atomic.Bool
+	stall  int64
+	joined bool
+	res    stageResult
+}
+
+func (s *Server) newStagedWriteSink(dom clock.Domain, name string) *stagedWriteSink {
+	k := &stagedWriteSink{
+		clk:  s.clk,
+		pipe: dom.NewPipe(s.cfg.pipeline()),
+		done: dom.NewPipe(1),
+		stop: new(atomic.Bool),
+	}
+	disk := s.disk
+	dom.Go(fmt.Sprintf("server%d-writer", s.index), func(clk clock.Clock) {
+		d := storage.RebindClock(disk, clk)
+		var diskNanos int64
+		f, err := d.Create(name)
+		if err != nil {
+			k.stop.Store(true)
+		}
+		for {
+			v, ok := k.pipe.Pop()
+			if !ok {
+				break
+			}
+			it := v.(wbItem)
+			if err == nil && !k.stop.Load() {
+				t0 := clk.Now()
+				if _, werr := f.WriteAt(it.buf, it.off); werr != nil {
+					err = werr
+					k.stop.Store(true)
+				}
+				diskNanos += int64(clk.Now() - t0)
+			}
+			if it.pooled {
+				bufpool.Put(it.buf)
+			}
+		}
+		if f != nil {
+			if err == nil && !k.stop.Load() {
+				err = f.Sync()
+			}
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		k.done.Push(stageResult{err: err, diskNanos: diskNanos})
+	})
+	return k
+}
+
+func (k *stagedWriteSink) join() {
+	if k.joined {
+		return
+	}
+	k.joined = true
+	k.pipe.Close()
+	t0 := k.clk.Now()
+	v, ok := k.done.Pop()
+	k.stall += int64(k.clk.Now() - t0)
+	if ok {
+		k.res = v.(stageResult)
+	} else {
+		k.res = stageResult{err: errStorageStopped}
+	}
+}
+
+func (k *stagedWriteSink) write(buf []byte, off int64, pooled bool) error {
+	if k.stop.Load() {
+		// The storage stage failed; surface its error instead of
+		// queueing work it will discard.
+		if pooled {
+			bufpool.Put(buf)
+		}
+		k.join()
+		if k.res.err != nil {
+			return k.res.err
+		}
+		return errStorageStopped
+	}
+	t0 := k.clk.Now()
+	k.pipe.Push(wbItem{buf: buf, off: off, pooled: pooled})
+	k.stall += int64(k.clk.Now() - t0)
+	return nil
+}
+
+func (k *stagedWriteSink) finish() error {
+	k.join()
+	return k.res.err
+}
+
+func (k *stagedWriteSink) abandon() {
+	k.stop.Store(true) // queued sub-chunks are discarded, not written
+	k.join()
+}
+
+func (k *stagedWriteSink) report() (int64, int64) { return k.res.diskNanos, k.stall }
+
+// --- read path ----------------------------------------------------------
+
+// newReadSource picks the read-ahead engine when the configuration and
+// clock allow overlap, and the paper's inline reader otherwise.
+func (s *Server) newReadSource(spec ArraySpec, name string, subs []subchunkJob) (readSource, error) {
+	if dom, ok := s.clk.(clock.Domain); ok && s.cfg.readAhead() >= 1 {
+		return s.newStagedReadSource(dom, spec, name, subs), nil
+	}
+	f, err := s.openForRead(s.disk, spec, name)
+	if err != nil {
+		return nil, err
+	}
+	return &serialReadSource{f: f}, nil
+}
+
+// openForRead opens the array file and checks it holds this server's
+// share of the schema.
+func (s *Server) openForRead(d storage.Disk, spec ArraySpec, name string) (storage.File, error) {
+	f, err := d.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	want := serverFileBytes(spec, s.cfg.NumServers, s.index)
+	if sz, serr := f.Size(); serr != nil {
+		f.Close()
+		return nil, serr
+	} else if sz < want {
+		f.Close()
+		return nil, fmt.Errorf("file %s holds %d bytes, schema needs %d", name, sz, want)
+	}
+	return f, nil
+}
+
+// serialReadSource is the paper's behaviour: ReadAt inline on the mover.
+type serialReadSource struct {
+	f storage.File
+}
+
+func (k *serialReadSource) next(sj subchunkJob) ([]byte, error) {
+	buf := bufpool.GetRaw(int(sj.Bytes))
+	if _, err := k.f.ReadAt(buf, sj.FileOffset); err != nil {
+		bufpool.Put(buf)
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (k *serialReadSource) finish() error { k.f.Close(); return nil }
+
+func (k *serialReadSource) abandon() { k.f.Close() }
+
+func (k *serialReadSource) report() (int64, int64) { return 0, 0 }
+
+// stagedReadSource prefetches up to ReadAhead sub-chunks beyond the one
+// the mover is scattering. File access stays strictly sequential: one
+// storage activity issues the ReadAt calls in plan order.
+type stagedReadSource struct {
+	clk    clock.Clock
+	pipe   clock.Pipe
+	done   clock.Pipe
+	stop   *atomic.Bool
+	stall  int64
+	joined bool
+	res    stageResult
+}
+
+func (s *Server) newStagedReadSource(dom clock.Domain, spec ArraySpec, name string, subs []subchunkJob) *stagedReadSource {
+	k := &stagedReadSource{
+		clk:  s.clk,
+		pipe: dom.NewPipe(s.cfg.readAhead()),
+		done: dom.NewPipe(1),
+		stop: new(atomic.Bool),
+	}
+	disk := s.disk
+	srv := s
+	dom.Go(fmt.Sprintf("server%d-reader", s.index), func(clk clock.Clock) {
+		d := storage.RebindClock(disk, clk)
+		var diskNanos int64
+		f, err := srv.openForRead(d, spec, name)
+		if err == nil {
+			for _, sj := range subs {
+				if k.stop.Load() {
+					break
+				}
+				buf := bufpool.GetRaw(int(sj.Bytes))
+				t0 := clk.Now()
+				_, rerr := f.ReadAt(buf, sj.FileOffset)
+				diskNanos += int64(clk.Now() - t0)
+				if rerr != nil {
+					bufpool.Put(buf)
+					err = rerr
+					break
+				}
+				k.pipe.Push(rdItem{buf: buf})
+			}
+			f.Close()
+		}
+		k.pipe.Close()
+		k.done.Push(stageResult{err: err, diskNanos: diskNanos})
+	})
+	return k
+}
+
+func (k *stagedReadSource) next(sj subchunkJob) ([]byte, error) {
+	t0 := k.clk.Now()
+	v, ok := k.pipe.Pop()
+	k.stall += int64(k.clk.Now() - t0)
+	if !ok {
+		// Producer ended before delivering this sub-chunk: join and
+		// surface its error.
+		k.join()
+		if k.res.err != nil {
+			return nil, k.res.err
+		}
+		return nil, errStorageStopped
+	}
+	return v.(rdItem).buf, nil
+}
+
+func (k *stagedReadSource) join() {
+	if k.joined {
+		return
+	}
+	k.joined = true
+	k.stop.Store(true)
+	for {
+		v, ok := k.pipe.Pop()
+		if !ok {
+			break
+		}
+		bufpool.Put(v.(rdItem).buf)
+	}
+	t0 := k.clk.Now()
+	v, ok := k.done.Pop()
+	k.stall += int64(k.clk.Now() - t0)
+	if ok {
+		k.res = v.(stageResult)
+	} else {
+		k.res = stageResult{err: errStorageStopped}
+	}
+}
+
+func (k *stagedReadSource) finish() error {
+	k.join()
+	return k.res.err
+}
+
+func (k *stagedReadSource) abandon() { k.join() }
+
+func (k *stagedReadSource) report() (int64, int64) { return k.res.diskNanos, k.stall }

@@ -1,0 +1,578 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"panda/internal/array"
+	"panda/internal/clock"
+	"panda/internal/mpi"
+	"panda/internal/storage"
+)
+
+// engine_test.go covers the staged server engine: disk/network overlap
+// under virtual time, equality with the serial path when the overlap
+// knobs are off, strict file sequentiality in both modes, and the
+// failure model (deadlines, aborts, storage errors) across the stage
+// boundary.
+
+// diskTrace records every positioned access a server's disk served, in
+// issue order, shared across every Rebind view of the disk.
+type diskTrace struct {
+	mu     sync.Mutex
+	events []traceEvent
+}
+
+type traceEvent struct {
+	op   byte // 'r' or 'w'
+	name string
+	off  int64
+	n    int
+}
+
+func (tr *diskTrace) add(op byte, name string, off int64, n int) {
+	tr.mu.Lock()
+	tr.events = append(tr.events, traceEvent{op: op, name: name, off: off, n: n})
+	tr.mu.Unlock()
+}
+
+// assertSequential fails unless, per file and access kind, every access
+// starts exactly where the previous one ended — the paper's
+// strictly-sequential file access guarantee, which the staged engine
+// must preserve.
+func (tr *diskTrace) assertSequential(t *testing.T, server int) {
+	t.Helper()
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if len(tr.events) == 0 {
+		t.Errorf("server %d: disk trace is empty", server)
+		return
+	}
+	next := make(map[string]int64)
+	for _, e := range tr.events {
+		key := fmt.Sprintf("%c:%s", e.op, e.name)
+		if want, seen := next[key]; seen && e.off != want {
+			t.Errorf("server %d: %c %s at offset %d, want %d (non-sequential access)",
+				server, e.op, e.name, e.off, want)
+			return
+		}
+		next[key] = e.off + int64(e.n)
+	}
+}
+
+// traceDisk wraps a Disk and logs accesses into a shared trace. It
+// implements storage.Rebinder so the staged engine's storage stage keeps
+// both the trace and the inner disk's clock accounting.
+type traceDisk struct {
+	inner storage.Disk
+	trace *diskTrace
+}
+
+func (d *traceDisk) Create(name string) (storage.File, error) {
+	f, err := d.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &traceFile{disk: d, name: name, inner: f}, nil
+}
+
+func (d *traceDisk) Open(name string) (storage.File, error) {
+	f, err := d.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &traceFile{disk: d, name: name, inner: f}, nil
+}
+
+func (d *traceDisk) Remove(name string) error { return d.inner.Remove(name) }
+func (d *traceDisk) FlushCache()              { d.inner.FlushCache() }
+
+func (d *traceDisk) Rebind(clk clock.Clock) storage.Disk {
+	return &traceDisk{inner: storage.RebindClock(d.inner, clk), trace: d.trace}
+}
+
+type traceFile struct {
+	disk  *traceDisk
+	name  string
+	inner storage.File
+}
+
+func (f *traceFile) ReadAt(p []byte, off int64) (int, error) {
+	f.disk.trace.add('r', f.name, off, len(p))
+	return f.inner.ReadAt(p, off)
+}
+
+func (f *traceFile) WriteAt(p []byte, off int64) (int, error) {
+	f.disk.trace.add('w', f.name, off, len(p))
+	return f.inner.WriteAt(p, off)
+}
+
+func (f *traceFile) Sync() error          { return f.inner.Sync() }
+func (f *traceFile) Size() (int64, error) { return f.inner.Size() }
+func (f *traceFile) Close() error         { return f.inner.Close() }
+
+// overlapSpecs is the workload for the overlap experiments: 1 MB
+// sub-chunks (the paper's sweet spot) so AIX media time, not the fixed
+// per-request overhead, dominates, and the network time per sub-chunk is
+// worth hiding.
+func overlapSpecs() (Config, []ArraySpec) {
+	cfg := Config{NumClients: 4, NumServers: 2, SubchunkBytes: 1 << 20}
+	shape := []int{2048, 2048} // 16 MB of float32: 8 sub-chunks per server
+	mem := array.MustSchema(shape, []array.Dist{array.Block, array.Block}, []int{2, 2})
+	disk := array.MustSchema(shape, []array.Dist{array.Block, array.Star}, []int{2})
+	return cfg, []ArraySpec{{Name: "ovl", ElemSize: 4, Mem: mem, Disk: disk}}
+}
+
+// tracedAIXFactory builds per-server traced SimDisks over the Table 1
+// AIX model, exposing both the traces and the SimDisks to the caller.
+func tracedAIXFactory(n int) ([]*diskTrace, []*storage.SimDisk, DiskFactory) {
+	traces := make([]*diskTrace, n)
+	sims := make([]*storage.SimDisk, n)
+	for i := range traces {
+		traces[i] = &diskTrace{}
+	}
+	factory := func(i int, clk clock.Clock) storage.Disk {
+		sims[i] = storage.NewSimDisk(storage.NewMemDisk(), storage.SP2AIX(), clk)
+		return &traceDisk{inner: sims[i], trace: traces[i]}
+	}
+	return traces, sims, factory
+}
+
+func TestStagedWriteOverlapsDiskAndNetwork(t *testing.T) {
+	cfg, specs := overlapSpecs()
+
+	run := func(pipeline int) (SimResult, []*diskTrace) {
+		c := cfg
+		c.Pipeline = pipeline
+		traces, _, factory := tracedAIXFactory(c.NumServers)
+		res, err := RunSim(c, mpi.SP2Link(), factory, func(cl *Client) error {
+			return cl.WriteArrays("", specs, makeBufs(cl, specs, true))
+		})
+		if err != nil {
+			t.Fatalf("pipeline %d: %v", pipeline, err)
+		}
+		return res, traces
+	}
+
+	serial, serialTraces := run(1)
+	staged, stagedTraces := run(4)
+	again, _ := run(4)
+
+	if staged.MaxClientElapsed() >= serial.MaxClientElapsed() {
+		t.Errorf("staged write (%v) not faster than serial (%v)",
+			staged.MaxClientElapsed(), serial.MaxClientElapsed())
+	}
+	t.Logf("write makespan: serial=%v staged=%v (saved %v)",
+		serial.MaxClientElapsed(), staged.MaxClientElapsed(),
+		serial.MaxClientElapsed()-staged.MaxClientElapsed())
+
+	if staged.Elapsed != again.Elapsed || staged.MaxClientElapsed() != again.MaxClientElapsed() {
+		t.Errorf("staged engine non-deterministic under vtime: %v/%v vs %v/%v",
+			staged.Elapsed, staged.MaxClientElapsed(), again.Elapsed, again.MaxClientElapsed())
+	}
+
+	var overlap int64
+	for i, st := range staged.ServerStats {
+		overlap += st.OverlapNanos
+		serialSt := serial.ServerStats[i]
+		if serialSt.OverlapNanos != 0 || serialSt.StallNanos != 0 {
+			t.Errorf("serial server %d reports overlap=%d stall=%d, want zero",
+				i, serialSt.OverlapNanos, serialSt.StallNanos)
+		}
+	}
+	if overlap <= 0 {
+		t.Error("staged write hid no disk time behind the network")
+	}
+
+	for i := range serialTraces {
+		serialTraces[i].assertSequential(t, i)
+		stagedTraces[i].assertSequential(t, i)
+	}
+}
+
+func TestStagedReadOverlapsDiskAndNetwork(t *testing.T) {
+	cfg, specs := overlapSpecs()
+
+	run := func(readAhead int) (SimResult, []*diskTrace) {
+		c := cfg
+		c.ReadAhead = readAhead
+		traces, sims, factory := tracedAIXFactory(c.NumServers)
+		res, err := RunSim(c, mpi.SP2Link(), factory, func(cl *Client) error {
+			bufs := makeBufs(cl, specs, true)
+			if err := cl.WriteArrays("", specs, bufs); err != nil {
+				return err
+			}
+			// The paper flushes the buffer cache before read experiments;
+			// at this point the collective has completed, so every server
+			// is idle and flushing from the master client is safe.
+			if cl.IsMaster() {
+				for _, sd := range sims {
+					sd.FlushCache()
+				}
+			}
+			got := makeBufs(cl, specs, false)
+			if err := cl.ReadArrays("", specs, got); err != nil {
+				return err
+			}
+			return checkBufs(cl, specs, got)
+		})
+		if err != nil {
+			t.Fatalf("readahead %d: %v", readAhead, err)
+		}
+		return res, traces
+	}
+
+	serial, serialTraces := run(0)
+	staged, stagedTraces := run(2)
+	again, _ := run(2)
+
+	// ClientElapsed reflects the last collective — the read.
+	if staged.MaxClientElapsed() >= serial.MaxClientElapsed() {
+		t.Errorf("read-ahead read (%v) not faster than serial read (%v)",
+			staged.MaxClientElapsed(), serial.MaxClientElapsed())
+	}
+	t.Logf("read makespan: serial=%v staged=%v (saved %v)",
+		serial.MaxClientElapsed(), staged.MaxClientElapsed(),
+		serial.MaxClientElapsed()-staged.MaxClientElapsed())
+
+	if staged.MaxClientElapsed() != again.MaxClientElapsed() {
+		t.Errorf("staged read non-deterministic under vtime: %v vs %v",
+			staged.MaxClientElapsed(), again.MaxClientElapsed())
+	}
+
+	var overlap int64
+	for i, st := range staged.ServerStats {
+		overlap += st.OverlapNanos
+		serialSt := serial.ServerStats[i]
+		if serialSt.OverlapNanos != 0 || serialSt.StallNanos != 0 {
+			t.Errorf("serial server %d reports overlap=%d stall=%d, want zero",
+				i, serialSt.OverlapNanos, serialSt.StallNanos)
+		}
+	}
+	if overlap <= 0 {
+		t.Error("read-ahead hid no disk time behind the network")
+	}
+
+	for i := range serialTraces {
+		serialTraces[i].assertSequential(t, i)
+		stagedTraces[i].assertSequential(t, i)
+	}
+}
+
+// TestSerialKnobsReproduceSerialTimings pins the gating contract: the
+// zero-value configuration and an explicit Pipeline=1/ReadAhead=0 both
+// take the inline serial path and produce identical virtual timings —
+// the staged engine changes nothing unless asked to.
+func TestSerialKnobsReproduceSerialTimings(t *testing.T) {
+	base := Config{NumClients: 4, NumServers: 2, SubchunkBytes: 2 << 10}
+	shape := []int{64, 64}
+	mem := array.MustSchema(shape, []array.Dist{array.Block, array.Block}, []int{2, 2})
+	disk := array.MustSchema(shape, []array.Dist{array.Block, array.Star}, []int{2})
+	specs := []ArraySpec{{Name: "ser", ElemSize: 4, Mem: mem, Disk: disk}}
+
+	run := func(c Config) SimResult {
+		res, err := RunSim(c, mpi.SP2Link(), SimDiskFactory(storage.SP2AIX()), func(cl *Client) error {
+			bufs := makeBufs(cl, specs, true)
+			if err := cl.WriteArrays("", specs, bufs); err != nil {
+				return err
+			}
+			return cl.ReadArrays("", specs, bufs)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	implicit := run(base)
+	explicit := base
+	explicit.Pipeline, explicit.ReadAhead = 1, 0
+	explicitRes := run(explicit)
+	repeat := run(base)
+
+	if implicit.Elapsed != explicitRes.Elapsed || implicit.MaxClientElapsed() != explicitRes.MaxClientElapsed() {
+		t.Errorf("explicit serial knobs changed timings: %v/%v vs %v/%v",
+			implicit.Elapsed, implicit.MaxClientElapsed(),
+			explicitRes.Elapsed, explicitRes.MaxClientElapsed())
+	}
+	if implicit.Elapsed != repeat.Elapsed {
+		t.Errorf("serial path non-deterministic: %v vs %v", implicit.Elapsed, repeat.Elapsed)
+	}
+	for _, res := range []SimResult{implicit, explicitRes} {
+		for i, st := range res.ServerStats {
+			if st.OverlapNanos != 0 || st.StallNanos != 0 {
+				t.Errorf("serial server %d reports overlap=%d stall=%d, want zero",
+					i, st.OverlapNanos, st.StallNanos)
+			}
+		}
+	}
+}
+
+// TestReadHonorsDeadline covers the PR's bugfix: a read whose disk is
+// too slow for the operation budget must stop between sub-chunks with a
+// typed timeout instead of grinding through its whole plan — in both
+// the serial and the read-ahead engine.
+func TestReadHonorsDeadline(t *testing.T) {
+	cfg := Config{NumClients: 2, NumServers: 2, SubchunkBytes: 1 << 10, OpTimeout: 50 * time.Millisecond}
+	shape := []int{64, 32} // 8 KB: 4 sub-chunks per server
+	mem := array.MustSchema(shape, []array.Dist{array.Block, array.Star}, []int{2})
+	disk := array.MustSchema(shape, []array.Dist{array.Star, array.Block}, []int{2})
+	specs := []ArraySpec{{Name: "slow", ElemSize: 4, Mem: mem, Disk: disk}}
+
+	var totalSubs int
+	for s := 0; s < cfg.NumServers; s++ {
+		jobs := assignChunks(specs[0].Disk, specs[0].ElemSize, cfg.NumServers, s)
+		totalSubs += len(planSubchunks(0, specs[0], jobs, specs[0].subchunkBytes(cfg)))
+	}
+	if totalSubs < 4 {
+		t.Fatalf("workload too small: %d sub-chunks", totalSubs)
+	}
+
+	// Seed the files with a fast deadline-free deployment over plain
+	// MemDisks, then read them through a disk slow enough that one
+	// sub-chunk read (~102 ms) blows the 50 ms budget.
+	inner := memDisks(cfg.NumServers)
+	seedCfg := cfg
+	seedCfg.OpTimeout = 0
+	if _, err := RunSim(seedCfg, mpi.SP2Link(), func(i int, clk clock.Clock) storage.Disk {
+		return inner[i]
+	}, func(cl *Client) error {
+		return cl.WriteArrays("", specs, makeBufs(cl, specs, true))
+	}); err != nil {
+		t.Fatalf("seed write: %v", err)
+	}
+	slow := storage.AIXModel{MediaRate: 1e4}
+
+	for _, readAhead := range []int{0, 2} {
+		t.Run(fmt.Sprintf("readahead=%d", readAhead), func(t *testing.T) {
+			c := cfg
+			c.ReadAhead = readAhead
+			res, err := RunSim(c, mpi.SP2Link(), func(i int, clk clock.Clock) storage.Disk {
+				return storage.NewSimDisk(inner[i], slow, clk)
+			}, func(cl *Client) error {
+				return cl.ReadArrays("", specs, makeBufs(cl, specs, false))
+			})
+			if err == nil {
+				t.Fatal("read on a hopelessly slow disk succeeded")
+			}
+			if !errors.Is(err, ErrTimeout) {
+				t.Fatalf("err = %v, want ErrTimeout", err)
+			}
+			var timeouts, reads int64
+			for i, st := range res.ServerStats {
+				timeouts += st.Timeouts
+				reads += res.DiskStats[i].Reads
+			}
+			if timeouts == 0 {
+				t.Error("no server recorded a timeout")
+			}
+			if reads >= int64(totalSubs) {
+				t.Errorf("servers issued %d reads for %d planned sub-chunks; the deadline did not stop the plan",
+					reads, totalSubs)
+			}
+		})
+	}
+}
+
+// TestReadAbortDrained forges an abort broadcast onto a read
+// operation's server tag and checks the server actually consumes it —
+// the read stops with the abort's typed status, and the deployment
+// stays healthy for the next collective.
+func TestReadAbortDrained(t *testing.T) {
+	cfg := Config{NumClients: 2, NumServers: 1, SubchunkBytes: 64,
+		OpTimeout: 5 * time.Second, PullRetries: 1}
+	shape := []int{16, 16}
+	mem := array.MustSchema(shape, []array.Dist{array.Block, array.Star}, []int{2})
+	disk := array.MustSchema(shape, []array.Dist{array.Star, array.Star}, nil)
+	specs := []ArraySpec{{Name: "ab", ElemSize: 4, Mem: mem, Disk: disk}}
+
+	world := mpi.NewWorld(cfg.WorldSize())
+	comms := make([]mpi.Comm, cfg.WorldSize())
+	for r := range comms {
+		comms[r] = world.Comm(r)
+	}
+	serverRank := cfg.ServerRank(0)
+	barrier := newBarrier(cfg.NumClients)
+
+	var srv *Server
+	abortErrs := make([]error, cfg.NumClients)
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.WorldSize())
+	for r := 0; r < cfg.NumClients; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = RunClientNode(cfg, comms[r], func(cl *Client) error {
+				bufs := makeBufs(cl, specs, true)
+				if err := cl.WriteArrays("", specs, bufs); err != nil { // seq 0
+					return err
+				}
+				barrier()
+				if cl.Rank() == 1 {
+					// Forge the master server's abort broadcast for the
+					// *next* operation (the read, seq 1). It sits queued
+					// on tagToServer(1) until the read drains it.
+					comms[1].SendOwned(serverRank, tagToServer(1), encodeAbort(ErrTimeout))
+				}
+				barrier()
+				got := makeBufs(cl, specs, false)
+				rerr := cl.ReadArrays("", specs, got) // seq 1: aborted
+				abortErrs[cl.Rank()] = rerr
+				barrier()
+				// The deployment must have drained the abort: a fresh
+				// read on the same deployment succeeds with good data.
+				if err := cl.ReadArrays("", specs, got); err != nil { // seq 2
+					return fmt.Errorf("read after abort: %w", err)
+				}
+				return checkBufs(cl, specs, got)
+			})
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srv = NewServer(cfg, comms[serverRank], storage.NewMemDisk(), clock.NewReal())
+		errs[serverRank] = srv.Serve()
+	}()
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for r, rerr := range abortErrs {
+		if rerr == nil {
+			t.Fatalf("client %d: aborted read succeeded", r)
+		}
+		if !errors.Is(rerr, ErrTimeout) {
+			t.Errorf("client %d: abort status lost its type: %v", r, rerr)
+		}
+		if !strings.Contains(rerr.Error(), "abort") {
+			t.Errorf("client %d: error does not name the abort: %v", r, rerr)
+		}
+	}
+	if srv.Stats().Aborts == 0 {
+		t.Error("server never recorded obeying the abort")
+	}
+}
+
+// TestStagedStorageErrorsPropagate drives disk faults through the
+// staged engine: an error raised on the storage stage's own activity
+// must cross the pipe back to the mover, fail the collective with the
+// real cause, and leak no goroutine (the run returning is the proof).
+func TestStagedStorageErrorsPropagate(t *testing.T) {
+	shape := []int{32, 32}
+	mem := array.MustSchema(shape, []array.Dist{array.Block, array.Star}, []int{2})
+	disk := array.MustSchema(shape, []array.Dist{array.Star, array.Block}, []int{1})
+	specs := []ArraySpec{{Name: "flt", ElemSize: 4, Mem: mem, Disk: disk}}
+	cfg := Config{NumClients: 2, NumServers: 1, SubchunkBytes: 256, Pipeline: 4, ReadAhead: 2}
+
+	cases := []struct {
+		name  string
+		fault func(d *storage.FaultDisk)
+		read  bool
+	}{
+		{"write-fails-midway", func(d *storage.FaultDisk) { d.FailWritesAfter = 1 }, false},
+		{"create-fails", func(d *storage.FaultDisk) { d.FailOpens = true }, false},
+		{"read-fails-midway", func(d *storage.FaultDisk) { d.FailReadsAfter = 1 }, true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			fd := &storage.FaultDisk{Inner: storage.NewMemDisk()}
+			if !tc.read {
+				tc.fault(fd)
+			}
+			err := RunReal(cfg, []storage.Disk{fd}, func(cl *Client) error {
+				bufs := makeBufs(cl, specs, true)
+				werr := cl.WriteArrays("", specs, bufs)
+				if !tc.read {
+					return werr
+				}
+				if werr != nil {
+					return fmt.Errorf("seed write: %w", werr)
+				}
+				if cl.IsMaster() {
+					tc.fault(fd) // servers are idle between collectives
+				}
+				return cl.ReadArrays("", specs, makeBufs(cl, specs, false))
+			})
+			if err == nil {
+				t.Fatal("collective succeeded despite injected disk fault")
+			}
+			if !strings.Contains(err.Error(), "injected fault") {
+				t.Fatalf("fault cause lost crossing the stage boundary: %v", err)
+			}
+		})
+	}
+}
+
+// TestChaosLossyStagedEngine reruns the lossy-transport chaos scenario
+// with the staged engine fully engaged: PR 1's robustness contract —
+// typed errors, no deadlock, post-heal recovery — must hold across the
+// stage boundary too.
+func TestChaosLossyStagedEngine(t *testing.T) {
+	t.Parallel()
+	cfg, specs := chaosSpecs(3, 2)
+	cfg.Pipeline = 4
+	cfg.ReadAhead = 2
+	plan := mpi.NewFaultPlan(17)
+	plan.DropProb, plan.DupProb, plan.ReorderProb = 0.10, 0.10, 0.10
+	plan.DelayProb, plan.Delay = 0.10, 2*time.Millisecond
+	comms := wrapWorld(cfg, plan)
+	barrier := newBarrier(cfg.NumClients)
+
+	const rounds = 2
+	attempt := make([]error, cfg.NumClients)
+	_, err := RunWith(cfg, comms, memDisks(cfg.NumServers), func(cl *Client) error {
+		bufs := makeBufs(cl, specs, true)
+		for round := 0; round < rounds; round++ {
+			suffix := fmt.Sprintf(".r%d", round)
+			werr := cl.WriteArrays(suffix, specs, bufs)
+			typedOrNil(t, cl.Rank(), fmt.Sprintf("write round %d", round), werr)
+			got := makeBufs(cl, specs, false)
+			rerr := cl.ReadArrays(suffix, specs, got)
+			typedOrNil(t, cl.Rank(), fmt.Sprintf("read round %d", round), rerr)
+			if werr == nil && rerr == nil {
+				if cerr := checkBufs(cl, specs, got); cerr != nil {
+					return cerr
+				}
+			}
+		}
+		barrier()
+		if cl.Rank() == 0 {
+			plan.Heal()
+		}
+		barrier()
+		for try := 0; ; try++ {
+			werr := cl.WriteArrays(fmt.Sprintf(".clean%d", try), specs, bufs)
+			typedOrNil(t, cl.Rank(), "post-heal write", werr)
+			attempt[cl.Rank()] = werr
+			barrier()
+			allOK := true
+			for _, aerr := range attempt {
+				if aerr != nil {
+					allOK = false
+				}
+			}
+			barrier() // nobody rewrites attempt until all have judged it
+			if allOK {
+				got := makeBufs(cl, specs, false)
+				if rerr := cl.ReadArrays(fmt.Sprintf(".clean%d", try), specs, got); rerr != nil {
+					return fmt.Errorf("post-heal read: %w", rerr)
+				}
+				return checkBufs(cl, specs, got)
+			}
+			if try == 5 {
+				return fmt.Errorf("deployment still failing after heal: %v", attempt[cl.Rank()])
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"panda/internal/array"
+	"panda/internal/bufpool"
 )
 
 // Wire protocol. Every Panda message is one mpi message whose payload
@@ -298,9 +299,13 @@ type subData struct {
 	Payload  []byte
 }
 
-// encodeSubDataHeader returns the header; the caller appends payload.
+// encodeSubData builds a data frame: header plus a copy of the payload.
+// The frame is drawn from bufpool sized exactly, so the consumer can
+// recycle it with bufpool.Put once the payload has been copied out (or
+// adopted). The payload itself is only read — callers keep ownership.
 func encodeSubData(d subData) []byte {
-	var w wbuf
+	n := 8 + 1 + 8*d.Region.Rank() + len(d.Payload)
+	w := wbuf{b: bufpool.GetRaw(n)[:0]}
 	w.u8(msgSubData)
 	w.u16(uint16(d.ArrayIdx))
 	w.u32(d.ReqID)

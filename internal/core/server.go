@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"panda/internal/array"
+	"panda/internal/bufpool"
 	"panda/internal/clock"
 	"panda/internal/mpi"
 	"panda/internal/storage"
@@ -44,6 +45,16 @@ type Stats struct {
 	// Aborts counts operations this node abandoned — on the master
 	// server, abort broadcasts sent; elsewhere, aborts obeyed.
 	Aborts int64
+	// OverlapNanos is disk time the staged engine hid behind network
+	// activity: the storage stage's busy time minus the network stage's
+	// waits on it, clamped at zero. Zero when the engine runs serially
+	// (Pipeline <= 1 and ReadAhead == 0).
+	OverlapNanos int64
+	// StallNanos is time the network stage spent blocked on the storage
+	// stage — writes waiting for a full write-behind queue, reads
+	// waiting for a prefetch, and end-of-array joins. High stalls mean
+	// the disk, not the network, bounds the operation.
+	StallNanos int64
 }
 
 // NewServer creates the server for one I/O node. disk is that node's
@@ -250,7 +261,7 @@ func (s *Server) execute(req opRequest, deadline time.Duration) error {
 		case opWrite:
 			err = s.writeArray(spec, name, subs, deadline)
 		case opRead:
-			err = s.readArray(spec, name, subs)
+			err = s.readArray(spec, name, subs, deadline)
 		default:
 			err = fmt.Errorf("core: unknown operation %d", req.Op)
 		}
@@ -268,6 +279,7 @@ func (s *Server) execute(req opRequest, deadline time.Duration) error {
 type pending struct {
 	job       subchunkJob
 	buf       []byte
+	pooled    bool // buf came from bufpool (assembled); adopted frames are not recyclable
 	remaining int
 	got       map[string]bool
 }
@@ -289,15 +301,31 @@ func (s *Server) writeArray(spec ArraySpec, name string, subs []subchunkJob, dea
 	if len(subs) == 0 {
 		return nil // this server owns no data of this array
 	}
-	f, err := s.disk.Create(name)
+	sink, err := s.newWriteSink(name)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	if err := s.pullSubchunks(spec, subs, deadline, sink); err != nil {
+		sink.abandon()
+		s.mergeStage(sink.report())
+		return err
+	}
+	err = sink.finish()
+	s.mergeStage(sink.report())
+	return err
+}
 
+// pullSubchunks is the write mover: it keeps up to cfg.Pipeline
+// sub-chunk pulls in flight and retires completed sub-chunks to the
+// sink strictly in plan order.
+func (s *Server) pullSubchunks(spec ArraySpec, subs []subchunkJob, deadline time.Duration, sink writeSink) error {
 	window := s.cfg.pipeline()
 	inflight := make(map[uint32]*pending, window)
-	var order []uint32
+	// In-flight request IDs in plan order, a fixed ring so a long
+	// operation never pins retired IDs live (at most window are in
+	// flight at once).
+	ring := make([]uint32, window)
+	head, live := 0, 0
 	next, written := 0, 0
 
 	quiet := time.Duration(0)
@@ -307,14 +335,15 @@ func (s *Server) writeArray(spec ArraySpec, name string, subs []subchunkJob, dea
 	retriesLeft := s.cfg.PullRetries
 
 	for written < len(subs) {
-		for next < len(subs) && len(inflight) < window {
+		for next < len(subs) && live < window {
 			sj := subs[next]
 			next++
 			s.nextReqID++
 			id := s.nextReqID
 			pend := &pending{job: sj, remaining: len(sj.Pieces), got: make(map[string]bool, len(sj.Pieces))}
 			inflight[id] = pend
-			order = append(order, id)
+			ring[(head+live)%window] = id
+			live++
 			for _, pc := range sj.Pieces {
 				s.send(pc.Client, tagToClient(s.opSeq), encodeSubReq(subReq{ArrayIdx: sj.ArrayIdx, ReqID: id, Region: pc.Region}))
 			}
@@ -344,6 +373,7 @@ func (s *Server) writeArray(spec ArraySpec, name string, subs []subchunkJob, dea
 		case msgAbort:
 			s.stats.Aborts++
 			status, derr := decodeStatus(&r)
+			bufpool.Put(m.Data)
 			if derr != nil {
 				return derr
 			}
@@ -358,10 +388,12 @@ func (s *Server) writeArray(spec ArraySpec, name string, subs []subchunkJob, dea
 			}
 			pend, ok := inflight[d.ReqID]
 			if !ok {
+				bufpool.Put(m.Data)
 				continue // reply for a retired sub-chunk: stale duplicate
 			}
 			key := pieceKey(pend.job.ArrayIdx, d.Region)
 			if pend.got[key] {
+				bufpool.Put(m.Data)
 				continue // duplicate delivery of a piece already deposited
 			}
 			if !pend.job.Region.Contains(d.Region) {
@@ -370,7 +402,9 @@ func (s *Server) writeArray(spec ArraySpec, name string, subs []subchunkJob, dea
 			if want := d.Region.NumElems() * int64(spec.ElemSize); int64(len(d.Payload)) != want {
 				return fmt.Errorf("piece %v carries %d bytes, want %d", d.Region, len(d.Payload), want)
 			}
-			s.depositPiece(spec, pend, d)
+			if adopted := s.depositPiece(spec, pend, d); !adopted {
+				bufpool.Put(m.Data) // payload copied out; recycle the frame
+			}
 			pend.got[key] = true
 			pend.remaining--
 		default:
@@ -378,37 +412,43 @@ func (s *Server) writeArray(spec ArraySpec, name string, subs []subchunkJob, dea
 		}
 
 		// Retire completed sub-chunks strictly in plan order.
-		for len(order) > 0 && inflight[order[0]].remaining == 0 {
-			head := inflight[order[0]]
-			if _, werr := f.WriteAt(head.buf, head.job.FileOffset); werr != nil {
+		for live > 0 && inflight[ring[head]].remaining == 0 {
+			id := ring[head]
+			pend := inflight[id]
+			if werr := sink.write(pend.buf, pend.job.FileOffset, pend.pooled); werr != nil {
 				return werr
 			}
-			delete(inflight, order[0])
-			order = order[1:]
+			delete(inflight, id)
+			head = (head + 1) % window
+			live--
 			written++
 		}
 	}
-	return f.Sync()
+	return nil
 }
 
 // depositPiece places one received piece into the sub-chunk under
 // assembly, charging reorganization cost for non-contiguous layouts.
-func (s *Server) depositPiece(spec ArraySpec, pend *pending, d subData) {
+// It reports whether the piece's wire frame was adopted as the
+// sub-chunk buffer (in which case the caller must not recycle it).
+func (s *Server) depositPiece(spec ArraySpec, pend *pending, d subData) (adopted bool) {
 	sub := pend.job.Region
 	if pend.buf == nil && len(pend.job.Pieces) == 1 && d.Region.Equal(sub) {
 		// The whole sub-chunk came from one client in traditional
 		// order already: adopt the payload, no copy at all.
 		pend.buf = d.Payload
-		return
+		return true
 	}
 	if pend.buf == nil {
-		pend.buf = make([]byte, pend.job.Bytes)
+		pend.buf = bufpool.Get(int(pend.job.Bytes))
+		pend.pooled = true
 	}
 	_, contig := array.ContiguousIn(sub, d.Region)
 	array.CopyRegion(pend.buf, sub, d.Payload, d.Region, d.Region, spec.ElemSize)
 	if !contig {
 		s.chargeReorg(int64(len(d.Payload)))
 	}
+	return false
 }
 
 // chargeReorg accounts for a strided copy of n bytes.
@@ -420,31 +460,42 @@ func (s *Server) chargeReorg(n int64) {
 }
 
 // readArray reads this server's sub-chunks of one array sequentially
-// and scatters each piece to the client that needs it.
-func (s *Server) readArray(spec ArraySpec, name string, subs []subchunkJob) error {
+// and scatters each piece to the client that needs it. deadline (0 =
+// none) bounds the operation: between sub-chunks the server checks its
+// budget and drains any abort broadcast, so a read cannot grind on
+// after the master has declared the operation dead.
+func (s *Server) readArray(spec ArraySpec, name string, subs []subchunkJob, deadline time.Duration) error {
 	if len(subs) == 0 {
 		return nil
 	}
-	f, err := s.disk.Open(name)
+	src, err := s.newReadSource(spec, name, subs)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-
-	want := serverFileBytes(spec, s.cfg.NumServers, s.index)
-	if sz, serr := f.Size(); serr != nil {
-		return serr
-	} else if sz < want {
-		return fmt.Errorf("file %s holds %d bytes, schema needs %d", name, sz, want)
+	if err := s.scatterSubchunks(spec, subs, deadline, src); err != nil {
+		src.abandon()
+		s.mergeStage(src.report())
+		return err
 	}
+	err = src.finish()
+	s.mergeStage(src.report())
+	return err
+}
 
+// scatterSubchunks is the read mover: it takes sub-chunks from the
+// source in plan order and scatters each piece to the client that
+// needs it.
+func (s *Server) scatterSubchunks(spec ArraySpec, subs []subchunkJob, deadline time.Duration, src readSource) error {
 	for _, sj := range subs {
-		buf := make([]byte, sj.Bytes)
-		if _, rerr := f.ReadAt(buf, sj.FileOffset); rerr != nil {
-			return rerr
+		if err := s.checkReadInterrupt(deadline); err != nil {
+			return err
+		}
+		buf, err := src.next(sj)
+		if err != nil {
+			return err
 		}
 		for _, pc := range sj.Pieces {
-			var payload []byte
+			var payload, tmp []byte
 			if pc.Region.Equal(sj.Region) {
 				payload = buf
 			} else {
@@ -454,7 +505,8 @@ func (s *Server) readArray(spec ArraySpec, name string, subs []subchunkJob) erro
 					start := off * int64(spec.ElemSize)
 					payload = buf[start : start+n]
 				} else {
-					payload = array.Extract(buf, sj.Region, pc.Region, spec.ElemSize)
+					tmp = array.Extract(buf, sj.Region, pc.Region, spec.ElemSize)
+					payload = tmp
 					s.chargeReorg(n)
 				}
 			}
@@ -463,7 +515,51 @@ func (s *Server) readArray(spec ArraySpec, name string, subs []subchunkJob) erro
 				Region:   pc.Region,
 				Payload:  payload,
 			}))
+			if tmp != nil {
+				bufpool.Put(tmp) // the frame copied it; recycle the extract scratch
+			}
 		}
+		bufpool.Put(buf)
 	}
 	return nil
+}
+
+// checkReadInterrupt enforces the operation deadline during reads and
+// drains any abort broadcast queued on this operation's server tag.
+// Reads have no blocking receives of their own, so without this a
+// server would keep scattering its whole plan — and an abort frame
+// would sit queued forever — after the master declared the operation
+// dead.
+func (s *Server) checkReadInterrupt(deadline time.Duration) error {
+	if deadline <= 0 {
+		return nil
+	}
+	if s.clk.Now() >= deadline {
+		s.stats.Timeouts++
+		return ErrTimeout
+	}
+	dc, ok := s.comm.(mpi.DeadlineComm)
+	if !ok {
+		return nil
+	}
+	m, err := dc.RecvTimeout(mpi.AnySource, tagToServer(s.opSeq), time.Nanosecond)
+	if err != nil {
+		return nil // nothing queued; transport failures surface elsewhere
+	}
+	s.stats.MsgsRecv++
+	s.stats.BytesRecv += int64(len(m.Data))
+	r := rbuf{b: m.Data}
+	if t := r.u8(); t != msgAbort {
+		return fmt.Errorf("expected abort, got message type %d during read", t)
+	}
+	s.stats.Aborts++
+	status, derr := decodeStatus(&r)
+	bufpool.Put(m.Data)
+	if derr != nil {
+		return derr
+	}
+	if status == nil {
+		status = errors.New("core: operation aborted")
+	}
+	return fmt.Errorf("aborted by master server: %w", status)
 }

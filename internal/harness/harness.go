@@ -155,8 +155,11 @@ type Options struct {
 	// value).
 	SubchunkBytes int64
 	// Pipeline overrides the write pipeline depth (0 = 1, the paper's
-	// blocking behaviour).
+	// blocking behaviour; 2+ engages the staged write-behind engine).
 	Pipeline int
+	// ReadAhead sets the read prefetch depth (0 = the paper's serial
+	// reads; 1+ engages the staged read-ahead engine).
+	ReadAhead int
 	// Verbose makes Run print each point as it completes.
 	Verbose bool
 	// Printf receives verbose output; nil means fmt.Printf.
@@ -195,6 +198,12 @@ type Point struct {
 	// runs can report what the protocol absorbed.
 	Timeouts int64
 	Retries  int64
+	// OverlapNanos and StallNanos sum the staged-engine counters
+	// across servers: disk time hidden behind the network, and mover
+	// time spent blocked on the storage stage. Zero in the paper's
+	// serial configuration.
+	OverlapNanos int64
+	StallNanos   int64
 }
 
 // Shape3D factors totalBytes/ElemSize into a 3-D power-of-two shape as

@@ -16,6 +16,7 @@ func configFor(f Figure, ion int, opt Options) core.Config {
 		NumServers:      ion,
 		SubchunkBytes:   opt.SubchunkBytes,
 		Pipeline:        opt.Pipeline,
+		ReadAhead:       opt.ReadAhead,
 		StartupOverhead: StartupOverhead,
 		CopyRate:        CopyRate,
 	}
@@ -122,6 +123,8 @@ func RunCell(f Figure, sizeBytes int64, ion int, opt Options) (Point, error) {
 		p.ReorgBytes += st.ReorgBytes
 		p.Timeouts += st.Timeouts
 		p.Retries += st.Retries
+		p.OverlapNanos += st.OverlapNanos
+		p.StallNanos += st.StallNanos
 	}
 	for _, st := range res.DiskStats {
 		p.Seeks += st.Seeks

@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"panda/internal/bufpool"
 )
 
 // TCP transport: the paper closes by noting Panda "will be able to run
@@ -181,8 +183,9 @@ func (h *Hub) route(source int, conn net.Conn) error {
 		}
 		to := int(binary.BigEndian.Uint32(hdr[0:]))
 		n := int(binary.BigEndian.Uint32(hdr[12:]))
-		payload := make([]byte, n)
+		payload := bufpool.GetRaw(n) // fully overwritten by ReadFull; recycled after relay
 		if _, err := io.ReadFull(r, payload); err != nil {
+			bufpool.Put(payload)
 			return fmt.Errorf("mpi: hub route from %d: %w", source, err)
 		}
 		h.mu.Lock()
@@ -190,9 +193,11 @@ func (h *Hub) route(source int, conn net.Conn) error {
 		gone := h.dead[to]
 		h.mu.Unlock()
 		if dst == nil {
+			bufpool.Put(payload)
 			return fmt.Errorf("mpi: frame from %d for unknown rank %d", source, to)
 		}
 		if gone {
+			bufpool.Put(payload)
 			continue // destination died; drop, sender learns via death frame
 		}
 		h.wmu[to].Lock()
@@ -201,6 +206,7 @@ func (h *Hub) route(source int, conn net.Conn) error {
 			_, err = dst.Write(payload)
 		}
 		h.wmu[to].Unlock()
+		bufpool.Put(payload)
 		if err != nil {
 			// The destination's connection broke mid-write: treat it as
 			// dead rather than failing the whole hub, so the remaining
@@ -275,8 +281,9 @@ func (c *tcpComm) reader() {
 			c.box.cond.Broadcast()
 			continue
 		}
-		payload := make([]byte, n)
+		payload := bufpool.GetRaw(n) // fully overwritten by ReadFull
 		if _, err := io.ReadFull(r, payload); err != nil {
+			bufpool.Put(payload)
 			c.failReads(err)
 			return
 		}

@@ -25,7 +25,7 @@ type SimDisk struct {
 	// paper's closing question about i/o node sharing).
 	media *media
 
-	stats DiskStats
+	stats *DiskStats
 }
 
 // media is one physical disk: a serially reusable arm plus its head
@@ -51,7 +51,35 @@ func NewSimDisk(inner Disk, model AIXModel, clk clock.Clock) *SimDisk {
 	if model.CacheBytes > 0 {
 		cache = newBlockCache(model.BlockSize, model.CacheBytes)
 	}
-	return &SimDisk{inner: inner, model: model, clk: clk, cache: cache, media: &media{}}
+	return &SimDisk{inner: inner, model: model, clk: clk, cache: cache, media: &media{}, stats: &DiskStats{}}
+}
+
+// Rebind returns a view of the same simulated disk driven by another
+// clock — for a pipeline stage that runs as its own simulated process
+// on the same I/O node. The view shares the device (arm, head, cache),
+// the stored data, and the statistics; only the clock that gets charged
+// differs. Requests from the original and the view still serialize on
+// the one arm, so the sequential-access guarantee is unaffected.
+func (d *SimDisk) Rebind(clk clock.Clock) Disk {
+	cp := *d
+	cp.clk = clk
+	return &cp
+}
+
+// Rebinder is implemented by disks whose time accounting is bound to a
+// specific clock. RebindClock uses it to retarget a disk at a pipeline
+// stage's own clock; disks that measure real time need no rebinding.
+type Rebinder interface {
+	Rebind(clk clock.Clock) Disk
+}
+
+// RebindClock retargets d's time accounting at clk when d supports it,
+// and returns d unchanged otherwise.
+func RebindClock(d Disk, clk clock.Clock) Disk {
+	if r, ok := d.(Rebinder); ok {
+		return r.Rebind(clk)
+	}
+	return d
 }
 
 // ShareMediaWith makes d use the same physical device as o: their
@@ -60,8 +88,9 @@ func NewSimDisk(inner Disk, model AIXModel, clk clock.Clock) *SimDisk {
 // simulation.
 func (d *SimDisk) ShareMediaWith(o *SimDisk) { d.media = o.media }
 
-// Stats returns the traffic counters so far.
-func (d *SimDisk) Stats() DiskStats { return d.stats }
+// Stats returns the traffic counters so far, aggregated across every
+// Rebind view of this disk.
+func (d *SimDisk) Stats() DiskStats { return *d.stats }
 
 // seekCheck updates the device head position and reports whether this
 // request pays a seek.

@@ -1,0 +1,95 @@
+package vtime
+
+// Pipe is a bounded single-producer single-consumer FIFO between two
+// simulated processes — the inter-stage queue of a pipeline. Push blocks
+// the producer while the pipe is full; Pop blocks the consumer while it
+// is empty; Close (producer side) makes Pop return ok=false once the
+// buffered values are drained.
+//
+// Push, Pop and Close must be called from a running process (they park
+// the caller via Sim.Current).
+type Pipe[T any] struct {
+	sim    *Sim
+	items  []T
+	cap    int
+	closed bool
+
+	prodWait *Proc // producer parked on a full pipe
+	consWait *Proc // consumer parked on an empty pipe
+}
+
+// NewPipe returns an empty pipe with the given capacity (minimum 1).
+func NewPipe[T any](s *Sim, capacity int) *Pipe[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Pipe[T]{sim: s, cap: capacity}
+}
+
+// Len reports the number of buffered values.
+func (q *Pipe[T]) Len() int { return len(q.items) }
+
+// Push appends v, blocking the calling process while the pipe is full.
+// Push on a closed pipe panics.
+func (q *Pipe[T]) Push(v T) {
+	for len(q.items) >= q.cap && !q.closed {
+		p := q.sim.Current()
+		if p == nil {
+			panic("vtime: Pipe.Push outside a process")
+		}
+		q.prodWait = p
+		p.Park()
+	}
+	if q.closed {
+		panic("vtime: Push on closed Pipe")
+	}
+	q.items = append(q.items, v)
+	if c := q.consWait; c != nil {
+		q.consWait = nil
+		q.sim.Wake(c)
+	}
+}
+
+// Pop removes and returns the oldest value, blocking the calling process
+// while the pipe is empty. It returns ok=false once the pipe is closed
+// and drained.
+func (q *Pipe[T]) Pop() (T, bool) {
+	for len(q.items) == 0 && !q.closed {
+		p := q.sim.Current()
+		if p == nil {
+			panic("vtime: Pipe.Pop outside a process")
+		}
+		q.consWait = p
+		p.Park()
+	}
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items[0] = zero
+	q.items = q.items[1:]
+	if p := q.prodWait; p != nil {
+		q.prodWait = nil
+		q.sim.Wake(p)
+	}
+	return v, true
+}
+
+// Close marks the producer side finished and wakes a parked consumer.
+// Further Pushes panic; Pops drain the remaining values then report
+// ok=false.
+func (q *Pipe[T]) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	if c := q.consWait; c != nil {
+		q.consWait = nil
+		q.sim.Wake(c)
+	}
+	if p := q.prodWait; p != nil {
+		q.prodWait = nil
+		q.sim.Wake(p)
+	}
+}

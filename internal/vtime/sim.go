@@ -87,6 +87,11 @@ func New() *Sim {
 // callbacks or from running processes.
 func (s *Sim) Now() time.Duration { return s.now }
 
+// Current returns the process currently holding control, or nil when the
+// scheduler (an event callback) is running. It lets primitives like Pipe
+// park the calling process without threading *Proc through every call.
+func (s *Sim) Current() *Proc { return s.running }
+
 // Events reports how many events have fired so far.
 func (s *Sim) Events() uint64 { return s.fired }
 
