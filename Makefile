@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet staticcheck fuzz bench-baseline ci clean
+.PHONY: all build test race vet staticcheck check fuzz bench-baseline trace-smoke ci clean
 
 all: build
 
@@ -21,6 +21,10 @@ staticcheck:
 	else \
 		echo "staticcheck not installed; skipping" ; \
 	fi
+
+# check is the static-analysis gate: vet always, staticcheck when
+# installed.
+check: vet staticcheck
 
 # race runs the whole suite under the race detector — the chaos and
 # transport tests drive many goroutines through the protocol, so this
@@ -45,7 +49,13 @@ BENCH_SCALE ?= 3
 bench-baseline:
 	$(GO) run ./cmd/pandabench -engine-json BENCH_engine.json -scale $(BENCH_SCALE)
 
-ci: vet staticcheck race
+# trace-smoke records a small traced benchmark run and validates the
+# exported Chrome trace JSON — the CI observability gate.
+trace-smoke:
+	$(GO) run ./cmd/pandabench -fig fig4 -scale 5 -trace trace.json
+	$(GO) run ./cmd/pandatrace -check trace.json
+
+ci: check race
 
 clean:
 	$(GO) clean -testcache

@@ -21,6 +21,7 @@ import (
 	"os"
 
 	"panda/internal/harness"
+	"panda/internal/obs"
 )
 
 func main() {
@@ -31,6 +32,7 @@ func main() {
 	pipeline := flag.Int("pipeline", 0, "server write pipeline depth (0 = paper's blocking behaviour; 2+ adds write-behind)")
 	readahead := flag.Int("readahead", 0, "server read prefetch depth (0 = paper's serial reads)")
 	engineJSON := flag.String("engine-json", "", "write the staged-engine baseline (Table 1 configs, serial vs staged) as JSON to this file and exit")
+	tracePath := flag.String("trace", "", "record every operation and write Chrome trace-event JSON here (load at ui.perfetto.dev); also prints a per-operation phase breakdown")
 	verbose := flag.Bool("v", false, "print each measurement as it completes")
 	flag.Parse()
 
@@ -41,6 +43,12 @@ func main() {
 		ReadAhead:     *readahead,
 		Verbose:       *verbose,
 	}
+	var rec *obs.Recorder
+	if *tracePath != "" {
+		rec = obs.NewRecorder(0)
+		opt.Trace = rec
+	}
+	defer finishTrace(rec, *tracePath)
 
 	if *engineJSON != "" {
 		runEngineBaseline(*engineJSON, opt)
@@ -73,6 +81,26 @@ func main() {
 		}
 		runFigure(f, opt, *csv)
 	}
+}
+
+// finishTrace writes the recorded trace as Chrome trace-event JSON and
+// prints the per-operation phase breakdown reconstructed from it.
+func finishTrace(rec *obs.Recorder, path string) {
+	if rec == nil || path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatalf("trace: %v", err)
+	}
+	if err := rec.WriteChromeTrace(f); err != nil {
+		log.Fatalf("trace: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("trace: %v", err)
+	}
+	fmt.Printf("trace: wrote %d events to %s (load at https://ui.perfetto.dev)\n", len(rec.Events()), path)
+	fmt.Print(obs.RenderPhases(obs.Phases(rec)))
 }
 
 func runTable1() {

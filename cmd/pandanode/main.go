@@ -14,18 +14,31 @@
 //	  pandanode -role client -hub :7777 -rank $r -clients 4 -servers 2 -size 64 &
 //	done
 //	wait
+//
+// Observability: -trace FILE writes a Chrome trace-event JSON of this
+// node's spans at exit (load it at ui.perfetto.dev); -http ADDR serves
+// /metrics (JSON counters and histograms), /status (live per-operation
+// status page) and /debug/pprof. I/O nodes additionally log a one-line
+// summary of every collective operation they complete.
 package main
 
 import (
 	"encoding/binary"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
+	"strings"
+	"sync"
 
 	"panda/internal/array"
+	"panda/internal/bufpool"
+	"panda/internal/clock"
 	"panda/internal/core"
 	"panda/internal/mpi"
+	"panda/internal/obs"
 	"panda/internal/storage"
 )
 
@@ -43,6 +56,8 @@ func main() {
 	retries := flag.Int("retries", 0, "write-pull retries inside the optimeout budget (requires -optimeout)")
 	pipeline := flag.Int("pipeline", 0, "i/o node write pipeline depth; 2+ overlaps disk writes with network pulls (0 = paper's blocking behaviour)")
 	readahead := flag.Int("readahead", 0, "i/o node read prefetch depth; 1+ overlaps disk reads with scattering (0 = paper's serial reads)")
+	tracePath := flag.String("trace", "", "write this node's Chrome trace-event JSON here at exit (load at ui.perfetto.dev)")
+	httpAddr := flag.String("http", "", "serve /metrics, /status and /debug/pprof on this address (e.g. :8080)")
 	flag.Parse()
 
 	cfg := core.Config{NumClients: *clients, NumServers: *servers, OpTimeout: *opTimeout, PullRetries: *retries, Pipeline: *pipeline, ReadAhead: *readahead}
@@ -50,19 +65,48 @@ func main() {
 		log.Fatal(err)
 	}
 
+	var rec *obs.Recorder
+	if *tracePath != "" {
+		rec = obs.NewRecorder(0)
+		cfg.Trace = rec
+	}
+	var reg *obs.Registry
+	if *httpAddr != "" {
+		reg = obs.NewRegistry()
+		cfg.Metrics = reg
+		bufpool.RegisterMetrics(reg)
+	}
+	ops := &opLogRing{}
+	if *role == "server" {
+		cfg.OpLog = func(s core.OpSummary) {
+			line := summaryLine(s)
+			fmt.Println(line)
+			ops.add(line)
+		}
+	}
+	if *httpAddr != "" {
+		go func() {
+			h := obs.Handler(reg, rec, ops.dump)
+			if err := http.ListenAndServe(*httpAddr, h); err != nil {
+				log.Printf("pandanode: http listener: %v", err)
+			}
+		}()
+	}
+	defer writeTrace(rec, *tracePath)
+
 	dial := func(rank int) (mpi.Comm, func(), error) {
 		if *transport == "mesh" {
 			c, err := mpi.JoinMesh(*hub, rank, cfg.WorldSize())
 			if err != nil {
 				return nil, nil, err
 			}
-			return c, func() { mpi.CloseMesh(c) }, nil
+			return mpi.WrapMetered(c, reg, clock.NewReal()), func() { mpi.CloseMesh(c) }, nil
 		}
 		c, err := mpi.DialComm(*hub, rank, cfg.WorldSize())
 		if err != nil {
 			return nil, nil, err
 		}
-		return c, func() { mpi.CloseComm(c) }, nil
+		return mpi.WrapMetered(c, reg, clock.NewReal()), func() { mpi.CloseComm(c) }, nil
 	}
 
 	switch *role {
@@ -104,6 +148,7 @@ func main() {
 		}
 		fmt.Printf("i/o node %d: serving (rank %d)\n", cfg.ServerIndex(*rank), *rank)
 		if err := core.RunServerNode(cfg, comm, disk); err != nil {
+			writeTrace(rec, *tracePath)
 			log.Fatal(err)
 		}
 		fmt.Printf("i/o node %d: shut down\n", cfg.ServerIndex(*rank))
@@ -115,12 +160,73 @@ func main() {
 		}
 		defer closeComm()
 		if err := core.RunClientNode(cfg, comm, demoApp(cfg, *sizeMB)); err != nil {
+			writeTrace(rec, *tracePath)
 			log.Fatal(err)
 		}
 
 	default:
 		fmt.Fprintln(os.Stderr, "pandanode: -role must be hub, server or client")
 		os.Exit(2)
+	}
+}
+
+// summaryLine renders one completed collective operation the way an
+// operator wants to read it in a log.
+func summaryLine(s core.OpSummary) string {
+	outcome := "ok"
+	if s.Err != nil {
+		outcome = "FAILED: " + s.Err.Error()
+	}
+	return fmt.Sprintf("i/o node %d: op %d %-5s %12d B in %-12v %8.2f MB/s  retries=%d timeouts=%d  %s",
+		s.Server, s.Seq, s.Op, s.Bytes, s.Elapsed, s.MBs(), s.Retries, s.Timeouts, outcome)
+}
+
+// opLogRing keeps the most recent operation summaries for the /status
+// page.
+type opLogRing struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (r *opLogRing) add(line string) {
+	const keep = 32
+	r.mu.Lock()
+	r.lines = append(r.lines, line)
+	if len(r.lines) > keep {
+		r.lines = r.lines[len(r.lines)-keep:]
+	}
+	r.mu.Unlock()
+}
+
+func (r *opLogRing) dump(w io.Writer) {
+	r.mu.Lock()
+	lines := append([]string(nil), r.lines...)
+	r.mu.Unlock()
+	if len(lines) == 0 {
+		fmt.Fprintln(w, "no collective operations completed yet")
+		return
+	}
+	fmt.Fprintf(w, "last %d operations:\n%s\n", len(lines), strings.Join(lines, "\n"))
+}
+
+// writeTrace exports the recorder as Chrome trace-event JSON; nil
+// recorder or empty path is a no-op. Safe to call twice (the second
+// write repeats the first plus any later events).
+func writeTrace(rec *obs.Recorder, path string) {
+	if rec == nil || path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Printf("pandanode: trace: %v", err)
+		return
+	}
+	if err := rec.WriteChromeTrace(f); err == nil {
+		err = f.Close()
+		fmt.Printf("trace: wrote %d events to %s\n", len(rec.Events()), path)
+	} else {
+		f.Close()
+		log.Printf("pandanode: trace: %v", err)
 	}
 }
 

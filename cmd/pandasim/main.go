@@ -20,6 +20,7 @@ import (
 	"panda/internal/core"
 	"panda/internal/harness"
 	"panda/internal/mpi"
+	"panda/internal/obs"
 	"panda/internal/storage"
 )
 
@@ -32,8 +33,10 @@ func main() {
 	disk := flag.String("disk", "aix", "disk model: aix or fast")
 	subchunk := flag.Int64("subchunk", 0, "sub-chunk bytes (0 = 1 MB)")
 	pipeline := flag.Int("pipeline", 0, "write pipeline depth (0 = blocking)")
+	readahead := flag.Int("readahead", 0, "read prefetch depth (0 = serial reads)")
 	arrays := flag.Int("arrays", 1, "arrays per collective call")
 	strategy := flag.String("strategy", "server-directed", "server-directed, two-phase or client-directed")
+	tracePath := flag.String("trace", "", "write the run's Chrome trace-event JSON here (server-directed only; exact virtual-time spans) and print a phase breakdown")
 	flag.Parse()
 
 	mesh, ok := harness.Meshes()[*cn]
@@ -54,7 +57,12 @@ func main() {
 	if *schema == "trad" {
 		f.Schema = harness.Traditional
 	}
-	opt := harness.Options{SubchunkBytes: *subchunk, Pipeline: *pipeline}
+	opt := harness.Options{SubchunkBytes: *subchunk, Pipeline: *pipeline, ReadAhead: *readahead}
+	var rec *obs.Recorder
+	if *tracePath != "" {
+		rec = obs.NewRecorder(0)
+		opt.Trace = rec
+	}
 
 	if *strategy == "server-directed" {
 		p, err := harness.RunCell(f, *sizeMB*harness.MB, *ion, opt)
@@ -69,7 +77,29 @@ func main() {
 		fmt.Printf("  messages     %d\n", p.Messages)
 		fmt.Printf("  reorg bytes  %d\n", p.ReorgBytes)
 		fmt.Printf("  disk seeks   %d\n", p.Seeks)
+		if p.OverlapNanos > 0 || p.StallNanos > 0 {
+			fmt.Printf("  overlap      %v hidden, %v stalled\n",
+				time.Duration(p.OverlapNanos).Round(time.Microsecond),
+				time.Duration(p.StallNanos).Round(time.Microsecond))
+		}
+		if rec != nil {
+			out, err := os.Create(*tracePath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := rec.WriteChromeTrace(out); err != nil {
+				log.Fatal(err)
+			}
+			if err := out.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("trace: wrote %d events to %s (load at https://ui.perfetto.dev)\n", len(rec.Events()), *tracePath)
+			fmt.Print(obs.RenderPhases(obs.Phases(rec)))
+		}
 		return
+	}
+	if rec != nil {
+		log.Fatal("-trace is only supported with -strategy server-directed")
 	}
 
 	// Baseline strategies (writes only expose the interesting

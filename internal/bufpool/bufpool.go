@@ -18,6 +18,8 @@ package bufpool
 import (
 	"sync"
 	"sync/atomic"
+
+	"panda/internal/obs"
 )
 
 // frameSlack is the extra room of each class's frame sibling: enough
@@ -118,4 +120,17 @@ func Put(b []byte) {
 // counts since process start.
 func Stats() (got, put, dropped int64) {
 	return gets.Load(), puts.Load(), drops.Load()
+}
+
+// RegisterMetrics exposes the pool's counters through an observability
+// registry as live gauges: gets, puts, drops, and the derived live
+// count (buffers currently checked out). nil registries are ignored.
+func RegisterMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.Func("bufpool_gets", func() int64 { return gets.Load() })
+	r.Func("bufpool_puts", func() int64 { return puts.Load() })
+	r.Func("bufpool_drops", func() int64 { return drops.Load() })
+	r.Func("bufpool_live", func() int64 { return gets.Load() - puts.Load() })
 }

@@ -3,12 +3,14 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"panda/internal/array"
 	"panda/internal/bufpool"
 	"panda/internal/clock"
 	"panda/internal/mpi"
+	"panda/internal/obs"
 )
 
 // Client is a Panda client: the library code linked into the
@@ -21,6 +23,8 @@ type Client struct {
 	cfg  Config
 	comm mpi.Comm
 	clk  clock.Clock
+	tr   obs.Track
+	met  nodeMetrics
 
 	stats   Stats
 	elapsed time.Duration
@@ -29,7 +33,13 @@ type Client struct {
 
 // NewClient creates the client endpoint for one compute node.
 func NewClient(cfg Config, comm mpi.Comm, clk clock.Clock) *Client {
-	return &Client{cfg: cfg, comm: comm, clk: clk}
+	return &Client{
+		cfg:  cfg,
+		comm: comm,
+		clk:  clk,
+		tr:   cfg.Trace.Track(fmt.Sprintf("client%d", comm.Rank())),
+		met:  newNodeMetrics(cfg.Metrics),
+	}
 }
 
 // Rank returns this client's rank, which is also the memory-chunk
@@ -39,8 +49,9 @@ func (c *Client) Rank() int { return c.comm.Rank() }
 // IsMaster reports whether this is the master client.
 func (c *Client) IsMaster() bool { return c.comm.Rank() == c.cfg.MasterClient() }
 
-// Stats returns the client's traffic counters.
-func (c *Client) Stats() Stats { return c.stats }
+// Stats returns a race-clean snapshot of the client's traffic
+// counters; safe to call from any goroutine, even mid-operation.
+func (c *Client) Stats() Stats { return c.stats.snapshot() }
 
 // LastElapsed reports the time this client spent inside its most
 // recent collective call — the quantity the paper's elapsed-time
@@ -60,9 +71,18 @@ func (c *Client) ReadArrays(suffix string, specs []ArraySpec, bufs [][]byte) err
 }
 
 func (c *Client) send(to, tag int, data []byte) {
-	c.stats.MsgsSent++
-	c.stats.BytesSent += int64(len(data))
+	atomic.AddInt64(&c.stats.MsgsSent, 1)
+	atomic.AddInt64(&c.stats.BytesSent, int64(len(data)))
+	c.met.msgsSent.Add(1)
+	c.met.bytesSent.Add(int64(len(data)))
 	c.comm.SendOwned(to, tag, data)
+}
+
+func (c *Client) countRecv(n int) {
+	atomic.AddInt64(&c.stats.MsgsRecv, 1)
+	atomic.AddInt64(&c.stats.BytesRecv, int64(n))
+	c.met.msgsRecv.Add(1)
+	c.met.bytesRecv.Add(int64(n))
 }
 
 func (c *Client) collective(op byte, suffix string, specs []ArraySpec, bufs [][]byte) error {
@@ -75,12 +95,14 @@ func (c *Client) collective(op byte, suffix string, specs []ArraySpec, bufs [][]
 	if len(bufs) != len(specs) {
 		return fmt.Errorf("core: %d buffers for %d arrays", len(bufs), len(specs))
 	}
+	var chunkBytes int64
 	for i, spec := range specs {
 		want := spec.MemChunkBytes(c.Rank())
 		if int64(len(bufs[i])) != want {
 			return fmt.Errorf("core: client %d: buffer for array %s holds %d bytes, chunk needs %d",
 				c.Rank(), spec.Name, len(bufs[i]), want)
 		}
+		chunkBytes += want
 	}
 
 	// The master client sends the high-level request to the master
@@ -91,9 +113,14 @@ func (c *Client) collective(op byte, suffix string, specs []ArraySpec, bufs [][]
 	// in the tag.
 	seq := c.opSeq
 	c.opSeq++
+	if c.tr.Enabled() {
+		defer func() { c.tr.Span(obs.CatOp, opName(op), seq, start, c.clk.Now(), chunkBytes) }()
+	}
 	deadline := clientOpDeadline(c.cfg, c.clk)
 	if c.IsMaster() {
-		c.send(c.cfg.MasterServer(), tagControl, encodeOpRequest(opRequest{Op: op, Seq: uint32(seq), Suffix: suffix, Specs: specs}))
+		req := encodeOpRequest(opRequest{Op: op, Seq: uint32(seq), Suffix: suffix, Specs: specs})
+		c.tr.Instant(obs.CatCtl, "op request", seq, c.clk.Now(), int64(len(req)))
+		c.send(c.cfg.MasterServer(), tagControl, req)
 	}
 
 	// On reads the client knows exactly how many bytes it must absorb,
@@ -103,9 +130,7 @@ func (c *Client) collective(op byte, suffix string, specs []ArraySpec, bufs [][]
 	var wantBytes, gotBytes int64
 	var seen map[string]bool
 	if op == opRead {
-		for _, spec := range specs {
-			wantBytes += spec.MemChunkBytes(c.Rank())
-		}
+		wantBytes = chunkBytes
 		seen = make(map[string]bool)
 	}
 	completed := false
@@ -114,13 +139,20 @@ func (c *Client) collective(op byte, suffix string, specs []ArraySpec, bufs [][]
 		if completed && gotBytes >= wantBytes {
 			return nil
 		}
+		var w0 time.Duration
+		if c.met.recvWait != nil {
+			w0 = c.clk.Now()
+		}
 		m, err := recvBounded(c.comm, c.clk, mpi.AnySource, tagToClient(seq), deadline)
 		if err != nil {
-			c.stats.Timeouts++
+			atomic.AddInt64(&c.stats.Timeouts, 1)
+			c.met.timeouts.Add(1)
 			return fmt.Errorf("core: client %d, operation %d: %w", c.Rank(), seq, err)
 		}
-		c.stats.MsgsRecv++
-		c.stats.BytesRecv += int64(len(m.Data))
+		if c.met.recvWait != nil {
+			c.met.recvWait.Observe(int64(c.clk.Now() - w0))
+		}
+		c.countRecv(len(m.Data))
 		if len(m.Data) == 0 {
 			return errors.New("core: client received empty message")
 		}
@@ -145,7 +177,7 @@ func (c *Client) collective(op byte, suffix string, specs []ArraySpec, bufs [][]
 				bufpool.Put(m.Data)
 				continue // duplicate delivery of a piece already absorbed
 			}
-			if err := c.absorbData(specs, bufs, d); err != nil {
+			if err := c.absorbData(seq, specs, bufs, d); err != nil {
 				return err
 			}
 			if seen != nil {
@@ -167,6 +199,7 @@ func (c *Client) collective(op byte, suffix string, specs []ArraySpec, bufs [][]
 					c.send(i, tagToClient(seq), cp)
 				}
 			}
+			c.tr.Instant(obs.CatCtl, "complete", seq, c.clk.Now(), 0)
 			if status != nil {
 				return status
 			}
@@ -197,6 +230,10 @@ func (c *Client) serveRequest(seq int, specs []ArraySpec, bufs [][]byte, server 
 		return fmt.Errorf("core: client %d: request %v outside chunk %v", c.Rank(), q.Region, chunk)
 	}
 
+	var t0 time.Duration
+	if c.tr.Enabled() {
+		t0 = c.clk.Now()
+	}
 	var payload, tmp []byte
 	if off, contig := array.ContiguousIn(chunk, q.Region); contig {
 		start := off * int64(spec.ElemSize)
@@ -205,7 +242,7 @@ func (c *Client) serveRequest(seq int, specs []ArraySpec, bufs [][]byte, server 
 	} else {
 		tmp = array.Extract(bufs[q.ArrayIdx], chunk, q.Region, spec.ElemSize)
 		payload = tmp
-		c.chargeReorg(int64(len(payload)))
+		c.chargeReorg(seq, int64(len(payload)))
 	}
 	c.send(server, tagToServer(seq), encodeSubData(subData{
 		ArrayIdx: q.ArrayIdx,
@@ -216,12 +253,15 @@ func (c *Client) serveRequest(seq int, specs []ArraySpec, bufs [][]byte, server 
 	if tmp != nil {
 		bufpool.Put(tmp) // the frame copied it; recycle the extract scratch
 	}
+	if c.tr.Enabled() {
+		c.tr.Span(obs.CatNet, "serve piece", seq, t0, c.clk.Now(), int64(len(payload)))
+	}
 	return nil
 }
 
 // absorbData deposits one received piece into the local chunk during a
 // read.
-func (c *Client) absorbData(specs []ArraySpec, bufs [][]byte, d subData) error {
+func (c *Client) absorbData(seq int, specs []ArraySpec, bufs [][]byte, d subData) error {
 	if d.ArrayIdx < 0 || d.ArrayIdx >= len(specs) {
 		return fmt.Errorf("core: client %d: data for array %d of %d", c.Rank(), d.ArrayIdx, len(specs))
 	}
@@ -237,15 +277,20 @@ func (c *Client) absorbData(specs []ArraySpec, bufs [][]byte, d subData) error {
 	_, contig := array.ContiguousIn(chunk, d.Region)
 	array.CopyRegion(bufs[d.ArrayIdx], chunk, d.Payload, d.Region, d.Region, spec.ElemSize)
 	if !contig {
-		c.chargeReorg(want)
+		c.chargeReorg(seq, want)
 	}
 	return nil
 }
 
-func (c *Client) chargeReorg(n int64) {
-	c.stats.ReorgBytes += n
+// chargeReorg accounts for a strided copy of n bytes during operation
+// seq.
+func (c *Client) chargeReorg(seq int, n int64) {
+	atomic.AddInt64(&c.stats.ReorgBytes, n)
+	c.met.reorgBytes.Add(n)
 	if c.cfg.CopyRate > 0 {
+		t0 := c.clk.Now()
 		c.clk.Sleep(copyCost(n, c.cfg.CopyRate))
+		c.tr.Span(obs.CatReorg, "reorg copy", seq, t0, c.clk.Now(), n)
 	}
 }
 

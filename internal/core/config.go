@@ -32,6 +32,8 @@ package core
 import (
 	"fmt"
 	"time"
+
+	"panda/internal/obs"
 )
 
 // DefaultSubchunkBytes is the sub-chunk size limit used for every
@@ -91,6 +93,50 @@ type Config struct {
 	// retries mask transient message loss. 0 means no retries; the
 	// field is meaningless unless OpTimeout is set.
 	PullRetries int
+	// Trace, when non-nil, records a structured trace of every
+	// collective operation on every node sharing this configuration:
+	// op/plan/network/disk/stall/reorg spans timestamped by each
+	// node's clock (exact under virtual time, wall-coherent under
+	// RunReal). nil — the default — disables tracing at the cost of
+	// one branch per instrumentation point.
+	Trace *obs.Recorder
+	// Metrics, when non-nil, aggregates cluster-wide counters and
+	// bounded histograms (message traffic, sub-chunk latency, receive
+	// waits, staged-queue depth) into the registry. nil disables.
+	Metrics *obs.Registry
+	// OpLog, when non-nil, receives a summary of every collective
+	// operation a server completes (success or failure), from the
+	// server's own goroutine. pandanode uses it for per-operation log
+	// lines; keep the callback cheap.
+	OpLog func(OpSummary)
+}
+
+// OpSummary describes one completed collective operation on one
+// server: what it did and what the robustness machinery absorbed.
+type OpSummary struct {
+	// Server is the reporting server's index.
+	Server int
+	// Seq is the operation sequence number.
+	Seq int
+	// Op is "write" or "read".
+	Op string
+	// Bytes is this server's share of the operation's payload.
+	Bytes int64
+	// Elapsed is the server's time inside the operation.
+	Elapsed time.Duration
+	// Retries and Timeouts are this operation's deltas of the
+	// corresponding Stats counters.
+	Retries, Timeouts int64
+	// Err is the operation's outcome on this server (nil = success).
+	Err error
+}
+
+// MBs returns the summary's throughput in MB/s (2^20 bytes).
+func (s OpSummary) MBs() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Bytes) / (1 << 20) / s.Elapsed.Seconds()
 }
 
 // Validate checks the configuration.

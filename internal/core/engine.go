@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"panda/internal/bufpool"
 	"panda/internal/clock"
+	"panda/internal/obs"
 	"panda/internal/storage"
 )
 
@@ -42,6 +44,17 @@ import (
 // the storage stage discards queued work. Either way the mover joins
 // the storage stage before returning, so an operation never leaks a
 // concurrent activity, and the first error in pipeline order wins.
+//
+// Observability: disk spans land on the "serverN/storage" track (a
+// separate Chrome thread under the server's process), stall spans on
+// the mover's own track, so a trace viewer shows overlap directly as
+// concurrent disk and network spans. Stall spans shorter than 1µs are
+// suppressed — a real-clock hand-off through an unfull pipe costs
+// nanoseconds and is not a stall.
+
+// stallSpanFloor filters hand-off noise out of stall spans; the stall
+// *counters* still accumulate every nanosecond.
+const stallSpanFloor = time.Microsecond
 
 // stageResult is what the storage stage reports back when it drains:
 // its outcome and the time it spent inside disk calls.
@@ -92,10 +105,16 @@ type readSource interface {
 // stats: the disk time the pipeline hid is what the storage stage spent
 // on disk beyond the mover's waits for it.
 func (s *Server) mergeStage(diskNanos, stallNanos int64) {
-	s.stats.StallNanos += stallNanos
+	atomic.AddInt64(&s.stats.StallNanos, stallNanos)
 	if hidden := diskNanos - stallNanos; hidden > 0 {
-		s.stats.OverlapNanos += hidden
+		atomic.AddInt64(&s.stats.OverlapNanos, hidden)
 	}
+}
+
+// storageTrack resolves the disk-stage trace track for this server:
+// same Chrome process as the mover, its own thread.
+func (s *Server) storageTrack() obs.Track {
+	return s.cfg.Trace.Track(fmt.Sprintf("server%d/storage", s.index))
 }
 
 // --- write path ---------------------------------------------------------
@@ -110,16 +129,28 @@ func (s *Server) newWriteSink(name string) (writeSink, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &serialWriteSink{f: f}, nil
+	return &serialWriteSink{f: f, clk: s.clk, tr: s.storageTrack(), seq: s.opSeq}, nil
 }
 
 // serialWriteSink is the paper's behaviour: WriteAt inline on the mover.
+// Disk spans still land on the storage track so serial and staged
+// traces line up column-for-column.
 type serialWriteSink struct {
-	f storage.File
+	f   storage.File
+	clk clock.Clock
+	tr  obs.Track
+	seq int
 }
 
 func (k *serialWriteSink) write(buf []byte, off int64, pooled bool) error {
+	var t0 time.Duration
+	if k.tr.Enabled() {
+		t0 = k.clk.Now()
+	}
 	_, err := k.f.WriteAt(buf, off)
+	if k.tr.Enabled() {
+		k.tr.Span(obs.CatDisk, "WriteAt", k.seq, t0, k.clk.Now(), int64(len(buf)))
+	}
 	if pooled {
 		bufpool.Put(buf)
 	}
@@ -142,6 +173,10 @@ func (k *serialWriteSink) report() (int64, int64) { return 0, 0 }
 // bounded pipe and writes behind the network.
 type stagedWriteSink struct {
 	clk    clock.Clock // the mover's clock: stalls are charged to it
+	tr     obs.Track   // the mover's track: stall spans land here
+	seq    int
+	depth  atomic.Int64 // queued sub-chunks (mover pushes, stage pops)
+	met    *obs.Histogram
 	pipe   clock.Pipe
 	done   clock.Pipe
 	stop   *atomic.Bool
@@ -153,11 +188,16 @@ type stagedWriteSink struct {
 func (s *Server) newStagedWriteSink(dom clock.Domain, name string) *stagedWriteSink {
 	k := &stagedWriteSink{
 		clk:  s.clk,
+		tr:   s.tr,
+		seq:  s.opSeq,
+		met:  s.met.queueDepth,
 		pipe: dom.NewPipe(s.cfg.pipeline()),
 		done: dom.NewPipe(1),
 		stop: new(atomic.Bool),
 	}
 	disk := s.disk
+	str := s.storageTrack()
+	seq := s.opSeq
 	dom.Go(fmt.Sprintf("server%d-writer", s.index), func(clk clock.Clock) {
 		d := storage.RebindClock(disk, clk)
 		var diskNanos int64
@@ -170,6 +210,7 @@ func (s *Server) newStagedWriteSink(dom clock.Domain, name string) *stagedWriteS
 			if !ok {
 				break
 			}
+			k.depth.Add(-1)
 			it := v.(wbItem)
 			if err == nil && !k.stop.Load() {
 				t0 := clk.Now()
@@ -177,7 +218,9 @@ func (s *Server) newStagedWriteSink(dom clock.Domain, name string) *stagedWriteS
 					err = werr
 					k.stop.Store(true)
 				}
-				diskNanos += int64(clk.Now() - t0)
+				t1 := clk.Now()
+				diskNanos += int64(t1 - t0)
+				str.Span(obs.CatDisk, "WriteAt", seq, t0, t1, int64(len(it.buf)))
 			}
 			if it.pooled {
 				bufpool.Put(it.buf)
@@ -204,7 +247,11 @@ func (k *stagedWriteSink) join() {
 	k.pipe.Close()
 	t0 := k.clk.Now()
 	v, ok := k.done.Pop()
-	k.stall += int64(k.clk.Now() - t0)
+	t1 := k.clk.Now()
+	k.stall += int64(t1 - t0)
+	if t1-t0 >= stallSpanFloor {
+		k.tr.Span(obs.CatStall, "join storage", k.seq, t0, t1, 0)
+	}
 	if ok {
 		k.res = v.(stageResult)
 	} else {
@@ -225,9 +272,14 @@ func (k *stagedWriteSink) write(buf []byte, off int64, pooled bool) error {
 		}
 		return errStorageStopped
 	}
+	k.met.Observe(k.depth.Add(1))
 	t0 := k.clk.Now()
 	k.pipe.Push(wbItem{buf: buf, off: off, pooled: pooled})
-	k.stall += int64(k.clk.Now() - t0)
+	t1 := k.clk.Now()
+	k.stall += int64(t1 - t0)
+	if t1-t0 >= stallSpanFloor {
+		k.tr.Span(obs.CatStall, "write-behind full", k.seq, t0, t1, int64(len(buf)))
+	}
 	return nil
 }
 
@@ -255,7 +307,7 @@ func (s *Server) newReadSource(spec ArraySpec, name string, subs []subchunkJob) 
 	if err != nil {
 		return nil, err
 	}
-	return &serialReadSource{f: f}, nil
+	return &serialReadSource{f: f, clk: s.clk, tr: s.storageTrack(), seq: s.opSeq}, nil
 }
 
 // openForRead opens the array file and checks it holds this server's
@@ -278,14 +330,24 @@ func (s *Server) openForRead(d storage.Disk, spec ArraySpec, name string) (stora
 
 // serialReadSource is the paper's behaviour: ReadAt inline on the mover.
 type serialReadSource struct {
-	f storage.File
+	f   storage.File
+	clk clock.Clock
+	tr  obs.Track
+	seq int
 }
 
 func (k *serialReadSource) next(sj subchunkJob) ([]byte, error) {
 	buf := bufpool.GetRaw(int(sj.Bytes))
+	var t0 time.Duration
+	if k.tr.Enabled() {
+		t0 = k.clk.Now()
+	}
 	if _, err := k.f.ReadAt(buf, sj.FileOffset); err != nil {
 		bufpool.Put(buf)
 		return nil, err
+	}
+	if k.tr.Enabled() {
+		k.tr.Span(obs.CatDisk, "ReadAt", k.seq, t0, k.clk.Now(), sj.Bytes)
 	}
 	return buf, nil
 }
@@ -301,6 +363,10 @@ func (k *serialReadSource) report() (int64, int64) { return 0, 0 }
 // storage activity issues the ReadAt calls in plan order.
 type stagedReadSource struct {
 	clk    clock.Clock
+	tr     obs.Track
+	seq    int
+	depth  atomic.Int64
+	met    *obs.Histogram
 	pipe   clock.Pipe
 	done   clock.Pipe
 	stop   *atomic.Bool
@@ -312,12 +378,17 @@ type stagedReadSource struct {
 func (s *Server) newStagedReadSource(dom clock.Domain, spec ArraySpec, name string, subs []subchunkJob) *stagedReadSource {
 	k := &stagedReadSource{
 		clk:  s.clk,
+		tr:   s.tr,
+		seq:  s.opSeq,
+		met:  s.met.queueDepth,
 		pipe: dom.NewPipe(s.cfg.readAhead()),
 		done: dom.NewPipe(1),
 		stop: new(atomic.Bool),
 	}
 	disk := s.disk
 	srv := s
+	str := s.storageTrack()
+	seq := s.opSeq
 	dom.Go(fmt.Sprintf("server%d-reader", s.index), func(clk clock.Clock) {
 		d := storage.RebindClock(disk, clk)
 		var diskNanos int64
@@ -330,12 +401,15 @@ func (s *Server) newStagedReadSource(dom clock.Domain, spec ArraySpec, name stri
 				buf := bufpool.GetRaw(int(sj.Bytes))
 				t0 := clk.Now()
 				_, rerr := f.ReadAt(buf, sj.FileOffset)
-				diskNanos += int64(clk.Now() - t0)
+				t1 := clk.Now()
+				diskNanos += int64(t1 - t0)
 				if rerr != nil {
 					bufpool.Put(buf)
 					err = rerr
 					break
 				}
+				str.Span(obs.CatDisk, "ReadAt", seq, t0, t1, sj.Bytes)
+				k.met.Observe(k.depth.Add(1))
 				k.pipe.Push(rdItem{buf: buf})
 			}
 			f.Close()
@@ -349,7 +423,11 @@ func (s *Server) newStagedReadSource(dom clock.Domain, spec ArraySpec, name stri
 func (k *stagedReadSource) next(sj subchunkJob) ([]byte, error) {
 	t0 := k.clk.Now()
 	v, ok := k.pipe.Pop()
-	k.stall += int64(k.clk.Now() - t0)
+	t1 := k.clk.Now()
+	k.stall += int64(t1 - t0)
+	if t1-t0 >= stallSpanFloor {
+		k.tr.Span(obs.CatStall, "prefetch wait", k.seq, t0, t1, sj.Bytes)
+	}
 	if !ok {
 		// Producer ended before delivering this sub-chunk: join and
 		// surface its error.
@@ -359,6 +437,7 @@ func (k *stagedReadSource) next(sj subchunkJob) ([]byte, error) {
 		}
 		return nil, errStorageStopped
 	}
+	k.depth.Add(-1)
 	return v.(rdItem).buf, nil
 }
 
@@ -377,7 +456,11 @@ func (k *stagedReadSource) join() {
 	}
 	t0 := k.clk.Now()
 	v, ok := k.done.Pop()
-	k.stall += int64(k.clk.Now() - t0)
+	t1 := k.clk.Now()
+	k.stall += int64(t1 - t0)
+	if t1-t0 >= stallSpanFloor {
+		k.tr.Span(obs.CatStall, "join storage", k.seq, t0, t1, 0)
+	}
 	if ok {
 		k.res = v.(stageResult)
 	} else {

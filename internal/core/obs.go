@@ -1,0 +1,81 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"panda/internal/obs"
+)
+
+// obs.go is the core-side observability glue: per-node instrument
+// handles resolved once at node construction, so the hot path pays a
+// nil check — never a map lookup — per event.
+
+// nodeMetrics caches a node's instruments. With Config.Metrics nil
+// every field is nil and every use is a no-op (obs instruments are
+// nil-safe).
+type nodeMetrics struct {
+	msgsSent, bytesSent *obs.Counter
+	msgsRecv, bytesRecv *obs.Counter
+	reorgBytes          *obs.Counter
+	timeouts, retries   *obs.Counter
+	aborts              *obs.Counter
+	// subLatency observes sub-chunk service time: write pulls from
+	// first request to retirement, read sub-chunks from disk fetch to
+	// last piece sent.
+	subLatency *obs.Histogram
+	// recvWait observes time blocked waiting for a protocol message —
+	// the node-local flavour of message latency.
+	recvWait *obs.Histogram
+	// queueDepth observes the staged engine's inter-stage queue
+	// occupancy at every hand-off.
+	queueDepth *obs.Histogram
+}
+
+func newNodeMetrics(r *obs.Registry) nodeMetrics {
+	if r == nil {
+		return nodeMetrics{}
+	}
+	return nodeMetrics{
+		msgsSent:   r.Counter("msgs_sent"),
+		bytesSent:  r.Counter("bytes_sent"),
+		msgsRecv:   r.Counter("msgs_recv"),
+		bytesRecv:  r.Counter("bytes_recv"),
+		reorgBytes: r.Counter("reorg_bytes"),
+		timeouts:   r.Counter("timeouts"),
+		retries:    r.Counter("retries"),
+		aborts:     r.Counter("aborts"),
+		subLatency: r.Histogram("subchunk_latency_ns", obs.LatencyBounds),
+		recvWait:   r.Histogram("recv_wait_ns", obs.LatencyBounds),
+		queueDepth: r.Histogram("stage_queue_depth", obs.DepthBounds),
+	}
+}
+
+// opName renders an operation kind for traces and summaries.
+func opName(op byte) string {
+	switch op {
+	case opWrite:
+		return "write"
+	case opRead:
+		return "read"
+	}
+	return "?"
+}
+
+// snapshot returns a race-clean copy of the counters: every field is
+// loaded atomically, matching the atomic increments on the mutation
+// side, so Stats() may be called from any goroutine at any time —
+// including mid-operation and during aborts.
+func (st *Stats) snapshot() Stats {
+	return Stats{
+		MsgsSent:     atomic.LoadInt64(&st.MsgsSent),
+		BytesSent:    atomic.LoadInt64(&st.BytesSent),
+		MsgsRecv:     atomic.LoadInt64(&st.MsgsRecv),
+		BytesRecv:    atomic.LoadInt64(&st.BytesRecv),
+		ReorgBytes:   atomic.LoadInt64(&st.ReorgBytes),
+		Timeouts:     atomic.LoadInt64(&st.Timeouts),
+		Retries:      atomic.LoadInt64(&st.Retries),
+		Aborts:       atomic.LoadInt64(&st.Aborts),
+		OverlapNanos: atomic.LoadInt64(&st.OverlapNanos),
+		StallNanos:   atomic.LoadInt64(&st.StallNanos),
+	}
+}

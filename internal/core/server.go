@@ -3,12 +3,14 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"panda/internal/array"
 	"panda/internal/bufpool"
 	"panda/internal/clock"
 	"panda/internal/mpi"
+	"panda/internal/obs"
 	"panda/internal/storage"
 )
 
@@ -21,13 +23,18 @@ type Server struct {
 	disk  storage.Disk
 	clk   clock.Clock
 	index int // server index in [0, NumServers)
+	tr    obs.Track
+	met   nodeMetrics
 
 	nextReqID uint32
-	opSeq     int // sequence of the operation being handled
+	opSeq     int   // sequence of the operation being handled
+	opBytes   int64 // payload bytes this server moved in the current operation
 	stats     Stats
 }
 
-// Stats counts a node's traffic during collective operations.
+// Stats counts a node's traffic during collective operations. Fields
+// are mutated with atomic adds and snapshotted with atomic loads (via
+// the Stats accessors), so readers may sample a live node.
 type Stats struct {
 	// MsgsSent and BytesSent count outgoing protocol messages.
 	MsgsSent, BytesSent int64
@@ -60,11 +67,21 @@ type Stats struct {
 // NewServer creates the server for one I/O node. disk is that node's
 // file system and clk its clock.
 func NewServer(cfg Config, comm mpi.Comm, disk storage.Disk, clk clock.Clock) *Server {
-	return &Server{cfg: cfg, comm: comm, disk: disk, clk: clk, index: cfg.ServerIndex(comm.Rank())}
+	idx := cfg.ServerIndex(comm.Rank())
+	return &Server{
+		cfg:   cfg,
+		comm:  comm,
+		disk:  disk,
+		clk:   clk,
+		index: idx,
+		tr:    cfg.Trace.Track(fmt.Sprintf("server%d", idx)),
+		met:   newNodeMetrics(cfg.Metrics),
+	}
 }
 
-// Stats returns the server's traffic counters.
-func (s *Server) Stats() Stats { return s.stats }
+// Stats returns a race-clean snapshot of the server's traffic
+// counters; safe to call from any goroutine, even mid-operation.
+func (s *Server) Stats() Stats { return s.stats.snapshot() }
 
 // IsMaster reports whether this is the master server.
 func (s *Server) IsMaster() bool { return s.comm.Rank() == s.cfg.MasterServer() }
@@ -104,6 +121,13 @@ func (s *Server) Serve() error {
 	}
 }
 
+func (s *Server) countRecv(n int) {
+	atomic.AddInt64(&s.stats.MsgsRecv, 1)
+	atomic.AddInt64(&s.stats.BytesRecv, int64(n))
+	s.met.msgsRecv.Add(1)
+	s.met.bytesRecv.Add(int64(n))
+}
+
 // recvControl waits — idle, between operations — for the next request
 // or shutdown on the control tag. Without deadlines this is a plain
 // blocking receive. With deadlines it wakes every OpTimeout to check
@@ -112,15 +136,13 @@ func (s *Server) recvControl() (mpi.Message, error) {
 	dc, bounded := s.comm.(mpi.DeadlineComm)
 	if s.cfg.OpTimeout <= 0 || !bounded {
 		m := s.comm.Recv(mpi.AnySource, tagControl)
-		s.stats.MsgsRecv++
-		s.stats.BytesRecv += int64(len(m.Data))
+		s.countRecv(len(m.Data))
 		return m, nil
 	}
 	for {
 		m, err := dc.RecvTimeout(mpi.AnySource, tagControl, s.cfg.OpTimeout)
 		if err == nil {
-			s.stats.MsgsRecv++
-			s.stats.BytesRecv += int64(len(m.Data))
+			s.countRecv(len(m.Data))
 			return m, nil
 		}
 		if errors.Is(err, mpi.ErrTimeout) {
@@ -138,10 +160,16 @@ func (s *Server) recvControl() (mpi.Message, error) {
 // positive, bounds this single wait so the caller can re-request lost
 // pulls before the operation budget runs out.
 func (s *Server) recvData(deadline, quiet time.Duration) (mpi.Message, error) {
+	var w0 time.Duration
+	if s.met.recvWait != nil {
+		w0 = s.clk.Now()
+	}
 	if deadline <= 0 {
 		m := s.comm.Recv(mpi.AnySource, tagToServer(s.opSeq))
-		s.stats.MsgsRecv++
-		s.stats.BytesRecv += int64(len(m.Data))
+		if s.met.recvWait != nil {
+			s.met.recvWait.Observe(int64(s.clk.Now() - w0))
+		}
+		s.countRecv(len(m.Data))
 		return m, nil
 	}
 	wait := deadline
@@ -152,14 +180,18 @@ func (s *Server) recvData(deadline, quiet time.Duration) (mpi.Message, error) {
 	if err != nil {
 		return mpi.Message{}, err
 	}
-	s.stats.MsgsRecv++
-	s.stats.BytesRecv += int64(len(m.Data))
+	if s.met.recvWait != nil {
+		s.met.recvWait.Observe(int64(s.clk.Now() - w0))
+	}
+	s.countRecv(len(m.Data))
 	return m, nil
 }
 
 func (s *Server) send(to, tag int, data []byte) {
-	s.stats.MsgsSent++
-	s.stats.BytesSent += int64(len(data))
+	atomic.AddInt64(&s.stats.MsgsSent, 1)
+	atomic.AddInt64(&s.stats.BytesSent, int64(len(data)))
+	s.met.msgsSent.Add(1)
+	s.met.bytesSent.Add(int64(len(data)))
 	s.comm.SendOwned(to, tag, data)
 }
 
@@ -167,6 +199,32 @@ func (s *Server) send(to, tag int, data []byte) {
 // req/decodeErr are the already-decoded request (decoding happens in
 // Serve so the sequence can be adopted before any deadline starts).
 func (s *Server) handleOp(raw []byte, req opRequest, decodeErr error) {
+	opStart := s.clk.Now()
+	s.opBytes = 0
+	retries0 := atomic.LoadInt64(&s.stats.Retries)
+	timeouts0 := atomic.LoadInt64(&s.stats.Timeouts)
+	finalErr := decodeErr
+	if s.tr.Enabled() || s.cfg.OpLog != nil {
+		defer func() {
+			end := s.clk.Now()
+			if s.tr.Enabled() {
+				s.tr.Span(obs.CatOp, opName(req.Op), s.opSeq, opStart, end, s.opBytes)
+			}
+			if s.cfg.OpLog != nil {
+				s.cfg.OpLog(OpSummary{
+					Server:   s.index,
+					Seq:      s.opSeq,
+					Op:       opName(req.Op),
+					Bytes:    s.opBytes,
+					Elapsed:  end - opStart,
+					Retries:  atomic.LoadInt64(&s.stats.Retries) - retries0,
+					Timeouts: atomic.LoadInt64(&s.stats.Timeouts) - timeouts0,
+					Err:      finalErr,
+				})
+			}
+		}()
+	}
+
 	deadline := opDeadline(s.cfg, s.clk)
 	err := decodeErr
 
@@ -176,6 +234,7 @@ func (s *Server) handleOp(raw []byte, req opRequest, decodeErr error) {
 		if s.cfg.StartupOverhead > 0 {
 			s.clk.Sleep(s.cfg.StartupOverhead)
 		}
+		s.tr.Instant(obs.CatCtl, "forward request", s.opSeq, s.clk.Now(), int64(len(raw)))
 		for i := 0; i < s.cfg.NumServers; i++ {
 			if rank := s.cfg.ServerRank(i); rank != s.comm.Rank() {
 				cp := make([]byte, len(raw))
@@ -193,6 +252,7 @@ func (s *Server) handleOp(raw []byte, req opRequest, decodeErr error) {
 	}
 
 	if !s.IsMaster() {
+		finalErr = err
 		s.send(s.cfg.MasterServer(), tagDoneFor(s.opSeq), encodeStatus(msgDone, err))
 		return
 	}
@@ -211,14 +271,14 @@ func (s *Server) handleOp(raw []byte, req opRequest, decodeErr error) {
 	for i := 1; i < s.cfg.NumServers; i++ {
 		m, rerr := recvBounded(s.comm, s.clk, mpi.AnySource, tagDoneFor(s.opSeq), collectBy)
 		if rerr != nil {
-			s.stats.Timeouts++
+			atomic.AddInt64(&s.stats.Timeouts, 1)
+			s.met.timeouts.Add(1)
 			if status == nil {
 				status = fmt.Errorf("core: master server: waiting for server completions: %w", rerr)
 			}
 			break
 		}
-		s.stats.MsgsRecv++
-		s.stats.BytesRecv += int64(len(m.Data))
+		s.countRecv(len(m.Data))
 		r := rbuf{b: m.Data}
 		if t := r.u8(); t != msgDone {
 			if status == nil {
@@ -237,13 +297,16 @@ func (s *Server) handleOp(raw []byte, req opRequest, decodeErr error) {
 		// Abort broadcast: unstick any server still waiting for pulls
 		// of this operation. Servers that already finished see the
 		// abort on a stale tag and never read it — harmless.
-		s.stats.Aborts++
+		atomic.AddInt64(&s.stats.Aborts, 1)
+		s.met.aborts.Add(1)
+		s.tr.Instant(obs.CatCtl, "abort broadcast", s.opSeq, s.clk.Now(), 0)
 		for i := 0; i < s.cfg.NumServers; i++ {
 			if rank := s.cfg.ServerRank(i); rank != s.comm.Rank() {
 				s.send(rank, tagToServer(s.opSeq), encodeAbort(status))
 			}
 		}
 	}
+	finalErr = status
 	s.send(s.cfg.MasterClient(), tagToClient(s.opSeq), encodeStatus(msgComplete, status))
 }
 
@@ -252,9 +315,21 @@ func (s *Server) handleOp(raw []byte, req opRequest, decodeErr error) {
 // sequentially. deadline (0 = none) bounds the whole operation.
 func (s *Server) execute(req opRequest, deadline time.Duration) error {
 	for ai, spec := range req.Specs {
+		var p0 time.Duration
+		if s.tr.Enabled() {
+			p0 = s.clk.Now()
+		}
 		jobs := assignChunks(spec.Disk, spec.ElemSize, s.cfg.NumServers, s.index)
 		subs := planSubchunks(ai, spec, jobs, spec.subchunkBytes(s.cfg))
 		name := spec.FileName(req.Suffix, s.index)
+		var planned int64
+		for _, sj := range subs {
+			planned += sj.Bytes
+		}
+		s.opBytes += planned
+		if s.tr.Enabled() {
+			s.tr.Span(obs.CatPlan, "plan "+spec.Name, s.opSeq, p0, s.clk.Now(), planned)
+		}
 
 		var err error
 		switch req.Op {
@@ -282,6 +357,7 @@ type pending struct {
 	pooled    bool // buf came from bufpool (assembled); adopted frames are not recyclable
 	remaining int
 	got       map[string]bool
+	start     time.Duration // when the first request went out (tracing/metrics only)
 }
 
 // writeArray gathers this server's sub-chunks of one array from the
@@ -327,6 +403,7 @@ func (s *Server) pullSubchunks(spec ArraySpec, subs []subchunkJob, deadline time
 	ring := make([]uint32, window)
 	head, live := 0, 0
 	next, written := 0, 0
+	measured := s.tr.Enabled() || s.met.subLatency != nil
 
 	quiet := time.Duration(0)
 	if deadline > 0 {
@@ -341,6 +418,9 @@ func (s *Server) pullSubchunks(spec ArraySpec, subs []subchunkJob, deadline time
 			s.nextReqID++
 			id := s.nextReqID
 			pend := &pending{job: sj, remaining: len(sj.Pieces), got: make(map[string]bool, len(sj.Pieces))}
+			if measured {
+				pend.start = s.clk.Now()
+			}
 			inflight[id] = pend
 			ring[(head+live)%window] = id
 			live++
@@ -358,20 +438,23 @@ func (s *Server) pullSubchunks(spec ArraySpec, subs []subchunkJob, deadline time
 				for id, pend := range inflight {
 					for _, pc := range pend.job.Pieces {
 						if !pend.got[pieceKey(pend.job.ArrayIdx, pc.Region)] {
-							s.stats.Retries++
+							atomic.AddInt64(&s.stats.Retries, 1)
+							s.met.retries.Add(1)
 							s.send(pc.Client, tagToClient(s.opSeq), encodeSubReq(subReq{ArrayIdx: pend.job.ArrayIdx, ReqID: id, Region: pc.Region}))
 						}
 					}
 				}
 				continue
 			}
-			s.stats.Timeouts++
+			atomic.AddInt64(&s.stats.Timeouts, 1)
+			s.met.timeouts.Add(1)
 			return rerr
 		}
 		r := rbuf{b: m.Data}
 		switch t := r.u8(); t {
 		case msgAbort:
-			s.stats.Aborts++
+			atomic.AddInt64(&s.stats.Aborts, 1)
+			s.met.aborts.Add(1)
 			status, derr := decodeStatus(&r)
 			bufpool.Put(m.Data)
 			if derr != nil {
@@ -415,6 +498,11 @@ func (s *Server) pullSubchunks(spec ArraySpec, subs []subchunkJob, deadline time
 		for live > 0 && inflight[ring[head]].remaining == 0 {
 			id := ring[head]
 			pend := inflight[id]
+			if measured {
+				end := s.clk.Now()
+				s.tr.Span(obs.CatNet, "pull sub-chunk", s.opSeq, pend.start, end, pend.job.Bytes)
+				s.met.subLatency.Observe(int64(end - pend.start))
+			}
 			if werr := sink.write(pend.buf, pend.job.FileOffset, pend.pooled); werr != nil {
 				return werr
 			}
@@ -453,9 +541,12 @@ func (s *Server) depositPiece(spec ArraySpec, pend *pending, d subData) (adopted
 
 // chargeReorg accounts for a strided copy of n bytes.
 func (s *Server) chargeReorg(n int64) {
-	s.stats.ReorgBytes += n
+	atomic.AddInt64(&s.stats.ReorgBytes, n)
+	s.met.reorgBytes.Add(n)
 	if s.cfg.CopyRate > 0 {
+		t0 := s.clk.Now()
 		s.clk.Sleep(copyCost(n, s.cfg.CopyRate))
+		s.tr.Span(obs.CatReorg, "reorg copy", s.opSeq, t0, s.clk.Now(), n)
 	}
 }
 
@@ -486,13 +577,22 @@ func (s *Server) readArray(spec ArraySpec, name string, subs []subchunkJob, dead
 // source in plan order and scatters each piece to the client that
 // needs it.
 func (s *Server) scatterSubchunks(spec ArraySpec, subs []subchunkJob, deadline time.Duration, src readSource) error {
+	measured := s.tr.Enabled() || s.met.subLatency != nil
 	for _, sj := range subs {
 		if err := s.checkReadInterrupt(deadline); err != nil {
 			return err
 		}
+		var t0 time.Duration
+		if measured {
+			t0 = s.clk.Now()
+		}
 		buf, err := src.next(sj)
 		if err != nil {
 			return err
+		}
+		var n0 time.Duration
+		if s.tr.Enabled() {
+			n0 = s.clk.Now()
 		}
 		for _, pc := range sj.Pieces {
 			var payload, tmp []byte
@@ -519,6 +619,11 @@ func (s *Server) scatterSubchunks(spec ArraySpec, subs []subchunkJob, deadline t
 				bufpool.Put(tmp) // the frame copied it; recycle the extract scratch
 			}
 		}
+		if measured {
+			end := s.clk.Now()
+			s.tr.Span(obs.CatNet, "scatter sub-chunk", s.opSeq, n0, end, sj.Bytes)
+			s.met.subLatency.Observe(int64(end - t0))
+		}
 		bufpool.Put(buf)
 	}
 	return nil
@@ -535,7 +640,8 @@ func (s *Server) checkReadInterrupt(deadline time.Duration) error {
 		return nil
 	}
 	if s.clk.Now() >= deadline {
-		s.stats.Timeouts++
+		atomic.AddInt64(&s.stats.Timeouts, 1)
+		s.met.timeouts.Add(1)
 		return ErrTimeout
 	}
 	dc, ok := s.comm.(mpi.DeadlineComm)
@@ -546,13 +652,13 @@ func (s *Server) checkReadInterrupt(deadline time.Duration) error {
 	if err != nil {
 		return nil // nothing queued; transport failures surface elsewhere
 	}
-	s.stats.MsgsRecv++
-	s.stats.BytesRecv += int64(len(m.Data))
+	s.countRecv(len(m.Data))
 	r := rbuf{b: m.Data}
 	if t := r.u8(); t != msgAbort {
 		return fmt.Errorf("expected abort, got message type %d during read", t)
 	}
-	s.stats.Aborts++
+	atomic.AddInt64(&s.stats.Aborts, 1)
+	s.met.aborts.Add(1)
 	status, derr := decodeStatus(&r)
 	bufpool.Put(m.Data)
 	if derr != nil {

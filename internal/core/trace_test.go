@@ -1,0 +1,630 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"panda/internal/array"
+	"panda/internal/clock"
+	"panda/internal/mpi"
+	"panda/internal/obs"
+	"panda/internal/storage"
+)
+
+// --- trace reconstruction helpers ---------------------------------------
+
+// traceIndex resolves a parsed Chrome trace's pid/tid namespace back to
+// process and thread names.
+type traceIndex struct {
+	proc   map[int]string            // pid -> process name
+	thread map[[2]int]string         // (pid,tid) -> thread name
+	spans  map[[2]int][]obsSpan      // (pid,tid) -> spans
+	byProc map[string]map[string]int // process -> thread name -> tid
+}
+
+type obsSpan struct {
+	name, cat  string
+	start, end time.Duration
+}
+
+func indexTrace(t *testing.T, tr *obs.ChromeTrace) *traceIndex {
+	t.Helper()
+	ix := &traceIndex{
+		proc:   map[int]string{},
+		thread: map[[2]int]string{},
+		spans:  map[[2]int][]obsSpan{},
+		byProc: map[string]map[string]int{},
+	}
+	for _, e := range tr.TraceEvents {
+		switch e.Ph {
+		case "M":
+			name, _ := e.Args["name"].(string)
+			if e.Name == "process_name" {
+				ix.proc[e.Pid] = name
+			} else if e.Name == "thread_name" {
+				ix.thread[[2]int{e.Pid, e.Tid}] = name
+			}
+		case "X":
+			start := time.Duration(e.Ts * 1e3)
+			ix.spans[[2]int{e.Pid, e.Tid}] = append(ix.spans[[2]int{e.Pid, e.Tid}], obsSpan{
+				name: e.Name, cat: e.Cat, start: start, end: start + time.Duration(e.Dur*1e3),
+			})
+		}
+	}
+	for k, name := range ix.thread {
+		proc := ix.proc[k[0]]
+		if ix.byProc[proc] == nil {
+			ix.byProc[proc] = map[string]int{}
+		}
+		ix.byProc[proc][name] = k[1]
+	}
+	return ix
+}
+
+// requireOverlap asserts that, for the given process, at least one disk
+// span on its storage thread runs concurrently with a network span on
+// its main thread — the staged engine's overlap, reconstructed purely
+// from the exported trace file.
+func requireOverlap(t *testing.T, ix *traceIndex, proc string) {
+	t.Helper()
+	threads, ok := ix.byProc[proc]
+	if !ok {
+		t.Fatalf("%s: no such process in trace (have %v)", proc, ix.proc)
+	}
+	pid := 0
+	for p, name := range ix.proc {
+		if name == proc {
+			pid = p
+		}
+	}
+	mover := ix.spans[[2]int{pid, threads["main"]}]
+	disk := ix.spans[[2]int{pid, threads["storage"]}]
+	if len(disk) == 0 {
+		t.Fatalf("%s: no spans on storage thread", proc)
+	}
+	for _, d := range disk {
+		if d.cat != "disk" {
+			continue
+		}
+		for _, n := range mover {
+			if n.cat != "net" {
+				continue
+			}
+			if d.start < n.end && n.start < d.end {
+				return // found concurrent disk + network activity
+			}
+		}
+	}
+	t.Errorf("%s: no disk span on the storage thread overlaps a network span on the mover thread", proc)
+}
+
+func exportAndParse(t *testing.T, rec *obs.Recorder) *obs.ChromeTrace {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := obs.ParseChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exported trace does not validate: %v\n%s", err, buf.Bytes())
+	}
+	return tr
+}
+
+// TestTracedStagedWriteVirtual runs a staged write under virtual time
+// with tracing on, exports Chrome trace JSON, and verifies that the
+// parsed file reconstructs the staged engine's disk/network overlap on
+// every server.
+func TestTracedStagedWriteVirtual(t *testing.T) {
+	cfg, specs := overlapSpecs()
+	cfg.Pipeline = 4
+	rec := obs.NewRecorder(0)
+	reg := obs.NewRegistry()
+	cfg.Trace = rec
+	cfg.Metrics = reg
+
+	res, err := RunSim(cfg, mpi.SP2Link(), SimDiskFactory(storage.SP2AIX()), func(cl *Client) error {
+		return cl.WriteArrays("", specs, makeBufs(cl, specs, true))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var overlap int64
+	for _, st := range res.ServerStats {
+		overlap += st.OverlapNanos
+	}
+	if overlap <= 0 {
+		t.Fatal("staged write reported no overlap; trace assertion would be vacuous")
+	}
+
+	ix := indexTrace(t, exportAndParse(t, rec))
+	for i := 0; i < cfg.NumServers; i++ {
+		requireOverlap(t, ix, fmt.Sprintf("server%d", i))
+	}
+
+	// The metrics registry aggregated the same run.
+	if n := reg.Counter("msgs_sent").Value(); n == 0 {
+		t.Error("metrics registry counted no messages")
+	}
+	if h := reg.Histogram("subchunk_latency_ns", obs.LatencyBounds).Snapshot(); h.Count == 0 {
+		t.Error("sub-chunk latency histogram is empty")
+	}
+	if h := reg.Histogram("stage_queue_depth", obs.DepthBounds).Snapshot(); h.Count == 0 {
+		t.Error("stage queue depth histogram is empty")
+	}
+}
+
+// TestTracedStagedReadVirtual is the read-side counterpart: prefetch
+// (ReadAhead) disk spans must overlap scatters in the exported trace.
+func TestTracedStagedReadVirtual(t *testing.T) {
+	cfg, specs := overlapSpecs()
+	cfg.ReadAhead = 2
+	rec := obs.NewRecorder(0)
+	cfg.Trace = rec
+
+	mkDisk := SimDiskFactory(storage.SP2AIX())
+	_, err := RunSim(cfg, mpi.SP2Link(), mkDisk, func(cl *Client) error {
+		bufs := makeBufs(cl, specs, true)
+		if err := cl.WriteArrays("", specs, bufs); err != nil {
+			return err
+		}
+		return cl.ReadArrays("", specs, makeBufs(cl, specs, false))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := indexTrace(t, exportAndParse(t, rec))
+	for i := 0; i < cfg.NumServers; i++ {
+		requireOverlap(t, ix, fmt.Sprintf("server%d", i))
+	}
+}
+
+// slowDisk wraps a Disk so every positioned I/O takes a fixed real
+// delay — enough width for real-time spans to overlap measurably.
+type slowDisk struct {
+	storage.Disk
+	delay time.Duration
+}
+
+func (d *slowDisk) Create(name string) (storage.File, error) {
+	f, err := d.Disk.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &slowFile{File: f, delay: d.delay}, nil
+}
+
+func (d *slowDisk) Open(name string) (storage.File, error) {
+	f, err := d.Disk.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &slowFile{File: f, delay: d.delay}, nil
+}
+
+type slowFile struct {
+	storage.File
+	delay time.Duration
+}
+
+func (f *slowFile) WriteAt(p []byte, off int64) (int, error) {
+	time.Sleep(f.delay)
+	return f.File.WriteAt(p, off)
+}
+
+func (f *slowFile) ReadAt(p []byte, off int64) (int, error) {
+	time.Sleep(f.delay)
+	return f.File.ReadAt(p, off)
+}
+
+// TestTracedStagedWriteReal runs the staged engine in real time (in-proc
+// goroutine nodes, a genuinely sleeping disk) with tracing on and makes
+// the same overlap assertion on the exported file: storage-stage spans
+// concurrent with mover spans.
+func TestTracedStagedWriteReal(t *testing.T) {
+	cfg := Config{NumClients: 2, NumServers: 1, SubchunkBytes: 64 << 10, Pipeline: 4}
+	specs := []ArraySpec{mustSpec1D(t, "rt", 1<<20, cfg.NumClients, cfg.NumServers)}
+	rec := obs.NewRecorder(0)
+	cfg.Trace = rec
+
+	disks := []storage.Disk{&slowDisk{Disk: storage.NewMemDisk(), delay: 2 * time.Millisecond}}
+	if err := RunReal(cfg, disks, func(cl *Client) error {
+		return cl.WriteArrays("", specs, makeBufs(cl, specs, true))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ix := indexTrace(t, exportAndParse(t, rec))
+	requireOverlap(t, ix, "server0")
+}
+
+// mustSpec1D builds a 1-D BLOCK/BLOCK spec of the given byte size.
+func mustSpec1D(t *testing.T, name string, size int64, clients, servers int) ArraySpec {
+	t.Helper()
+	const elemSize = 4
+	if size%(elemSize*int64(clients)) != 0 || size%(elemSize*int64(servers)) != 0 {
+		t.Fatalf("size %d does not divide evenly over %d clients / %d servers", size, clients, servers)
+	}
+	shape := []int{int(size / elemSize)}
+	mem := array.MustSchema(shape, []array.Dist{array.Block}, []int{clients})
+	disk := array.MustSchema(shape, []array.Dist{array.Block}, []int{servers})
+	return ArraySpec{Name: name, ElemSize: elemSize, Mem: mem, Disk: disk}
+}
+
+// --- stats race (satellite: snapshot under concurrent mutation) ---------
+
+// TestStatsSnapshotDuringOperation hammers Stats() from a second
+// goroutine while collective operations are in flight. Run under
+// -race, this is the regression test for the snapshot race: counters
+// are mutated with atomic adds and read with atomic loads.
+func TestStatsSnapshotDuringOperation(t *testing.T) {
+	cfg := Config{NumClients: 2, NumServers: 2, SubchunkBytes: 8 << 10}
+	specs := []ArraySpec{mustSpec1D(t, "race", 1<<20, cfg.NumClients, cfg.NumServers)}
+
+	world := mpi.NewWorld(cfg.WorldSize())
+	clk := clock.NewReal()
+	srvs := make([]*Server, cfg.NumServers)
+	cls := make([]atomic.Pointer[Client], cfg.NumClients)
+
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.NumServers; i++ {
+		rank := cfg.ServerRank(i)
+		srvs[i] = NewServer(cfg, world.Comm(rank), storage.NewMemDisk(), clk)
+		wg.Add(1)
+		go func(s *Server) {
+			defer wg.Done()
+			if err := s.Serve(); err != nil {
+				t.Errorf("server: %v", err)
+			}
+		}(srvs[i])
+	}
+
+	ready := make(chan struct{})
+	stop := make(chan struct{})
+	var sampled atomic.Int64
+	go func() {
+		close(ready)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, s := range srvs {
+					st := s.Stats()
+					if st.MsgsSent < 0 {
+						t.Error("impossible snapshot")
+					}
+				}
+				for i := range cls {
+					if c := cls[i].Load(); c != nil {
+						_ = c.Stats()
+					}
+				}
+				sampled.Add(1)
+			}
+		}
+	}()
+	<-ready
+
+	for r := 0; r < cfg.NumClients; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			err := clientMain(cfg, world.Comm(r), clk, func(cl *Client) error {
+				cls[r].Store(cl)
+				bufs := makeBufs(cl, specs, true)
+				for round := 0; round < 4; round++ {
+					if err := cl.WriteArrays("", specs, bufs); err != nil {
+						return err
+					}
+					if err := cl.ReadArrays("", specs, makeBufs(cl, specs, false)); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Errorf("client %d: %v", r, err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(stop)
+	if sampled.Load() == 0 {
+		t.Error("sampler never ran")
+	}
+	var st Stats
+	for _, s := range srvs {
+		snap := s.Stats()
+		st.MsgsSent += snap.MsgsSent
+	}
+	if st.MsgsSent == 0 {
+		t.Error("servers sent no messages")
+	}
+}
+
+// --- failure counters over the TCP hub transport ------------------------
+
+// dropComm drops outgoing sub-chunk data frames: the first `first` per
+// source client when healAfter is positive, or all of them forever when
+// healAfter is zero. Everything else passes through.
+type dropComm struct {
+	mpi.Comm
+	mu      sync.Mutex
+	remain  int
+	forever bool
+}
+
+func (c *dropComm) drop(data []byte) bool {
+	if len(data) == 0 || data[0] != msgSubData {
+		return false
+	}
+	if c.forever {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.remain > 0 {
+		c.remain--
+		return true
+	}
+	return false
+}
+
+func (c *dropComm) Send(to, tag int, data []byte) {
+	if c.drop(data) {
+		return
+	}
+	c.Comm.Send(to, tag, data)
+}
+
+func (c *dropComm) SendOwned(to, tag int, data []byte) {
+	if c.drop(data) {
+		return
+	}
+	c.Comm.SendOwned(to, tag, data)
+}
+
+func (c *dropComm) RecvTimeout(from, tag int, timeout time.Duration) (mpi.Message, error) {
+	return c.Comm.(mpi.DeadlineComm).RecvTimeout(from, tag, timeout)
+}
+
+func (c *dropComm) PeerLost(rank int) bool {
+	if pc, ok := c.Comm.(mpi.PeerChecker); ok {
+		return pc.PeerLost(rank)
+	}
+	return false
+}
+
+// runOverTCP drives a full deployment over the TCP hub with per-rank
+// comm wrappers, returning every rank's error and the final server
+// stats (indexed by server).
+func runOverTCP(t *testing.T, cfg Config, wrap func(rank int, c mpi.Comm) mpi.Comm, app App, disks func(i int) storage.Disk) ([]error, []Stats) {
+	t.Helper()
+	hub, err := mpi.ListenHub("127.0.0.1:0", cfg.WorldSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hubErr := make(chan error, 1)
+	go func() { hubErr <- hub.Serve() }()
+
+	errs := make([]error, cfg.WorldSize())
+	stats := make([]Stats, cfg.NumServers)
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.WorldSize(); r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			comm, err := mpi.DialComm(hub.Addr(), r, cfg.WorldSize())
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			defer mpi.CloseComm(comm)
+			wrapped := comm
+			if wrap != nil {
+				wrapped = wrap(r, comm)
+			}
+			if cfg.IsServer(r) {
+				i := cfg.ServerIndex(r)
+				clk := clock.NewReal()
+				srv := NewServer(cfg, wrapped, disks(i), clk)
+				errs[r] = srv.Serve()
+				stats[i] = srv.Stats()
+				return
+			}
+			errs[r] = RunClientNode(cfg, wrapped, app)
+		}(r)
+	}
+	wg.Wait()
+	if err := <-hubErr; err != nil {
+		t.Fatalf("hub: %v", err)
+	}
+	return errs, stats
+}
+
+// TestRetriesSurfaceOverTCP drops the first sub-chunk data frame each
+// client sends over the hub; pull retries mask the loss, the operation
+// succeeds, and the servers' Retries counters surface the event.
+func TestRetriesSurfaceOverTCP(t *testing.T) {
+	cfg := Config{
+		NumClients: 2, NumServers: 2, SubchunkBytes: 8 << 10,
+		OpTimeout: 8 * time.Second, PullRetries: 3,
+	}
+	specs := []ArraySpec{mustSpec1D(t, "drop", 256<<10, cfg.NumClients, cfg.NumServers)}
+
+	wrap := func(rank int, c mpi.Comm) mpi.Comm {
+		if cfg.IsServer(rank) {
+			return c
+		}
+		return &dropComm{Comm: c, remain: 1}
+	}
+	errs, stats := runOverTCP(t, cfg, wrap, func(cl *Client) error {
+		bufs := makeBufs(cl, specs, true)
+		if err := cl.WriteArrays("", specs, bufs); err != nil {
+			return err
+		}
+		got := makeBufs(cl, specs, false)
+		if err := cl.ReadArrays("", specs, got); err != nil {
+			return err
+		}
+		return checkBufs(cl, specs, got)
+	}, func(int) storage.Disk { return storage.NewMemDisk() })
+
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	var retries int64
+	for _, st := range stats {
+		retries += st.Retries
+	}
+	if retries == 0 {
+		t.Error("dropped frames were recovered without any Retries counted")
+	}
+}
+
+// TestTimeoutsAndAbortsSurfaceOverTCP silences one client's data frames
+// entirely: the write cannot finish, servers time out, the master
+// broadcasts an abort, and the counters say so.
+func TestTimeoutsAndAbortsSurfaceOverTCP(t *testing.T) {
+	cfg := Config{
+		NumClients: 2, NumServers: 2, SubchunkBytes: 8 << 10,
+		OpTimeout: 1200 * time.Millisecond, PullRetries: 1,
+	}
+	specs := []ArraySpec{mustSpec1D(t, "dead", 256<<10, cfg.NumClients, cfg.NumServers)}
+
+	wrap := func(rank int, c mpi.Comm) mpi.Comm {
+		if rank == 1 {
+			return &dropComm{Comm: c, forever: true}
+		}
+		return c
+	}
+	errs, stats := runOverTCP(t, cfg, wrap, func(cl *Client) error {
+		err := cl.WriteArrays("", specs, makeBufs(cl, specs, true))
+		if err == nil {
+			return errors.New("write succeeded with a silenced client")
+		}
+		return nil // the failure is the expected outcome
+	}, func(int) storage.Disk { return storage.NewMemDisk() })
+
+	for r, err := range errs {
+		if err != nil && !errors.Is(err, ErrTimeout) && !errors.Is(err, ErrPeerLost) {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	var timeouts, aborts int64
+	for _, st := range stats {
+		timeouts += st.Timeouts
+		aborts += st.Aborts
+	}
+	if timeouts == 0 {
+		t.Error("no Timeouts surfaced in server stats")
+	}
+	if aborts == 0 {
+		t.Error("no Aborts surfaced in server stats")
+	}
+}
+
+// TestOverlapAndStallSurfaceOverTCP runs the staged write engine over
+// the hub with a genuinely slow disk: OverlapNanos and StallNanos must
+// both surface through Stats on a real transport, not just under vtime.
+func TestOverlapAndStallSurfaceOverTCP(t *testing.T) {
+	cfg := Config{NumClients: 2, NumServers: 1, SubchunkBytes: 32 << 10, Pipeline: 2}
+	specs := []ArraySpec{mustSpec1D(t, "ovl", 512<<10, cfg.NumClients, cfg.NumServers)}
+
+	errs, stats := runOverTCP(t, cfg, nil, func(cl *Client) error {
+		return cl.WriteArrays("", specs, makeBufs(cl, specs, true))
+	}, func(int) storage.Disk {
+		return &slowDisk{Disk: storage.NewMemDisk(), delay: 3 * time.Millisecond}
+	})
+
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	st := stats[0]
+	if st.OverlapNanos <= 0 {
+		t.Errorf("OverlapNanos = %d, want > 0 (16 slow writes behind a live network stage)", st.OverlapNanos)
+	}
+	if st.StallNanos <= 0 {
+		t.Errorf("StallNanos = %d, want > 0 (write-behind queue of 2 against a 3ms disk)", st.StallNanos)
+	}
+}
+
+// TestOpSummaryCallback checks the per-operation OpLog summaries: one
+// per operation per server, with plausible byte counts and outcomes.
+func TestOpSummaryCallback(t *testing.T) {
+	cfg := Config{NumClients: 2, NumServers: 2, SubchunkBytes: 16 << 10}
+	specs := []ArraySpec{mustSpec1D(t, "sum", 256<<10, cfg.NumClients, cfg.NumServers)}
+
+	var mu sync.Mutex
+	var sums []OpSummary
+	cfg.OpLog = func(s OpSummary) {
+		mu.Lock()
+		sums = append(sums, s)
+		mu.Unlock()
+	}
+	if err := RunReal(cfg, memDisks(cfg.NumServers), func(cl *Client) error {
+		bufs := makeBufs(cl, specs, true)
+		if err := cl.WriteArrays("", specs, bufs); err != nil {
+			return err
+		}
+		return cl.ReadArrays("", specs, makeBufs(cl, specs, false))
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(sums) != 4 { // 2 ops x 2 servers
+		t.Fatalf("got %d summaries, want 4: %+v", len(sums), sums)
+	}
+	var wrote, read int64
+	for _, s := range sums {
+		if s.Err != nil {
+			t.Errorf("summary reports failure: %+v", s)
+		}
+		if s.Elapsed <= 0 {
+			t.Errorf("non-positive elapsed: %+v", s)
+		}
+		switch s.Op {
+		case "write":
+			wrote += s.Bytes
+		case "read":
+			read += s.Bytes
+		default:
+			t.Errorf("unknown op %q", s.Op)
+		}
+	}
+	if want := specs[0].TotalBytes(); wrote != want || read != want {
+		t.Errorf("summaries account for %d written / %d read bytes, want %d", wrote, read, want)
+	}
+	if s := sums[0]; s.MBs() <= 0 {
+		t.Errorf("MBs() = %v for %+v", s.MBs(), s)
+	}
+}
+
+// TestOpSummaryJSONRoundTrips pins the OpSummary field set: a rename
+// breaks operator tooling that scrapes the log lines or status page.
+func TestOpSummaryJSONRoundTrips(t *testing.T) {
+	s := OpSummary{Server: 1, Seq: 2, Op: "write", Bytes: 3 << 20, Elapsed: time.Second, Retries: 4, Timeouts: 5}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"Server", "Seq", "Op", "Bytes", "Elapsed", "Retries", "Timeouts"} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("OpSummary JSON lost field %s: %s", key, data)
+		}
+	}
+	if s.MBs() != 3.0 {
+		t.Errorf("MBs() = %v, want 3.0", s.MBs())
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"panda/internal/array"
 	"panda/internal/core"
 	"panda/internal/mpi"
+	"panda/internal/obs"
 	"panda/internal/storage"
 )
 
@@ -164,6 +165,13 @@ type Options struct {
 	Verbose bool
 	// Printf receives verbose output; nil means fmt.Printf.
 	Printf func(format string, a ...interface{})
+	// Trace, when non-nil, records a structured trace of every
+	// operation in every cell (all cells share the recorder; each
+	// operation carries its own sequence number).
+	Trace *obs.Recorder
+	// Metrics, when non-nil, aggregates counters and histograms across
+	// every cell of the run.
+	Metrics *obs.Registry
 }
 
 // StartupOverhead is the paper's measured fixed Panda cost per

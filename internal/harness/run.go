@@ -19,6 +19,8 @@ func configFor(f Figure, ion int, opt Options) core.Config {
 		ReadAhead:       opt.ReadAhead,
 		StartupOverhead: StartupOverhead,
 		CopyRate:        CopyRate,
+		Trace:           opt.Trace,
+		Metrics:         opt.Metrics,
 	}
 }
 

@@ -1,0 +1,101 @@
+package mpi
+
+import (
+	"time"
+
+	"panda/internal/clock"
+	"panda/internal/obs"
+)
+
+// WrapMetered wraps a communicator so every message is counted into an
+// observability registry: transport-level traffic totals plus a
+// histogram of receive waits (the message-latency proxy visible from
+// one endpoint). It composes with WrapFault in either order and
+// preserves the inner communicator's DeadlineComm and PeerChecker
+// capabilities. reg nil returns inner unchanged.
+func WrapMetered(inner Comm, reg *obs.Registry, clk clock.Clock) Comm {
+	if reg == nil {
+		return inner
+	}
+	return &meteredComm{
+		inner:     inner,
+		clk:       clk,
+		msgsSent:  reg.Counter("mpi_msgs_sent"),
+		bytesSent: reg.Counter("mpi_bytes_sent"),
+		msgsRecv:  reg.Counter("mpi_msgs_recv"),
+		bytesRecv: reg.Counter("mpi_bytes_recv"),
+		recvWait:  reg.Histogram("mpi_recv_wait_ns", obs.LatencyBounds),
+	}
+}
+
+type meteredComm struct {
+	inner     Comm
+	clk       clock.Clock
+	msgsSent  *obs.Counter
+	bytesSent *obs.Counter
+	msgsRecv  *obs.Counter
+	bytesRecv *obs.Counter
+	recvWait  *obs.Histogram
+}
+
+func (c *meteredComm) Rank() int { return c.inner.Rank() }
+func (c *meteredComm) Size() int { return c.inner.Size() }
+
+func (c *meteredComm) countSend(n int) {
+	c.msgsSent.Add(1)
+	c.bytesSent.Add(int64(n))
+}
+
+func (c *meteredComm) countRecv(n int) {
+	c.msgsRecv.Add(1)
+	c.bytesRecv.Add(int64(n))
+}
+
+func (c *meteredComm) Send(to, tag int, data []byte) {
+	c.countSend(len(data))
+	c.inner.Send(to, tag, data)
+}
+
+func (c *meteredComm) SendOwned(to, tag int, data []byte) {
+	c.countSend(len(data))
+	c.inner.SendOwned(to, tag, data)
+}
+
+func (c *meteredComm) Isend(to, tag int, data []byte) Request {
+	c.countSend(len(data))
+	return c.inner.Isend(to, tag, data)
+}
+
+func (c *meteredComm) Recv(from, tag int) Message {
+	t0 := c.clk.Now()
+	m := c.inner.Recv(from, tag)
+	c.recvWait.Observe(int64(c.clk.Now() - t0))
+	c.countRecv(len(m.Data))
+	return m
+}
+
+// RecvTimeout satisfies DeadlineComm when the inner communicator does;
+// callers discover the capability with the usual type assertion, which
+// the wrapper forwards.
+func (c *meteredComm) RecvTimeout(from, tag int, timeout time.Duration) (Message, error) {
+	dc, ok := c.inner.(DeadlineComm)
+	if !ok {
+		return c.Recv(from, tag), nil // inner cannot bound waits; behave like Recv
+	}
+	t0 := c.clk.Now()
+	m, err := dc.RecvTimeout(from, tag, timeout)
+	if err != nil {
+		return Message{}, err
+	}
+	c.recvWait.Observe(int64(c.clk.Now() - t0))
+	c.countRecv(len(m.Data))
+	return m, nil
+}
+
+// PeerLost forwards to the inner communicator's PeerChecker, when any.
+func (c *meteredComm) PeerLost(rank int) bool {
+	if pc, ok := c.inner.(PeerChecker); ok {
+		return pc.PeerLost(rank)
+	}
+	return false
+}

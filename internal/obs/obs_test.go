@@ -1,0 +1,282 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// sampleRecorder builds a small deterministic trace exercising every
+// event shape: multiple processes, a storage thread, spans, instants,
+// and an unattributed event.
+func sampleRecorder() *Recorder {
+	r := NewRecorder(64)
+	c0 := r.Track("client0")
+	s0 := r.Track("server0")
+	st := r.Track("server0/storage")
+
+	c0.Instant(CatCtl, "op request", 0, 1*time.Millisecond, 64)
+	c0.Span(CatOp, "write", 0, 1*time.Millisecond, 9*time.Millisecond, 4096)
+	c0.Span(CatNet, "serve piece", 0, 2*time.Millisecond, 3*time.Millisecond, 2048)
+	s0.Span(CatPlan, "plan a0", 0, 1500*time.Microsecond, 1600*time.Microsecond, 4096)
+	s0.Span(CatNet, "pull sub-chunk", 0, 2*time.Millisecond, 4*time.Millisecond, 2048)
+	st.Span(CatDisk, "WriteAt", 0, 4*time.Millisecond, 6*time.Millisecond, 2048)
+	s0.Span(CatStall, "join storage", 0, 7*time.Millisecond, 8*time.Millisecond, 0)
+	s0.Span(CatReorg, "reorg copy", 0, 6500*time.Microsecond, 6600*time.Microsecond, 512)
+	s0.Span(CatDisk, "probe", -1, 0, 100*time.Microsecond, 0) // unattributed
+	return r
+}
+
+func TestRecorderRing(t *testing.T) {
+	r := NewRecorder(4)
+	tr := r.Track("a")
+	for i := 0; i < 7; i++ {
+		tr.Span(CatNet, "s", i, time.Duration(i)*time.Millisecond, time.Duration(i+1)*time.Millisecond, 0)
+	}
+	events := r.Events()
+	if len(events) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(events))
+	}
+	for i, e := range events {
+		if want := int32(i + 3); e.Seq != want {
+			t.Errorf("event %d: seq %d, want %d (oldest-first order after wrap)", i, e.Seq, want)
+		}
+	}
+	if d := r.Dropped(); d != 3 {
+		t.Errorf("Dropped = %d, want 3", d)
+	}
+}
+
+func TestTrackInterning(t *testing.T) {
+	r := NewRecorder(8)
+	a := r.Track("server0")
+	b := r.Track("server0")
+	if a.id != b.id {
+		t.Fatalf("same name interned to distinct tracks %d and %d", a.id, b.id)
+	}
+	c := r.Track("server1")
+	if c.id == a.id {
+		t.Fatal("distinct names share a track id")
+	}
+	names := r.TrackNames()
+	if len(names) != 2 || names[a.id] != "server0" || names[c.id] != "server1" {
+		t.Fatalf("TrackNames = %v", names)
+	}
+}
+
+func TestDisabledRecorderIsFreeAndSilent(t *testing.T) {
+	var r *Recorder
+	tr := r.Track("anything")
+	if tr.Enabled() {
+		t.Fatal("nil recorder handed out an enabled track")
+	}
+	// Must not panic.
+	tr.Span(CatOp, "x", 0, 0, time.Second, 0)
+	tr.Instant(CatCtl, "x", 0, 0, 0)
+	if ev := r.Events(); ev != nil {
+		t.Fatalf("nil recorder has events: %v", ev)
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		tr.Span(CatNet, "hot", 1, 0, time.Millisecond, 4096)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled Span allocates %v per call, want 0", allocs)
+	}
+
+	var reg *Registry
+	cnt := reg.Counter("c")
+	h := reg.Histogram("h", LatencyBounds)
+	allocs = testing.AllocsPerRun(100, func() {
+		cnt.Add(1)
+		h.Observe(123)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled metrics allocate %v per call, want 0", allocs)
+	}
+	if cnt.Value() != 0 || reg.Gauge("g").Value() != 0 {
+		t.Error("nil instruments hold values")
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil || buf.String() != "{}\n" {
+		t.Errorf("nil registry JSON = %q, %v", buf.String(), err)
+	}
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleRecorder().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace JSON drifted from golden file\n got: %s\nwant: %s", buf.Bytes(), want)
+	}
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	rec := sampleRecorder()
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ParseChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The client and server are distinct processes; the storage track is
+	// a second thread of the server's process.
+	pids := map[string]int{}
+	threads := map[string]struct{ pid, tid int }{}
+	for _, e := range tr.TraceEvents {
+		if e.Ph != "M" {
+			continue
+		}
+		name, _ := e.Args["name"].(string)
+		if e.Name == "process_name" {
+			pids[name] = e.Pid
+		} else {
+			threads[name] = struct{ pid, tid int }{e.Pid, e.Tid}
+		}
+	}
+	if pids["client0"] == pids["server0"] {
+		t.Error("client0 and server0 mapped to one process")
+	}
+	if th := threads["storage"]; th.pid != pids["server0"] {
+		t.Errorf("storage thread in pid %d, want server0's pid %d", th.pid, pids["server0"])
+	}
+
+	// Phase reconstruction from the file must match direct aggregation.
+	direct := Phases(rec)
+	fromFile := PhasesFromChrome(tr)
+	if len(direct) != 1 || len(fromFile) != 1 {
+		t.Fatalf("ops: direct %d, from file %d, want 1 (unattributed events skipped)", len(direct), len(fromFile))
+	}
+	d, f := direct[0], fromFile[0]
+	if d != f {
+		t.Errorf("phase breakdowns differ:\ndirect   %+v\nfromFile %+v", d, f)
+	}
+	if d.Name != "write" || d.Wall != 8*time.Millisecond || d.Disk != 2*time.Millisecond ||
+		d.Stall != time.Millisecond || d.Reorg != 100*time.Microsecond || d.Plan != 100*time.Microsecond {
+		t.Errorf("unexpected breakdown: %+v", d)
+	}
+	text := RenderPhases(direct)
+	if !strings.Contains(text, "write") || !strings.Contains(text, "stall") {
+		t.Errorf("RenderPhases output missing columns:\n%s", text)
+	}
+}
+
+func TestParseChromeTraceRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":      "]",
+		"no events":     `{"traceEvents":[]}`,
+		"only metadata": `{"traceEvents":[{"name":"process_name","ph":"M","ts":0,"dur":0,"pid":1,"tid":0}]}`,
+		"bad phase":     `{"traceEvents":[{"name":"x","ph":"Z","ts":0,"dur":0,"pid":1,"tid":1}]}`,
+		"negative time": `{"traceEvents":[{"name":"x","ph":"X","ts":-5,"dur":0,"pid":1,"tid":1}]}`,
+	}
+	for name, data := range cases {
+		if _, err := ParseChromeTrace([]byte(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", []int64{10, 100, 1000})
+	for _, v := range []int64{1, 10, 11, 100, 500, 1000, 1001, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// Bounds are inclusive upper edges; the last bucket is overflow.
+	want := []int64{2, 2, 2, 2} // {1,10}, {11,100}, {500,1000}, {1001,5000}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d: %d observations, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 8 {
+		t.Errorf("Count = %d, want 8", s.Count)
+	}
+	if wantSum := int64(1 + 10 + 11 + 100 + 500 + 1000 + 1001 + 5000); s.Sum != wantSum {
+		t.Errorf("Sum = %d, want %d", s.Sum, wantSum)
+	}
+	// A second resolve shares the instrument.
+	if reg.Histogram("lat", []int64{7}).Snapshot().Count != 8 {
+		t.Error("re-resolving a histogram created a fresh one")
+	}
+}
+
+func TestRegistryJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("zz_last").Add(7)
+	reg.Counter("aa_first").Add(3)
+	reg.Gauge("depth").Set(4)
+	reg.Func("live", func() int64 { return 42 })
+	reg.Histogram("h", []int64{1, 2}).Observe(2)
+
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{`"aa_first": 3`, `"zz_last": 7`, `"depth": 4`, `"live": 42`, `"bounds"`} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("JSON missing %s:\n%s", frag, out)
+		}
+	}
+	if strings.Index(out, "aa_first") > strings.Index(out, "zz_last") {
+		t.Error("keys not sorted")
+	}
+	// Deterministic: a second export is identical.
+	var buf2 bytes.Buffer
+	_ = reg.WriteJSON(&buf2)
+	if buf.String() != buf2.String() {
+		t.Error("two exports of the same registry differ")
+	}
+}
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	var r *Recorder
+	tr := r.Track("hot")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Span(CatNet, "pull", 0, 0, time.Millisecond, 4096)
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	r := NewRecorder(1 << 12)
+	tr := r.Track("hot")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Span(CatNet, "pull", 0, 0, time.Millisecond, 4096)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("lat", LatencyBounds)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i) * 1001)
+	}
+}

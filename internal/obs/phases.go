@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// OpPhases is the per-operation phase breakdown: where one collective
+// operation's time went, summed across every node's track. Wall is the
+// longest single op span (the paper's elapsed-time flavour); the phase
+// columns are cluster-wide sums, so with N servers working in parallel
+// a phase can exceed Wall — that surplus is exactly the parallelism
+// plus overlap the server-directed design buys.
+type OpPhases struct {
+	Seq   int
+	Name  string
+	Spans int
+	Wall  time.Duration
+	Plan  time.Duration
+	Net   time.Duration
+	Disk  time.Duration
+	Stall time.Duration
+	Reorg time.Duration
+}
+
+func (p *OpPhases) addSpan(cat Cat, name string, dur time.Duration) {
+	p.Spans++
+	switch cat {
+	case CatOp:
+		if p.Name == "" {
+			p.Name = name
+		}
+		if dur > p.Wall {
+			p.Wall = dur
+		}
+	case CatPlan:
+		p.Plan += dur
+	case CatNet:
+		p.Net += dur
+	case CatDisk:
+		p.Disk += dur
+	case CatStall:
+		p.Stall += dur
+	case CatReorg:
+		p.Reorg += dur
+	}
+}
+
+func sortedPhases(bySeq map[int]*OpPhases) []OpPhases {
+	out := make([]OpPhases, 0, len(bySeq))
+	for _, p := range bySeq {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+func phaseFor(bySeq map[int]*OpPhases, seq int) *OpPhases {
+	p, ok := bySeq[seq]
+	if !ok {
+		p = &OpPhases{Seq: seq}
+		bySeq[seq] = p
+	}
+	return p
+}
+
+// Phases aggregates the recorder's events into per-operation phase
+// breakdowns, ordered by operation sequence. Events with Seq < 0
+// (unattributed) are skipped.
+func Phases(r *Recorder) []OpPhases {
+	bySeq := map[int]*OpPhases{}
+	for _, e := range r.Events() {
+		if e.Seq < 0 || e.Instant {
+			continue
+		}
+		phaseFor(bySeq, int(e.Seq)).addSpan(e.Cat, e.Name, e.Dur)
+	}
+	return sortedPhases(bySeq)
+}
+
+// PhasesFromChrome rebuilds the per-operation breakdown from parsed
+// trace-event JSON (the inverse of WriteChromeTrace, for tools that
+// only have the file).
+func PhasesFromChrome(tr *ChromeTrace) []OpPhases {
+	bySeq := map[int]*OpPhases{}
+	for _, e := range tr.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		seq, ok := argInt(e.Args, "seq")
+		if !ok || seq < 0 {
+			continue
+		}
+		dur := time.Duration(e.Dur * 1e3)
+		phaseFor(bySeq, seq).addSpan(catFromString(e.Cat), e.Name, dur)
+	}
+	return sortedPhases(bySeq)
+}
+
+// argInt fetches an integer out of a decoded JSON args map.
+func argInt(args map[string]any, key string) (int, bool) {
+	v, ok := args[key]
+	if !ok {
+		return 0, false
+	}
+	switch n := v.(type) {
+	case float64:
+		return int(n), true
+	case int:
+		return n, true
+	}
+	return 0, false
+}
+
+// RenderPhases renders breakdowns as a plain-text table. Phase columns
+// are summed across all nodes; wall is the longest single op span.
+func RenderPhases(ops []OpPhases) string {
+	var b strings.Builder
+	b.WriteString("Per-operation phase breakdown (phases summed across nodes):\n")
+	fmt.Fprintf(&b, "%4s %-7s %6s %12s %12s %12s %12s %12s %12s\n",
+		"seq", "op", "spans", "wall", "plan", "network", "disk", "stall", "reorg")
+	rd := func(d time.Duration) string { return d.Round(time.Microsecond).String() }
+	for _, p := range ops {
+		name := p.Name
+		if name == "" {
+			name = "?"
+		}
+		fmt.Fprintf(&b, "%4d %-7s %6d %12s %12s %12s %12s %12s %12s\n",
+			p.Seq, name, p.Spans, rd(p.Wall), rd(p.Plan), rd(p.Net), rd(p.Disk), rd(p.Stall), rd(p.Reorg))
+	}
+	return b.String()
+}
