@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet staticcheck check fuzz bench-baseline trace-smoke ci clean
+.PHONY: all build test race vet staticcheck check fuzz bench-baseline trace-smoke recovery-smoke ci clean
 
 all: build
 
@@ -54,6 +54,16 @@ bench-baseline:
 trace-smoke:
 	$(GO) run ./cmd/pandabench -fig fig4 -scale 5 -trace trace.json
 	$(GO) run ./cmd/pandatrace -check trace.json
+
+# recovery-smoke sweeps every crash point of the commit protocol plus a
+# server-failover round on a fixed seed, dumping the epoch manifests
+# and Chrome traces of each crashed run into recovery-artifacts/ — the
+# CI crash-consistency gate.
+recovery-smoke:
+	rm -rf recovery-artifacts
+	PANDA_RECOVERY_OUT=$(CURDIR)/recovery-artifacts $(GO) test -count=1 \
+		-run 'TestCrashPointSweep|TestReassignmentCompletesDegraded' ./internal/core
+	@ls recovery-artifacts >/dev/null
 
 ci: check race
 

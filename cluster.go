@@ -18,6 +18,22 @@ var ErrTimeout = core.ErrTimeout
 // participating node was observed dead (rather than merely slow).
 var ErrPeerLost = core.ErrPeerLost
 
+// ErrNoCommittedEpoch reports a Restart (or any collective read) that
+// found no committed checkpoint epoch to serve — for example after a
+// crash before the very first Checkpoint committed.
+var ErrNoCommittedEpoch = core.ErrNoCommittedEpoch
+
+// ErrCorrupt reports a verified read (Config.VerifyOnRestart) that
+// found committed data failing its manifest checksums.
+var ErrCorrupt = core.ErrCorrupt
+
+// RetryPolicy bounds client-side retries of whole collective
+// operations that failed with ErrTimeout or ErrPeerLost. Retries
+// re-submit the same operation under the same sequence number with an
+// incremented attempt counter; servers deduplicate, so a retry that
+// races a slow first attempt is safe.
+type RetryPolicy = core.RetryPolicy
+
 // Config describes a Panda deployment: how many compute nodes (Panda
 // clients) and I/O nodes (Panda servers) to run, and where the I/O
 // nodes store their files.
@@ -57,6 +73,25 @@ type Config struct {
 	// are idempotent so retries are safe. Meaningless without
 	// OpTimeout.
 	PullRetries int
+	// Retry makes compute nodes retry a whole collective operation
+	// that failed with ErrTimeout or ErrPeerLost, after an
+	// exponentially backed-off (optionally jittered) pause. Combined
+	// with OpTimeout this rides out an I/O-node crash: the retried
+	// operation replans the dead node's chunks across the survivors.
+	// The zero value disables retries; meaningless without OpTimeout.
+	Retry RetryPolicy
+	// VerifyOnRestart makes every collective read verify served files
+	// against their committed manifests (size plus per-extent CRC32C)
+	// before any byte reaches a compute node, failing with ErrCorrupt
+	// on a mismatch instead of silently returning damaged data.
+	VerifyOnRestart bool
+	// PlainWrites disables crash-consistent writes: I/O nodes write
+	// straight to the final file names with no epoch staging, manifest,
+	// or commit exchange. The default (false) stages every collective
+	// write as an epoch and commits it atomically, so a crash at any
+	// point leaves either the previous or the new contents — never a
+	// mix.
+	PlainWrites bool
 }
 
 // Cluster is an in-process Panda deployment. Its I/O-node state (the
@@ -71,13 +106,16 @@ type Cluster struct {
 // file systems.
 func NewCluster(cfg Config) (*Cluster, error) {
 	ccfg := core.Config{
-		NumClients:    cfg.ComputeNodes,
-		NumServers:    cfg.IONodes,
-		SubchunkBytes: cfg.SubchunkBytes,
-		Pipeline:      cfg.Pipeline,
-		ReadAhead:     cfg.ReadAhead,
-		OpTimeout:     cfg.OpTimeout,
-		PullRetries:   cfg.PullRetries,
+		NumClients:      cfg.ComputeNodes,
+		NumServers:      cfg.IONodes,
+		SubchunkBytes:   cfg.SubchunkBytes,
+		Pipeline:        cfg.Pipeline,
+		ReadAhead:       cfg.ReadAhead,
+		OpTimeout:       cfg.OpTimeout,
+		PullRetries:     cfg.PullRetries,
+		Retry:           cfg.Retry,
+		VerifyOnRestart: cfg.VerifyOnRestart,
+		PlainWrites:     cfg.PlainWrites,
 	}
 	if err := ccfg.Validate(); err != nil {
 		return nil, err

@@ -126,7 +126,8 @@ func main() {
 	specs := []core.ArraySpec{{Name: "a0", ElemSize: harness.ElemSize, Mem: mem, Disk: dsk}}
 	cfg := core.Config{NumClients: *cn, NumServers: *ion,
 		SubchunkBytes: *subchunk, Pipeline: *pipeline,
-		StartupOverhead: harness.StartupOverhead, CopyRate: harness.CopyRate}
+		StartupOverhead: harness.StartupOverhead, CopyRate: harness.CopyRate,
+		PlainWrites: true}
 	mk := func(i int, clk clock.Clock) storage.Disk {
 		if f.Disk == harness.FastDisk {
 			return storage.NewNullDisk()

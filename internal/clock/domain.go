@@ -75,6 +75,6 @@ type virtualPipe struct {
 	p *vtime.Pipe[any]
 }
 
-func (p *virtualPipe) Push(v any)        { p.p.Push(v) }
-func (p *virtualPipe) Pop() (any, bool)  { return p.p.Pop() }
-func (p *virtualPipe) Close()            { p.p.Close() }
+func (p *virtualPipe) Push(v any)       { p.p.Push(v) }
+func (p *virtualPipe) Pop() (any, bool) { return p.p.Pop() }
+func (p *virtualPipe) Close()           { p.p.Close() }

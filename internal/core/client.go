@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync/atomic"
 	"time"
 
@@ -116,9 +117,61 @@ func (c *Client) collective(op byte, suffix string, specs []ArraySpec, bufs [][]
 	if c.tr.Enabled() {
 		defer func() { c.tr.Span(obs.CatOp, opName(op), seq, start, c.clk.Now(), chunkBytes) }()
 	}
+
+	// The retry loop: a collective that fails with ErrTimeout or
+	// ErrPeerLost is re-submitted under the same sequence with an
+	// incremented attempt counter. Pulls are idempotent, the absorbed-
+	// piece state persists across attempts, and servers deduplicate by
+	// (seq, attempt), so a retry resumes rather than corrupts.
+	maxAttempts := 1
+	if c.cfg.OpTimeout > 0 && c.cfg.Retry.Max > 0 {
+		maxAttempts = c.cfg.Retry.Max + 1
+	}
+	var seen map[string]bool
+	var gotBytes int64
+	if op == opRead {
+		seen = make(map[string]bool)
+	}
+	var rng *rand.Rand
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			pause := c.cfg.Retry.pause(attempt - 1)
+			if c.cfg.Retry.Jitter > 0 && pause > 0 {
+				if rng == nil {
+					// Deterministic per rank and operation, so simulated
+					// retries replay exactly while real ranks desynchronize.
+					rng = rand.New(rand.NewSource(int64(c.Rank())*2654435761 + int64(seq) + 1))
+				}
+				pause = time.Duration(float64(pause) * (1 + c.cfg.Retry.Jitter*(2*rng.Float64()-1)))
+			}
+			atomic.AddInt64(&c.stats.Retries, 1)
+			c.met.retries.Add(1)
+			c.tr.Instant(obs.CatRecover, fmt.Sprintf("retry attempt %d", attempt), seq, c.clk.Now(), 0)
+			if pause > 0 {
+				c.clk.Sleep(pause)
+			}
+		}
+		err := c.runAttempt(op, suffix, specs, bufs, seq, uint16(attempt), seen, &gotBytes, chunkBytes)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !errors.Is(err, ErrTimeout) && !errors.Is(err, ErrPeerLost) {
+			return err // not a transient failure; retrying cannot help
+		}
+	}
+	return lastErr
+}
+
+// runAttempt submits (on the master) and serves one attempt of a
+// collective operation until its Complete arrives or the attempt's
+// deadline expires. seen and gotBytes persist across attempts: pieces
+// already absorbed stay absorbed.
+func (c *Client) runAttempt(op byte, suffix string, specs []ArraySpec, bufs [][]byte, seq int, attempt uint16, seen map[string]bool, gotBytes *int64, chunkBytes int64) error {
 	deadline := clientOpDeadline(c.cfg, c.clk)
 	if c.IsMaster() {
-		req := encodeOpRequest(opRequest{Op: op, Seq: uint32(seq), Suffix: suffix, Specs: specs})
+		req := encodeOpRequest(opRequest{Op: op, Seq: uint32(seq), Attempt: attempt, Suffix: suffix, Specs: specs})
 		c.tr.Instant(obs.CatCtl, "op request", seq, c.clk.Now(), int64(len(req)))
 		c.send(c.cfg.MasterServer(), tagControl, req)
 	}
@@ -127,16 +180,14 @@ func (c *Client) collective(op byte, suffix string, specs []ArraySpec, bufs [][]
 	// so it can (a) drop duplicate pieces a faulty transport delivers
 	// twice and (b) keep waiting when a Complete overtakes in-flight
 	// data on a transport with no cross-pair ordering.
-	var wantBytes, gotBytes int64
-	var seen map[string]bool
+	var wantBytes int64
 	if op == opRead {
 		wantBytes = chunkBytes
-		seen = make(map[string]bool)
 	}
 	completed := false
 
 	for {
-		if completed && gotBytes >= wantBytes {
+		if completed && *gotBytes >= wantBytes {
 			return nil
 		}
 		var w0 time.Duration
@@ -182,11 +233,11 @@ func (c *Client) collective(op byte, suffix string, specs []ArraySpec, bufs [][]
 			}
 			if seen != nil {
 				seen[key] = true
-				gotBytes += int64(len(d.Payload))
+				*gotBytes += int64(len(d.Payload))
 			}
 			bufpool.Put(m.Data) // payload copied into the user buffer; recycle the frame
 		case msgComplete:
-			status, err := decodeStatus(&r)
+			frame, err := decodeStatus(&r)
 			if err != nil {
 				return err
 			}
@@ -199,10 +250,15 @@ func (c *Client) collective(op byte, suffix string, specs []ArraySpec, bufs [][]
 					c.send(i, tagToClient(seq), cp)
 				}
 			}
-			c.tr.Instant(obs.CatCtl, "complete", seq, c.clk.Now(), 0)
-			if status != nil {
-				return status
+			if frame.Err != nil && frame.Attempt < attempt {
+				continue // failure of an attempt already abandoned
 			}
+			c.tr.Instant(obs.CatCtl, "complete", seq, c.clk.Now(), 0)
+			if frame.Err != nil {
+				return frame.Err
+			}
+			// Success from any attempt completes the operation — a late
+			// Complete of an earlier attempt means the work is durable.
 			completed = true
 		default:
 			return fmt.Errorf("core: client %d: unexpected message type %d", c.Rank(), t)

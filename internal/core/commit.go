@@ -1,0 +1,568 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"panda/internal/mpi"
+	"panda/internal/obs"
+	"panda/internal/storage"
+)
+
+// Crash-consistent collective writes: two-phase commit over epochs.
+//
+// In commit mode (the default; Config.PlainWrites opts out) a
+// collective write never touches the committed file names until every
+// participant has durably staged its share:
+//
+//	DIRTY     each server pulls its sub-chunks into an epoch-suffixed
+//	          temp file, then writes a manifest (schema fingerprint,
+//	          chunk list, per-sub-chunk CRC32C) beside it;
+//	PREPARED  data and manifest are synced; the server reports
+//	          msgPrepared to the master server and waits;
+//	COMMITTED the master, having collected every Prepared, stamps a
+//	          durable decision record on its own disk — the
+//	          linearization point — then broadcasts msgCommit; each
+//	          server renames temp data and manifest onto the plain
+//	          names (retaining the outgoing epoch one deep) and acks
+//	          with msgCommitted.
+//
+// A crash before the decision leaves only sweepable temp debris; a
+// crash after it leaves a decision that read-time roll-forward and
+// pandafsck both complete. At no instant can a reader observe a torn
+// mix of epochs.
+//
+// Server failover: when the master finds a participant dead mid-write
+// (missing Prepared plus a transport death report), it rebroadcasts the
+// request with Round+1 and the dead servers listed; every survivor
+// independently replans with the dead servers' chunks reassigned
+// round-robin across the survivors (assignChunksAlive) and restages the
+// same epoch. The rebroadcast travels on this operation's server tag,
+// which reaches survivors wherever they block — mid-pull or awaiting
+// commit.
+
+// errServerCrashed is the injected-crash sentinel: Config.crashHook
+// returned non-nil, and the server must die on the spot (no Done, no
+// cleanup) exactly like a killed process.
+var errServerCrashed = errors.New("core: server crashed (injected)")
+
+// maxReassignRounds bounds replanning: each round removes at least one
+// server, so NumServers rounds is already unreachable.
+const maxReassignRounds = 8
+
+// crashPoint consults the injected crash hook at a named point of the
+// write path. A non-nil hook error kills the server there.
+func (s *Server) crashPoint(point string) error {
+	if s.cfg.crashHook == nil {
+		return nil
+	}
+	if err := s.cfg.crashHook(s.index, point); err != nil {
+		return fmt.Errorf("at %s: %w", point, errServerCrashed)
+	}
+	return nil
+}
+
+// replanError carries a reassignment-round request up through the write
+// path: the mover aborts the round in progress and handleOp restages
+// with the new request.
+type replanError struct{ req opRequest }
+
+func (e *replanError) Error() string {
+	return fmt.Sprintf("core: replan round %d (servers %v dead)", e.req.Round, e.req.Deads)
+}
+
+// abortedError marks a failure delivered by the master's abort
+// broadcast. A participant that consumed one mid-pull must not enter
+// the commit exchange: the master has already resolved the operation
+// and is no longer listening for this server's Prepared.
+type abortedError struct{ cause error }
+
+func (e *abortedError) Error() string { return "aborted by master server: " + e.cause.Error() }
+func (e *abortedError) Unwrap() error { return e.cause }
+
+// preparedArray is one array's staged epoch on this server.
+type preparedArray struct {
+	base  string
+	epoch uint64
+}
+
+// manifestBuilder accumulates the per-sub-chunk CRCs of one array as
+// the mover retires sub-chunks in plan (= file) order.
+type manifestBuilder struct {
+	subs []storage.ManifestSub
+}
+
+func (b *manifestBuilder) addSub(off, n int64, crc uint32) {
+	b.subs = append(b.subs, storage.ManifestSub{Offset: off, Bytes: n, CRC: crc})
+}
+
+// buildManifest assembles the manifest for one staged array.
+func buildManifest(spec ArraySpec, req opRequest, server int, epoch uint64, jobs []chunkJob, subs []storage.ManifestSub) *storage.Manifest {
+	m := &storage.Manifest{
+		Version:   storage.ManifestVersion,
+		Array:     spec.Name,
+		Suffix:    req.Suffix,
+		Server:    server,
+		Epoch:     epoch,
+		SchemaSum: specFingerprint(spec),
+		Degraded:  len(req.Deads) > 0,
+		Subs:      subs,
+	}
+	for _, job := range jobs {
+		n := job.Region.NumElems() * int64(spec.ElemSize)
+		m.Chunks = append(m.Chunks, storage.ManifestChunk{ChunkIdx: job.ChunkIdx, Offset: job.FileOffset, Bytes: n})
+		m.TotalBytes += n
+	}
+	return m
+}
+
+// deadSet turns a request's dead-server list into a lookup set.
+func deadSet(deads []int) map[int]bool {
+	if len(deads) == 0 {
+		return nil
+	}
+	set := make(map[int]bool, len(deads))
+	for _, d := range deads {
+		set[d] = true
+	}
+	return set
+}
+
+// aliveOthers lists the server indexes participating in req other than
+// this server.
+func (s *Server) aliveOthers(req opRequest) []int {
+	dead := deadSet(req.Deads)
+	var out []int
+	for i := 0; i < s.cfg.NumServers; i++ {
+		if i != s.index && !dead[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// resolveEpochs fills req.Epochs from the master server's decision
+// records: for writes the next epoch of every array (decided+1), for
+// reads the decided epoch the whole deployment must serve (0 = nothing
+// ever committed; readers fall back to legacy resolution).
+func (s *Server) resolveEpochs(req *opRequest) {
+	req.Epochs = make([]uint64, len(req.Specs))
+	for i, spec := range req.Specs {
+		e, _, _ := storage.ReadDecision(s.disk, spec.Name+req.Suffix)
+		if req.Op == opWrite {
+			e++
+		}
+		req.Epochs[i] = e
+	}
+}
+
+// stageEpochs performs the DIRTY→PREPARED half of a commit-mode write:
+// every array planned (with dead servers' chunks reassigned), pulled
+// into its epoch temp file, synced, and described by a temp manifest.
+func (s *Server) stageEpochs(req opRequest, deadline time.Duration) ([]preparedArray, error) {
+	dead := deadSet(req.Deads)
+	prepared := make([]preparedArray, 0, len(req.Specs))
+	for ai, spec := range req.Specs {
+		if ai >= len(req.Epochs) || req.Epochs[ai] == 0 {
+			return prepared, fmt.Errorf("core: server %d, array %s: write request carries no epoch", s.index, spec.Name)
+		}
+		epoch := req.Epochs[ai]
+		var p0 time.Duration
+		if s.tr.Enabled() {
+			p0 = s.clk.Now()
+		}
+		jobs := assignChunksAlive(spec.Disk, spec.ElemSize, s.cfg.NumServers, s.index, dead)
+		subs := planSubchunks(ai, spec, jobs, spec.subchunkBytes(s.cfg))
+		var planned int64
+		for _, sj := range subs {
+			planned += sj.Bytes
+		}
+		s.opBytes += planned
+		if s.tr.Enabled() {
+			s.tr.Span(obs.CatPlan, "plan "+spec.Name, s.opSeq, p0, s.clk.Now(), planned)
+		}
+		if err := s.crashPoint("plan"); err != nil {
+			return prepared, err
+		}
+
+		base := spec.FileName(req.Suffix, s.index)
+		mb := &manifestBuilder{}
+		if len(subs) > 0 {
+			if err := s.writeArray(spec, storage.EpochName(base, epoch), subs, deadline, mb); err != nil {
+				return prepared, fmt.Errorf("core: server %d, array %s: %w", s.index, spec.Name, err)
+			}
+		}
+		if err := s.crashPoint("sync"); err != nil {
+			return prepared, err
+		}
+		m := buildManifest(spec, req, s.index, epoch, jobs, mb.subs)
+		if err := storage.WriteManifest(s.disk, storage.EpochManifestName(base, epoch), m); err != nil {
+			return prepared, fmt.Errorf("core: server %d, array %s: writing manifest: %w", s.index, spec.Name, err)
+		}
+		prepared = append(prepared, preparedArray{base: base, epoch: epoch})
+	}
+	if err := s.crashPoint("prepare"); err != nil {
+		return prepared, err
+	}
+	return prepared, nil
+}
+
+// commitPrepared renames every staged array onto its committed names.
+func (s *Server) commitPrepared(prepared []preparedArray) error {
+	for _, p := range prepared {
+		if err := storage.CommitEpoch(s.disk, p.base, p.epoch); err != nil {
+			return fmt.Errorf("core: server %d: committing %s epoch %d: %w", s.index, p.base, p.epoch, err)
+		}
+	}
+	return nil
+}
+
+// removePrepared scraps every staged array of an aborted attempt.
+func (s *Server) removePrepared(prepared []preparedArray) {
+	for _, p := range prepared {
+		storage.RemoveEpoch(s.disk, p.base, p.epoch)
+	}
+}
+
+// runCommitWrite drives a commit-mode write on this server, looping
+// over reassignment rounds. It returns the operation outcome (sent to
+// clients / the master) and a fatal error when the server must die
+// (injected crash).
+func (s *Server) runCommitWrite(req opRequest, deadline time.Duration) (opErr, fatal error) {
+	for {
+		s.adoptRound(req)
+		prepared, err := s.stageEpochs(req, deadline)
+		var re *replanError
+		if errors.As(err, &re) {
+			req = re.req
+			continue
+		}
+		if errors.Is(err, errServerCrashed) {
+			return err, err
+		}
+		var ab *abortedError
+		if errors.As(err, &ab) && !s.IsMaster() {
+			// The master resolved the operation against us while we were
+			// still pulling; it is not listening for our Prepared.
+			s.removePrepared(prepared)
+			return err, nil
+		}
+		if s.IsMaster() {
+			opErr, replan, fatal := s.masterCommit(req, prepared, err, deadline)
+			if fatal != nil {
+				return opErr, fatal
+			}
+			if replan != nil {
+				req = *replan
+				continue
+			}
+			return opErr, nil
+		}
+		s.send(s.cfg.MasterServer(), tagDoneFor(s.opSeq), encodeStatus(msgPrepared, req.Attempt, req.Round, err))
+		opErr, replan, fatal := s.waitCommit(req, prepared, deadline)
+		if fatal != nil {
+			return opErr, fatal
+		}
+		if replan != nil {
+			req = *replan
+			continue
+		}
+		if opErr == nil && err != nil {
+			opErr = err
+		}
+		return opErr, nil
+	}
+}
+
+// adoptRound records the attempt/round the server is now executing, for
+// stale-frame filtering and for the Serve-loop dedup (a duplicate of
+// this round's rebroadcast arriving later on the control tag must not
+// re-trigger the operation).
+func (s *Server) adoptRound(req opRequest) {
+	s.curAttempt, s.curRound = req.Attempt, req.Round
+	s.lastSeq, s.lastAttempt, s.lastRound = int(req.Seq), int(req.Attempt), int(req.Round)
+}
+
+// masterCommit is the coordinator half of the two-phase commit: collect
+// Prepared from every live participant, then either decide+commit,
+// launch a reassignment round (some participant died), or abort.
+func (s *Server) masterCommit(req opRequest, prepared []preparedArray, ownErr error, deadline time.Duration) (opErr error, replan *opRequest, fatal error) {
+	collectBy := time.Duration(0)
+	if deadline > 0 {
+		collectBy = deadline + s.cfg.OpTimeout/2
+	}
+	participants := s.aliveOthers(req)
+	got := make(map[int]bool, len(participants))
+	status := ownErr
+	var newDeads []int
+
+	// A participant the transport already reports dead will never
+	// prepare; spot it immediately (and re-check while waiting) instead
+	// of burning the whole collection budget before failing over.
+	checkDead := func() {
+		pc, ok := s.comm.(mpi.PeerChecker)
+		if !ok {
+			return
+		}
+		for _, i := range participants {
+			if !got[i] && pc.PeerLost(s.cfg.ServerRank(i)) {
+				newDeads = append(newDeads, i)
+			}
+		}
+	}
+	checkDead()
+	for len(got) < len(participants) && status == nil && len(newDeads) == 0 {
+		waitBy := collectBy
+		if deadline > 0 {
+			if poll := s.clk.Now() + s.cfg.OpTimeout/8; poll < waitBy {
+				waitBy = poll
+			}
+		}
+		m, rerr := recvBounded(s.comm, s.clk, mpi.AnySource, tagDoneFor(s.opSeq), waitBy)
+		if rerr != nil {
+			checkDead()
+			if len(newDeads) > 0 {
+				break // failover candidates found; reassign below
+			}
+			if errors.Is(rerr, ErrTimeout) && deadline > 0 && s.clk.Now() < collectBy {
+				continue // poll slice expired; the budget has not
+			}
+			// Anyone still silent is alive but late: the attempt times out.
+			atomic.AddInt64(&s.stats.Timeouts, 1)
+			s.met.timeouts.Add(1)
+			status = fmt.Errorf("core: master server: waiting for prepares: %w", rerr)
+			break
+		}
+		s.countRecv(len(m.Data))
+		r := rbuf{b: m.Data}
+		typ := r.u8()
+		frame, derr := decodeStatus(&r)
+		if derr != nil {
+			status = derr
+			break
+		}
+		if typ != msgPrepared || frame.Attempt != req.Attempt || frame.Round != req.Round {
+			continue // stale frame from an earlier attempt or round
+		}
+		idx := s.cfg.ServerIndex(m.Source)
+		if got[idx] {
+			continue
+		}
+		got[idx] = true
+		if frame.Err != nil && status == nil {
+			status = frame.Err
+		}
+	}
+
+	if len(newDeads) > 0 && int(req.Round) < maxReassignRounds {
+		// Server failover: replan the dead servers' chunks across the
+		// survivors and restage this epoch under the next round number.
+		atomic.AddInt64(&s.stats.Reassigns, 1)
+		s.met.reassigns.Add(1)
+		next := req
+		next.Round++
+		next.Deads = append(append([]int{}, req.Deads...), newDeads...)
+		sort.Ints(next.Deads)
+		s.tr.Instant(obs.CatRecover, fmt.Sprintf("reassign round %d", next.Round), s.opSeq, s.clk.Now(), 0)
+		raw := encodeOpRequest(next)
+		for _, i := range s.aliveOthers(next) {
+			cp := make([]byte, len(raw))
+			copy(cp, raw)
+			// The op's server tag reaches survivors wherever they block:
+			// mid-pull or waiting for the commit decision.
+			s.send(s.cfg.ServerRank(i), tagToServer(s.opSeq), cp)
+		}
+		return nil, &next, nil
+	}
+
+	if status != nil {
+		atomic.AddInt64(&s.stats.Aborts, 1)
+		s.met.aborts.Add(1)
+		s.tr.Instant(obs.CatCtl, "abort broadcast", s.opSeq, s.clk.Now(), 0)
+		for _, i := range s.aliveOthers(req) {
+			s.send(s.cfg.ServerRank(i), tagToServer(s.opSeq), encodeAbort(req.Attempt, req.Round, status))
+		}
+		s.removePrepared(prepared)
+		return status, nil, nil
+	}
+
+	// Every participant is PREPARED: decide. The decision records on the
+	// master's disk are the linearization point of the write.
+	if err := s.crashPoint("decide"); err != nil {
+		return err, nil, err
+	}
+	var d0 time.Duration
+	if s.tr.Enabled() {
+		d0 = s.clk.Now()
+	}
+	for i, spec := range req.Specs {
+		if err := storage.WriteDecision(s.disk, spec.Name+req.Suffix, req.Epochs[i]); err != nil {
+			status = fmt.Errorf("core: master server: recording commit decision: %w", err)
+			break
+		}
+	}
+	if s.tr.Enabled() {
+		s.tr.Span(obs.CatRecover, "commit decision", s.opSeq, d0, s.clk.Now(), 0)
+	}
+	if status != nil {
+		for _, i := range s.aliveOthers(req) {
+			s.send(s.cfg.ServerRank(i), tagToServer(s.opSeq), encodeAbort(req.Attempt, req.Round, status))
+		}
+		s.removePrepared(prepared)
+		return status, nil, nil
+	}
+
+	for _, i := range s.aliveOthers(req) {
+		s.send(s.cfg.ServerRank(i), tagToServer(s.opSeq), encodeStatus(msgCommit, req.Attempt, req.Round, nil))
+	}
+	if err := s.crashPoint("commit"); err != nil {
+		return err, nil, err
+	}
+	if err := s.commitPrepared(prepared); err != nil {
+		// The decision is durable: this server's own rename failure is
+		// repaired by read-time roll-forward, not by failing the op.
+		s.tr.Instant(obs.CatRecover, "deferred commit: "+err.Error(), s.opSeq, s.clk.Now(), 0)
+	}
+
+	// Collect Committed acks. Stragglers are tolerated: the decision is
+	// durable, so an unacked server's epoch rolls forward at read time.
+	for range participants {
+		m, rerr := recvBounded(s.comm, s.clk, mpi.AnySource, tagDoneFor(s.opSeq), collectBy)
+		if rerr != nil {
+			s.tr.Instant(obs.CatRecover, "commit acks incomplete", s.opSeq, s.clk.Now(), 0)
+			break
+		}
+		s.countRecv(len(m.Data))
+	}
+	if len(req.Deads) > 0 {
+		atomic.AddInt64(&s.stats.Degraded, 1)
+		s.met.degraded.Add(1)
+	}
+	return nil, nil, nil
+}
+
+// waitCommit is the participant half: PREPARED, waiting for the
+// coordinator's verdict. Commit and abort resolve the epoch; a
+// reassignment request restarts the round; a timeout keeps the temps —
+// never roll back on silence, because the decision may already be
+// durable on the master and read-time roll-forward will finish the job.
+func (s *Server) waitCommit(req opRequest, prepared []preparedArray, deadline time.Duration) (opErr error, replan *opRequest, fatal error) {
+	waitBy := time.Duration(0)
+	if deadline > 0 {
+		waitBy = deadline + s.cfg.OpTimeout
+	}
+	for {
+		m, rerr := recvBounded(s.comm, s.clk, mpi.AnySource, tagToServer(s.opSeq), waitBy)
+		if rerr != nil {
+			atomic.AddInt64(&s.stats.Timeouts, 1)
+			s.met.timeouts.Add(1)
+			s.tr.Instant(obs.CatRecover, "commit verdict timeout (temps kept)", s.opSeq, s.clk.Now(), 0)
+			return fmt.Errorf("core: server %d: waiting for commit verdict: %w", s.index, rerr), nil, nil
+		}
+		s.countRecv(len(m.Data))
+		r := rbuf{b: m.Data}
+		switch typ := r.u8(); typ {
+		case msgCommit:
+			frame, derr := decodeStatus(&r)
+			if derr != nil {
+				return derr, nil, nil
+			}
+			if frame.Attempt != req.Attempt || frame.Round != req.Round {
+				continue
+			}
+			if err := s.crashPoint("commit"); err != nil {
+				return err, nil, err
+			}
+			cerr := s.commitPrepared(prepared)
+			s.send(s.cfg.MasterServer(), tagDoneFor(s.opSeq), encodeStatus(msgCommitted, req.Attempt, req.Round, cerr))
+			return cerr, nil, nil
+		case msgAbort:
+			frame, derr := decodeStatus(&r)
+			if derr != nil {
+				return derr, nil, nil
+			}
+			if frame.Attempt < req.Attempt {
+				continue // abort of an attempt this server already left
+			}
+			atomic.AddInt64(&s.stats.Aborts, 1)
+			s.met.aborts.Add(1)
+			s.removePrepared(prepared)
+			err := frame.Err
+			if err == nil {
+				err = errors.New("core: operation aborted")
+			}
+			return &abortedError{cause: err}, nil, nil
+		case msgOpRequest:
+			nreq, derr := decodeOpRequest(m.Data)
+			if derr == nil && nreq.Seq == req.Seq && nreq.Attempt == req.Attempt && nreq.Round > req.Round {
+				return nil, &nreq, nil
+			}
+		default:
+			// Stale sub-chunk data from this round's pull retries.
+		}
+	}
+}
+
+// resolveRead maps one array onto the file this server must serve for
+// the decided epoch. It returns the file name and its manifest, or
+// (name, nil) for a legacy manifest-less file, or ("", nil) when this
+// server has nothing to serve — a revived server whose committed state
+// predates the decided epoch serves nothing rather than mixing epochs
+// (the survivors' degraded files carry its chunks).
+func (s *Server) resolveRead(spec ArraySpec, base string, epoch uint64) (string, *storage.Manifest, error) {
+	final := storage.ManifestName(base)
+	m, merr := storage.ReadManifest(s.disk, final)
+	if epoch == 0 {
+		if merr == nil {
+			return base, m, nil
+		}
+		if storageExists(s.disk, base) {
+			return base, nil, nil // legacy file, pre-manifest
+		}
+		return "", nil, fmt.Errorf("core: server %d: array %s: %w", s.index, spec.Name, ErrNoCommittedEpoch)
+	}
+	if merr == nil && m.Epoch == epoch {
+		return base, m, nil
+	}
+	// An interrupted commit of the decided epoch: finish it now.
+	if storageExists(s.disk, storage.EpochManifestName(base, epoch)) {
+		rm, err := storage.RollForward(s.disk, base, epoch)
+		if err != nil {
+			return "", nil, fmt.Errorf("core: server %d: %w (%v)", s.index, ErrCorrupt, err)
+		}
+		atomic.AddInt64(&s.stats.RollForwards, 1)
+		s.met.rollForwards.Add(1)
+		s.tr.Instant(obs.CatRecover, "roll-forward "+base, s.opSeq, s.clk.Now(), rm.TotalBytes)
+		return base, rm, nil
+	}
+	// The retained previous epoch may be the decided one (pandafsck
+	// rolled the key back after finding the newest epoch torn).
+	prev := storage.PrevName(base)
+	if pm, err := storage.ReadManifest(s.disk, storage.ManifestName(prev)); err == nil && pm.Epoch == epoch {
+		return prev, pm, nil
+	}
+	if merr == nil {
+		// Committed state exists but predates (or postdates) the decided
+		// epoch: a stale server. Its chunks live in the other servers'
+		// degraded files; serving nothing is the consistent answer.
+		s.tr.Instant(obs.CatRecover, fmt.Sprintf("stale epoch %d (decided %d): serving nothing", m.Epoch, epoch), s.opSeq, s.clk.Now(), 0)
+		return "", nil, nil
+	}
+	if storageExists(s.disk, base) {
+		return base, nil, nil // legacy file despite a decision: serve it
+	}
+	return "", nil, nil // nothing at all (e.g. dead during the epoch's write)
+}
+
+// storageExists probes for a file on a Disk.
+func storageExists(d storage.Disk, name string) bool {
+	f, err := d.Open(name)
+	if err != nil {
+		return false
+	}
+	f.Close()
+	return true
+}

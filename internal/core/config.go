@@ -93,6 +93,27 @@ type Config struct {
 	// retries mask transient message loss. 0 means no retries; the
 	// field is meaningless unless OpTimeout is set.
 	PullRetries int
+	// Retry makes clients retry a whole collective that failed with
+	// ErrTimeout or ErrPeerLost: the same operation is re-submitted
+	// under the same sequence number with an incremented attempt
+	// counter, after an exponentially backed-off pause. The zero value
+	// disables whole-operation retries. Like PullRetries it is
+	// meaningless without OpTimeout.
+	Retry RetryPolicy
+	// VerifyOnRestart makes reads verify every served file against its
+	// committed manifest (size plus per-extent CRC32C) before any byte
+	// goes to a client, returning ErrCorrupt on a mismatch. It turns a
+	// silent torn sync into a typed, actionable failure at Restart
+	// time, at the cost of one extra read pass over the file.
+	VerifyOnRestart bool
+	// PlainWrites disables crash-consistent writes: servers write
+	// straight to the final file names with no epoch temps, manifests,
+	// or commit exchange — the pre-manifest behaviour. The default
+	// (false) stages every collective write as an epoch and commits it
+	// atomically. The simulation harness sets PlainWrites because the
+	// paper's machines had no such machinery and the virtual-time
+	// goldens are calibrated without it.
+	PlainWrites bool
 	// Trace, when non-nil, records a structured trace of every
 	// collective operation on every node sharing this configuration:
 	// op/plan/network/disk/stall/reorg spans timestamped by each
@@ -109,6 +130,44 @@ type Config struct {
 	// server's own goroutine. pandanode uses it for per-operation log
 	// lines; keep the callback cheap.
 	OpLog func(OpSummary)
+	// crashHook, when non-nil, is consulted by servers at named points
+	// of a collective write (plan, pull, sync, prepare, commit); a
+	// non-nil return makes the server die at that point exactly as an
+	// injected transport crash would. Recovery tests use it to sweep
+	// crash windows deterministically. Test-only: unexported.
+	crashHook func(server int, point string) error
+}
+
+// RetryPolicy bounds client-side retries of failed collectives.
+type RetryPolicy struct {
+	// Max is the number of retries after the first attempt; 0 disables.
+	Max int
+	// Backoff is the pause before the first retry; each further retry
+	// doubles it, capped at MaxBackoff (0 = 10*Backoff).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Jitter, in [0,1], randomizes each pause by ±Jitter of itself so
+	// the clients of a wedged cluster do not stampede in lockstep.
+	Jitter float64
+}
+
+// pause returns the backoff before retry i (0-based), unjittered.
+func (p RetryPolicy) pause(i int) time.Duration {
+	d := p.Backoff
+	for ; i > 0 && d < p.maxBackoff(); i-- {
+		d *= 2
+	}
+	if m := p.maxBackoff(); d > m {
+		d = m
+	}
+	return d
+}
+
+func (p RetryPolicy) maxBackoff() time.Duration {
+	if p.MaxBackoff > 0 {
+		return p.MaxBackoff
+	}
+	return 10 * p.Backoff
 }
 
 // OpSummary describes one completed collective operation on one
@@ -161,6 +220,15 @@ func (c Config) Validate() error {
 	}
 	if c.PullRetries < 0 {
 		return fmt.Errorf("core: negative PullRetries")
+	}
+	if c.Retry.Max < 0 {
+		return fmt.Errorf("core: negative Retry.Max")
+	}
+	if c.Retry.Backoff < 0 || c.Retry.MaxBackoff < 0 {
+		return fmt.Errorf("core: negative Retry backoff")
+	}
+	if c.Retry.Jitter < 0 || c.Retry.Jitter > 1 {
+		return fmt.Errorf("core: Retry.Jitter = %v, must be in [0,1]", c.Retry.Jitter)
 	}
 	return nil
 }

@@ -476,7 +476,9 @@ func TestStatsReorgCountedForDifferentSchemas(t *testing.T) {
 }
 
 func TestSimRoundTripAndDeterminism(t *testing.T) {
-	cfg := Config{NumClients: 8, NumServers: 2, SubchunkBytes: 4 << 10, StartupOverhead: 13 * time.Millisecond}
+	// PlainWrites keeps the absorbed-byte accounting exact: commit mode
+	// also writes manifest and decision records to the disks.
+	cfg := Config{NumClients: 8, NumServers: 2, SubchunkBytes: 4 << 10, StartupOverhead: 13 * time.Millisecond, PlainWrites: true}
 	shape := []int{16, 16, 16}
 	mem := block3(shape, []int{2, 2, 2})
 	disk := array.MustSchema(shape, []array.Dist{array.Block, array.Star, array.Star}, []int{2})

@@ -299,11 +299,11 @@ func (k *stagedWriteSink) report() (int64, int64) { return k.res.diskNanos, k.st
 
 // newReadSource picks the read-ahead engine when the configuration and
 // clock allow overlap, and the paper's inline reader otherwise.
-func (s *Server) newReadSource(spec ArraySpec, name string, subs []subchunkJob) (readSource, error) {
+func (s *Server) newReadSource(spec ArraySpec, name string, subs []subchunkJob, want int64) (readSource, error) {
 	if dom, ok := s.clk.(clock.Domain); ok && s.cfg.readAhead() >= 1 {
-		return s.newStagedReadSource(dom, spec, name, subs), nil
+		return s.newStagedReadSource(dom, spec, name, subs, want), nil
 	}
-	f, err := s.openForRead(s.disk, spec, name)
+	f, err := s.openForRead(s.disk, name, want)
 	if err != nil {
 		return nil, err
 	}
@@ -311,13 +311,14 @@ func (s *Server) newReadSource(spec ArraySpec, name string, subs []subchunkJob) 
 }
 
 // openForRead opens the array file and checks it holds this server's
-// share of the schema.
-func (s *Server) openForRead(d storage.Disk, spec ArraySpec, name string) (storage.File, error) {
+// share — want bytes, schema-derived for legacy files and taken from
+// the manifest for committed epochs (whose degraded layout may differ
+// from the schema's round-robin assignment).
+func (s *Server) openForRead(d storage.Disk, name string, want int64) (storage.File, error) {
 	f, err := d.Open(name)
 	if err != nil {
 		return nil, err
 	}
-	want := serverFileBytes(spec, s.cfg.NumServers, s.index)
 	if sz, serr := f.Size(); serr != nil {
 		f.Close()
 		return nil, serr
@@ -375,7 +376,7 @@ type stagedReadSource struct {
 	res    stageResult
 }
 
-func (s *Server) newStagedReadSource(dom clock.Domain, spec ArraySpec, name string, subs []subchunkJob) *stagedReadSource {
+func (s *Server) newStagedReadSource(dom clock.Domain, spec ArraySpec, name string, subs []subchunkJob, want int64) *stagedReadSource {
 	k := &stagedReadSource{
 		clk:  s.clk,
 		tr:   s.tr,
@@ -392,7 +393,7 @@ func (s *Server) newStagedReadSource(dom clock.Domain, spec ArraySpec, name stri
 	dom.Go(fmt.Sprintf("server%d-reader", s.index), func(clk clock.Clock) {
 		d := storage.RebindClock(disk, clk)
 		var diskNanos int64
-		f, err := srv.openForRead(d, spec, name)
+		f, err := srv.openForRead(d, name, want)
 		if err == nil {
 			for _, sj := range subs {
 				if k.stop.Load() {

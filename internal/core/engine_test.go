@@ -89,7 +89,11 @@ func (d *traceDisk) Open(name string) (storage.File, error) {
 }
 
 func (d *traceDisk) Remove(name string) error { return d.inner.Remove(name) }
-func (d *traceDisk) FlushCache()              { d.inner.FlushCache() }
+func (d *traceDisk) Rename(oldName, newName string) error {
+	return d.inner.Rename(oldName, newName)
+}
+func (d *traceDisk) List() ([]string, error) { return d.inner.List() }
+func (d *traceDisk) FlushCache()             { d.inner.FlushCache() }
 
 func (d *traceDisk) Rebind(clk clock.Clock) storage.Disk {
 	return &traceDisk{inner: storage.RebindClock(d.inner, clk), trace: d.trace}
@@ -416,7 +420,7 @@ func TestReadAbortDrained(t *testing.T) {
 					// Forge the master server's abort broadcast for the
 					// *next* operation (the read, seq 1). It sits queued
 					// on tagToServer(1) until the read drains it.
-					comms[1].SendOwned(serverRank, tagToServer(1), encodeAbort(ErrTimeout))
+					comms[1].SendOwned(serverRank, tagToServer(1), encodeAbort(0, 0, ErrTimeout))
 				}
 				barrier()
 				got := makeBufs(cl, specs, false)

@@ -13,6 +13,18 @@ var ErrTimeout = errors.New("core: collective operation timed out")
 // mesh link failure, injected crash) rather than merely late.
 var ErrPeerLost = errors.New("core: peer lost during collective operation")
 
+// ErrNoCommittedEpoch is the typed failure a collective read returns
+// when a file set has no committed epoch to serve — nothing was ever
+// written, or every prepared epoch died before its commit decision.
+var ErrNoCommittedEpoch = errors.New("core: no committed epoch")
+
+// ErrCorrupt is the typed failure a verified read (Config.
+// VerifyOnRestart) returns when the bytes on disk contradict the
+// committed manifest — a torn sync or bit rot the commit protocol
+// cannot hide. pandafsck -repair can fall the file set back to the
+// retained previous epoch.
+var ErrCorrupt = errors.New("core: committed data fails verification")
+
 // Status codes carried by Done and Complete messages so typed errors
 // survive the wire: a client that receives a Complete with
 // statusTimeout returns an error wrapping ErrTimeout, exactly as if it
@@ -22,6 +34,8 @@ const (
 	statusFailed
 	statusTimeout
 	statusPeerLost
+	statusNoEpoch
+	statusCorrupt
 )
 
 // statusCode classifies err for the wire.
@@ -33,6 +47,10 @@ func statusCode(err error) byte {
 		return statusTimeout
 	case errors.Is(err, ErrPeerLost):
 		return statusPeerLost
+	case errors.Is(err, ErrNoCommittedEpoch):
+		return statusNoEpoch
+	case errors.Is(err, ErrCorrupt):
+		return statusCorrupt
 	default:
 		return statusFailed
 	}
@@ -55,6 +73,16 @@ func statusError(code byte, msg string) error {
 			return ErrPeerLost
 		}
 		return wrapped{msg: msg, sentinel: ErrPeerLost}
+	case statusNoEpoch:
+		if msg == "" {
+			return ErrNoCommittedEpoch
+		}
+		return wrapped{msg: msg, sentinel: ErrNoCommittedEpoch}
+	case statusCorrupt:
+		if msg == "" {
+			return ErrCorrupt
+		}
+		return wrapped{msg: msg, sentinel: ErrCorrupt}
 	default:
 		if msg == "" {
 			msg = "core: collective operation failed"

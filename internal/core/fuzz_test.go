@@ -76,11 +76,11 @@ func FuzzDecodeStatus(f *testing.F) {
 	// across the wire, including the typed-error code. Corrupted or
 	// truncated ones must decode to an error, never panic, and whatever
 	// decodes must be a usable error value.
-	f.Add(encodeStatus(msgComplete, nil))
-	f.Add(encodeStatus(msgComplete, ErrTimeout))
-	f.Add(encodeStatus(msgDone, ErrPeerLost))
-	f.Add(encodeAbort(errors.New("disk exploded")))
-	valid := encodeStatus(msgComplete, ErrTimeout)
+	f.Add(encodeStatus(msgComplete, 0, 0, nil))
+	f.Add(encodeStatus(msgComplete, 1, 0, ErrTimeout))
+	f.Add(encodeStatus(msgDone, 0, 2, ErrPeerLost))
+	f.Add(encodeAbort(0, 0, errors.New("disk exploded")))
+	valid := encodeStatus(msgComplete, 0, 0, ErrTimeout)
 	f.Add(valid[:len(valid)-1])
 	f.Add([]byte{msgAbort})
 	f.Add([]byte{msgAbort, 0xFF})                  // unknown status code
@@ -91,24 +91,28 @@ func FuzzDecodeStatus(f *testing.F) {
 		}
 		r := rbuf{b: data}
 		r.u8()
-		status, err := decodeStatus(&r)
+		frame, err := decodeStatus(&r)
 		if err != nil {
 			return
 		}
-		if status != nil {
+		if status := frame.Err; status != nil {
 			_ = status.Error()
 			// The sentinel classification must round-trip through a
 			// re-encode of the reconstructed error.
-			again := encodeStatus(msgComplete, status)
+			again := encodeStatus(msgComplete, frame.Attempt, frame.Round, status)
 			r2 := rbuf{b: again}
 			r2.u8()
-			status2, err2 := decodeStatus(&r2)
-			if err2 != nil || status2 == nil {
+			frame2, err2 := decodeStatus(&r2)
+			if err2 != nil || frame2.Err == nil {
 				t.Fatalf("re-encode of %v failed to decode: %v", status, err2)
 			}
+			status2 := frame2.Err
 			if errors.Is(status, ErrTimeout) != errors.Is(status2, ErrTimeout) ||
 				errors.Is(status, ErrPeerLost) != errors.Is(status2, ErrPeerLost) {
 				t.Fatalf("sentinel classification lost in round trip: %v vs %v", status, status2)
+			}
+			if frame2.Attempt != frame.Attempt || frame2.Round != frame.Round {
+				t.Fatalf("attempt/round lost in round trip")
 			}
 		}
 	})

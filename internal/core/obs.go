@@ -19,6 +19,10 @@ type nodeMetrics struct {
 	reorgBytes          *obs.Counter
 	timeouts, retries   *obs.Counter
 	aborts              *obs.Counter
+	// reassigns, rollForwards and degraded count recovery events: replan
+	// rounds launched, interrupted commits finished at read time, and
+	// collectives completed with dead participants.
+	reassigns, rollForwards, degraded *obs.Counter
 	// subLatency observes sub-chunk service time: write pulls from
 	// first request to retirement, read sub-chunks from disk fetch to
 	// last piece sent.
@@ -36,17 +40,20 @@ func newNodeMetrics(r *obs.Registry) nodeMetrics {
 		return nodeMetrics{}
 	}
 	return nodeMetrics{
-		msgsSent:   r.Counter("msgs_sent"),
-		bytesSent:  r.Counter("bytes_sent"),
-		msgsRecv:   r.Counter("msgs_recv"),
-		bytesRecv:  r.Counter("bytes_recv"),
-		reorgBytes: r.Counter("reorg_bytes"),
-		timeouts:   r.Counter("timeouts"),
-		retries:    r.Counter("retries"),
-		aborts:     r.Counter("aborts"),
-		subLatency: r.Histogram("subchunk_latency_ns", obs.LatencyBounds),
-		recvWait:   r.Histogram("recv_wait_ns", obs.LatencyBounds),
-		queueDepth: r.Histogram("stage_queue_depth", obs.DepthBounds),
+		msgsSent:     r.Counter("msgs_sent"),
+		bytesSent:    r.Counter("bytes_sent"),
+		msgsRecv:     r.Counter("msgs_recv"),
+		bytesRecv:    r.Counter("bytes_recv"),
+		reorgBytes:   r.Counter("reorg_bytes"),
+		timeouts:     r.Counter("timeouts"),
+		retries:      r.Counter("retries"),
+		aborts:       r.Counter("aborts"),
+		reassigns:    r.Counter("reassigns"),
+		rollForwards: r.Counter("roll_forwards"),
+		degraded:     r.Counter("degraded_ops"),
+		subLatency:   r.Histogram("subchunk_latency_ns", obs.LatencyBounds),
+		recvWait:     r.Histogram("recv_wait_ns", obs.LatencyBounds),
+		queueDepth:   r.Histogram("stage_queue_depth", obs.DepthBounds),
 	}
 }
 
@@ -75,6 +82,9 @@ func (st *Stats) snapshot() Stats {
 		Timeouts:     atomic.LoadInt64(&st.Timeouts),
 		Retries:      atomic.LoadInt64(&st.Retries),
 		Aborts:       atomic.LoadInt64(&st.Aborts),
+		Reassigns:    atomic.LoadInt64(&st.Reassigns),
+		RollForwards: atomic.LoadInt64(&st.RollForwards),
+		Degraded:     atomic.LoadInt64(&st.Degraded),
 		OverlapNanos: atomic.LoadInt64(&st.OverlapNanos),
 		StallNanos:   atomic.LoadInt64(&st.StallNanos),
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"panda/internal/array"
+	"panda/internal/storage"
 )
 
 // Planning: each server derives, independently and without any
@@ -50,6 +51,70 @@ func assignChunks(disk array.Schema, elemSize, numServers, s int) []chunkJob {
 		off += reg.NumElems() * int64(elemSize)
 	}
 	return jobs
+}
+
+// assignChunksAlive generalizes assignChunks to a degraded deployment:
+// chunks whose round-robin owner is dead are reassigned round-robin
+// across the surviving servers, in chunk-index order. Every survivor
+// computes the same assignment independently — the replanning needs no
+// server-to-server traffic, preserving the paper's property. With no
+// dead servers the result is identical to assignChunks.
+func assignChunksAlive(disk array.Schema, elemSize, numServers, s int, dead map[int]bool) []chunkJob {
+	if len(dead) == 0 {
+		return assignChunks(disk, elemSize, numServers, s)
+	}
+	var alive []int
+	for i := 0; i < numServers; i++ {
+		if !dead[i] {
+			alive = append(alive, i)
+		}
+	}
+	if len(alive) == 0 {
+		return nil
+	}
+	var jobs []chunkJob
+	off := int64(0)
+	orphans := 0
+	for idx := 0; idx < disk.NumChunks(); idx++ {
+		owner := idx % numServers
+		if dead[owner] {
+			owner = alive[orphans%len(alive)]
+			orphans++
+		}
+		if owner != s {
+			continue
+		}
+		reg := disk.Chunk(idx)
+		if reg.IsEmpty() {
+			continue
+		}
+		jobs = append(jobs, chunkJob{ChunkIdx: idx, Region: reg, FileOffset: off})
+		off += reg.NumElems() * int64(elemSize)
+	}
+	return jobs
+}
+
+// chunkJobsFromManifest rebuilds the chunk list a committed file
+// actually contains from its manifest — which may differ from the
+// schema-derived assignment when the epoch was written degraded (this
+// file then carries chunks adopted from dead servers).
+func chunkJobsFromManifest(disk array.Schema, m *storage.Manifest) []chunkJob {
+	jobs := make([]chunkJob, 0, len(m.Chunks))
+	for _, c := range m.Chunks {
+		jobs = append(jobs, chunkJob{ChunkIdx: c.ChunkIdx, Region: disk.Chunk(c.ChunkIdx), FileOffset: c.Offset})
+	}
+	return jobs
+}
+
+// specFingerprint hashes the parts of a spec that determine the layout
+// of the server files: element size and the disk schema. A manifest
+// records it so a reader with a different schema cannot misinterpret
+// the chunk list.
+func specFingerprint(a ArraySpec) uint32 {
+	var w wbuf
+	w.u32(uint32(a.ElemSize))
+	w.schema(a.Disk)
+	return storage.CRC32C(w.b)
 }
 
 // serverFileBytes is the total size of the file array a stores on

@@ -61,6 +61,16 @@ const (
 	msgComplete
 	msgShutdown
 	msgAbort
+	// msgPrepared reports a server's epoch staged and synced (write
+	// two-phase commit, server → master server on tagDoneFor).
+	msgPrepared
+	// msgCommit is the master server's commit order (master server →
+	// servers on tagToServer) once every participant is PREPARED and
+	// the decision record is durable.
+	msgCommit
+	// msgCommitted acks a server's rename of its epoch onto the final
+	// names (server → master server on tagDoneFor).
+	msgCommitted
 )
 
 // Operation kinds.
@@ -219,10 +229,25 @@ func (r *rbuf) schema() array.Schema {
 // master client's operation counter; servers adopt it so their tag
 // numbering cannot drift from the clients' even when requests are lost.
 type opRequest struct {
-	Op     byte
-	Seq    uint32
+	Op  byte
+	Seq uint32
+	// Attempt counts the master client's retries of this operation
+	// (first try is 0). Servers accept a request when its (Seq, Attempt)
+	// is newer than the last one they served, so a retry of a wedged
+	// operation gets through while duplicates are dropped.
+	Attempt uint16
+	// Round counts replanning rounds within one attempt: when the
+	// master server loses a participant mid-write it rebroadcasts the
+	// request with Round+1 and the dead servers listed in Deads, and
+	// the survivors replan with the dead servers' chunks reassigned.
+	Round  uint16
 	Suffix string
-	Specs  []ArraySpec
+	// Deads lists server indexes known dead this round, sorted.
+	Deads []int
+	Specs []ArraySpec
+	// Epochs carries, per spec, the committed epoch a read must serve
+	// (0 = resolve locally / legacy file). Writes leave it zero.
+	Epochs []uint64
 }
 
 func encodeOpRequest(req opRequest) []byte {
@@ -230,14 +255,25 @@ func encodeOpRequest(req opRequest) []byte {
 	w.u8(msgOpRequest)
 	w.u8(req.Op)
 	w.u32(req.Seq)
+	w.u16(req.Attempt)
+	w.u16(req.Round)
 	w.str(req.Suffix)
+	w.u8(byte(len(req.Deads)))
+	for _, dead := range req.Deads {
+		w.u16(uint16(dead))
+	}
 	w.u16(uint16(len(req.Specs)))
-	for _, s := range req.Specs {
+	for i, s := range req.Specs {
 		w.str(s.Name)
 		w.u32(uint32(s.ElemSize))
 		w.u64(uint64(s.SubchunkBytes))
 		w.schema(s.Mem)
 		w.schema(s.Disk)
+		var epoch uint64
+		if i < len(req.Epochs) {
+			epoch = req.Epochs[i]
+		}
+		w.u64(epoch)
 	}
 	return w.b
 }
@@ -250,15 +286,25 @@ func decodeOpRequest(b []byte) (opRequest, error) {
 	var req opRequest
 	req.Op = r.u8()
 	req.Seq = r.u32()
+	req.Attempt = r.u16()
+	req.Round = r.u16()
 	req.Suffix = r.str()
+	if ndeads := int(r.u8()); ndeads > 0 {
+		req.Deads = make([]int, ndeads)
+		for i := range req.Deads {
+			req.Deads[i] = int(r.u16())
+		}
+	}
 	n := int(r.u16())
 	req.Specs = make([]ArraySpec, n)
+	req.Epochs = make([]uint64, n)
 	for i := range req.Specs {
 		req.Specs[i].Name = r.str()
 		req.Specs[i].ElemSize = int(r.u32())
 		req.Specs[i].SubchunkBytes = int64(r.u64())
 		req.Specs[i].Mem = r.schema()
 		req.Specs[i].Disk = r.schema()
+		req.Epochs[i] = r.u64()
 	}
 	if r.err != nil {
 		return opRequest{}, r.err
@@ -323,12 +369,26 @@ func decodeSubData(r *rbuf) (subData, error) {
 	return d, r.err
 }
 
-// status is carried by Done and Complete: a one-byte code (statusOK,
-// statusFailed, statusTimeout, statusPeerLost) classifying the outcome
-// so typed errors survive the wire, then the human-readable detail.
-func encodeStatus(typ byte, opErr error) []byte {
+// statusFrame is the body shared by Done, Prepared, Commit, Committed,
+// Complete and Abort: which attempt and replanning round of the
+// operation the frame belongs to — so stragglers from an abandoned
+// attempt or a superseded round are filtered, not mistaken for current
+// traffic — plus a typed outcome.
+type statusFrame struct {
+	Attempt uint16
+	Round   uint16
+	Err     error
+}
+
+// encodeStatus builds a status-bearing frame: a one-byte code
+// (statusOK, statusFailed, statusTimeout, statusPeerLost, ...)
+// classifies the outcome so typed errors survive the wire, then the
+// human-readable detail.
+func encodeStatus(typ byte, attempt, round uint16, opErr error) []byte {
 	var w wbuf
 	w.u8(typ)
+	w.u16(attempt)
+	w.u16(round)
 	w.u8(statusCode(opErr))
 	msg := ""
 	if opErr != nil {
@@ -338,20 +398,26 @@ func encodeStatus(typ byte, opErr error) []byte {
 	return w.b
 }
 
-// decodeStatus returns the operation outcome carried by a Done or
-// Complete body: nil for success, a typed error otherwise. A decode
-// failure is reported separately.
-func decodeStatus(r *rbuf) (error, error) {
+// decodeStatus returns the attempt/round echo and operation outcome
+// carried by a status frame (nil Err for success). A decode failure is
+// reported separately.
+func decodeStatus(r *rbuf) (statusFrame, error) {
+	var f statusFrame
+	f.Attempt = r.u16()
+	f.Round = r.u16()
 	code := r.u8()
 	msg := r.str()
 	if r.err != nil {
-		return nil, r.err
+		return statusFrame{}, r.err
 	}
-	return statusError(code, msg), nil
+	f.Err = statusError(code, msg)
+	return f, nil
 }
 
 func encodeShutdown() []byte { return []byte{msgShutdown} }
 
 // encodeAbort builds the master server's abort broadcast: the typed
 // status tells a stuck server why the operation is being abandoned.
-func encodeAbort(opErr error) []byte { return encodeStatus(msgAbort, opErr) }
+func encodeAbort(attempt, round uint16, opErr error) []byte {
+	return encodeStatus(msgAbort, attempt, round, opErr)
+}

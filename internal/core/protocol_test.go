@@ -34,6 +34,9 @@ func TestOpRequestRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The wire format always carries one epoch per spec; a nil Epochs
+	// slice encodes as zeros and decodes materialized.
+	req.Epochs = make([]uint64, len(req.Specs))
 	if !reflect.DeepEqual(got, req) {
 		t.Fatalf("round trip:\n got %+v\nwant %+v", got, req)
 	}
@@ -86,15 +89,19 @@ func TestStatusRoundTrip(t *testing.T) {
 		fmt.Errorf("rank 2 gone: %w", ErrPeerLost),
 	}
 	for _, in := range cases {
-		b := encodeStatus(msgComplete, in)
+		b := encodeStatus(msgComplete, 3, 1, in)
 		r := rbuf{b: b}
 		if typ := r.u8(); typ != msgComplete {
 			t.Fatalf("type = %d", typ)
 		}
-		got, err := decodeStatus(&r)
+		frame, err := decodeStatus(&r)
 		if err != nil {
 			t.Fatal(err)
 		}
+		if frame.Attempt != 3 || frame.Round != 1 {
+			t.Fatalf("attempt/round = %d/%d, want 3/1", frame.Attempt, frame.Round)
+		}
+		got := frame.Err
 		switch {
 		case in == nil:
 			if got != nil {
@@ -114,7 +121,7 @@ func TestStatusRoundTrip(t *testing.T) {
 }
 
 func TestStatusTruncatedFails(t *testing.T) {
-	full := encodeStatus(msgDone, errors.New("boom"))
+	full := encodeStatus(msgDone, 0, 0, errors.New("boom"))
 	for cut := 1; cut < len(full); cut++ {
 		r := rbuf{b: full[:cut]}
 		r.u8()

@@ -30,6 +30,15 @@ type Server struct {
 	opSeq     int   // sequence of the operation being handled
 	opBytes   int64 // payload bytes this server moved in the current operation
 	stats     Stats
+
+	// Dedup watermark: the newest (seq, attempt, round) this server has
+	// started executing. A request is accepted only when lexicographically
+	// newer, so duplicate deliveries and rebroadcast copies of replanning
+	// rounds are dropped while genuine retries get through.
+	lastSeq, lastAttempt, lastRound int
+	// curAttempt and curRound identify the request currently executing,
+	// for stale-frame filtering inside the operation.
+	curAttempt, curRound uint16
 }
 
 // Stats counts a node's traffic during collective operations. Fields
@@ -52,6 +61,18 @@ type Stats struct {
 	// Aborts counts operations this node abandoned — on the master
 	// server, abort broadcasts sent; elsewhere, aborts obeyed.
 	Aborts int64
+	// Reassigns counts replanning rounds: a participant died mid-write
+	// and the master rebroadcast the request with the dead server's
+	// chunks reassigned across the survivors.
+	Reassigns int64
+	// RollForwards counts interrupted commits this server finished at
+	// read time: a decided epoch whose rename never happened, completed
+	// from its durable temp files before serving.
+	RollForwards int64
+	// Degraded counts collective operations that completed with one or
+	// more participants dead (writes after reassignment, reads served
+	// entirely by survivors).
+	Degraded int64
 	// OverlapNanos is disk time the staged engine hid behind network
 	// activity: the storage stage's busy time minus the network stage's
 	// waits on it, clamped at zero. Zero when the engine runs serially
@@ -69,13 +90,16 @@ type Stats struct {
 func NewServer(cfg Config, comm mpi.Comm, disk storage.Disk, clk clock.Clock) *Server {
 	idx := cfg.ServerIndex(comm.Rank())
 	return &Server{
-		cfg:   cfg,
-		comm:  comm,
-		disk:  disk,
-		clk:   clk,
-		index: idx,
-		tr:    cfg.Trace.Track(fmt.Sprintf("server%d", idx)),
-		met:   newNodeMetrics(cfg.Metrics),
+		cfg:         cfg,
+		comm:        comm,
+		disk:        disk,
+		clk:         clk,
+		index:       idx,
+		tr:          cfg.Trace.Track(fmt.Sprintf("server%d", idx)),
+		met:         newNodeMetrics(cfg.Metrics),
+		lastSeq:     -1,
+		lastAttempt: -1,
+		lastRound:   -1,
 	}
 }
 
@@ -107,18 +131,39 @@ func (s *Server) Serve() error {
 			return nil
 		case msgOpRequest:
 			req, derr := decodeOpRequest(m.Data)
-			if derr == nil {
-				if int(req.Seq) < s.opSeq {
-					continue // duplicate delivery of an operation already handled
-				}
-				s.opSeq = int(req.Seq)
+			if derr == nil && !s.acceptReq(req) {
+				continue // duplicate, stale retry, or already-served round
 			}
-			s.handleOp(m.Data, req, derr)
-			s.opSeq++
+			if err := s.handleOp(m.Data, req, derr); err != nil {
+				// Fatal: an injected crash killed this server mid-write,
+				// exactly as a process death would.
+				return fmt.Errorf("core: server %d: %w", s.index, err)
+			}
 		default:
 			return fmt.Errorf("core: server %d: unexpected message type %d outside operation", s.index, m.Data[0])
 		}
 	}
+}
+
+// acceptReq applies the (seq, attempt, round) dedup watermark and, on
+// acceptance, adopts the request's identity as the current operation.
+func (s *Server) acceptReq(req opRequest) bool {
+	seq, att, rnd := int(req.Seq), int(req.Attempt), int(req.Round)
+	if seq < s.lastSeq {
+		return false
+	}
+	if seq == s.lastSeq {
+		if att < s.lastAttempt {
+			return false
+		}
+		if att == s.lastAttempt && rnd <= s.lastRound {
+			return false
+		}
+	}
+	s.lastSeq, s.lastAttempt, s.lastRound = seq, att, rnd
+	s.opSeq = seq
+	s.curAttempt, s.curRound = req.Attempt, req.Round
+	return true
 }
 
 func (s *Server) countRecv(n int) {
@@ -198,7 +243,8 @@ func (s *Server) send(to, tag int, data []byte) {
 // handleOp runs one collective operation end to end on this server.
 // req/decodeErr are the already-decoded request (decoding happens in
 // Serve so the sequence can be adopted before any deadline starts).
-func (s *Server) handleOp(raw []byte, req opRequest, decodeErr error) {
+// A non-nil return is fatal: an injected crash killed the server.
+func (s *Server) handleOp(raw []byte, req opRequest, decodeErr error) (fatal error) {
 	opStart := s.clk.Now()
 	s.opBytes = 0
 	retries0 := atomic.LoadInt64(&s.stats.Retries)
@@ -230,9 +276,14 @@ func (s *Server) handleOp(raw []byte, req opRequest, decodeErr error) {
 
 	if s.IsMaster() {
 		// Charge Panda's fixed startup cost (paper: ~13 ms measured
-		// on the SP2) and forward the request to the other servers.
+		// on the SP2), resolve the epochs the operation runs against,
+		// and forward the (re-encoded) request to the other servers.
 		if s.cfg.StartupOverhead > 0 {
 			s.clk.Sleep(s.cfg.StartupOverhead)
+		}
+		if err == nil && !s.cfg.PlainWrites {
+			s.resolveEpochs(&req)
+			raw = encodeOpRequest(req)
 		}
 		s.tr.Instant(obs.CatCtl, "forward request", s.opSeq, s.clk.Now(), int64(len(raw)))
 		for i := 0; i < s.cfg.NumServers; i++ {
@@ -247,14 +298,31 @@ func (s *Server) handleOp(raw []byte, req opRequest, decodeErr error) {
 	if err == nil {
 		err = validateSpecs(s.cfg, req.Specs)
 	}
+
+	// Crash-consistent writes take the two-phase-commit path, which owns
+	// its own completion exchange (Prepared/Commit/Committed in place of
+	// Done). Reads, plain-mode writes and invalid requests take the
+	// legacy path below.
+	if err == nil && req.Op == opWrite && !s.cfg.PlainWrites {
+		opErr, fatal := s.runCommitWrite(req, deadline)
+		finalErr = opErr
+		if fatal != nil {
+			return fatal
+		}
+		if s.IsMaster() {
+			s.send(s.cfg.MasterClient(), tagToClient(s.opSeq), encodeStatus(msgComplete, s.curAttempt, s.curRound, opErr))
+		}
+		return nil
+	}
+
 	if err == nil {
 		err = s.execute(req, deadline)
 	}
 
 	if !s.IsMaster() {
 		finalErr = err
-		s.send(s.cfg.MasterServer(), tagDoneFor(s.opSeq), encodeStatus(msgDone, err))
-		return
+		s.send(s.cfg.MasterServer(), tagDoneFor(s.opSeq), encodeStatus(msgDone, req.Attempt, req.Round, err))
+		return nil
 	}
 
 	// Master server: collect Done from every other server, aggregate
@@ -268,9 +336,21 @@ func (s *Server) handleOp(raw []byte, req opRequest, decodeErr error) {
 		collectBy = deadline + s.cfg.OpTimeout/2
 	}
 	status := err
-	for i := 1; i < s.cfg.NumServers; i++ {
+	participants := s.aliveOthers(req)
+	got := make(map[int]bool, len(participants))
+	for len(got) < len(participants) {
 		m, rerr := recvBounded(s.comm, s.clk, mpi.AnySource, tagDoneFor(s.opSeq), collectBy)
 		if rerr != nil {
+			// Reads of a degraded file set: the dead server's chunks were
+			// reassigned at write time, so the survivors serve all the
+			// data. When every missing participant is confirmed dead —
+			// not merely late — the collective completes without it.
+			if req.Op == opRead && status == nil && s.missingAllDead(participants, got) {
+				atomic.AddInt64(&s.stats.Degraded, 1)
+				s.met.degraded.Add(1)
+				s.tr.Instant(obs.CatRecover, "read completed degraded", s.opSeq, s.clk.Now(), 0)
+				break
+			}
 			atomic.AddInt64(&s.stats.Timeouts, 1)
 			s.met.timeouts.Add(1)
 			if status == nil {
@@ -286,10 +366,21 @@ func (s *Server) handleOp(raw []byte, req opRequest, decodeErr error) {
 			}
 			continue
 		}
-		if msg, derr := decodeStatus(&r); derr != nil {
+		frame, derr := decodeStatus(&r)
+		if derr != nil {
 			status = derr
-		} else if msg != nil && status == nil {
-			status = msg
+			continue
+		}
+		if frame.Attempt != req.Attempt {
+			continue // Done from an abandoned attempt of this operation
+		}
+		idx := s.cfg.ServerIndex(m.Source)
+		if got[idx] {
+			continue
+		}
+		got[idx] = true
+		if frame.Err != nil && status == nil {
+			status = frame.Err
 		}
 	}
 
@@ -302,41 +393,42 @@ func (s *Server) handleOp(raw []byte, req opRequest, decodeErr error) {
 		s.tr.Instant(obs.CatCtl, "abort broadcast", s.opSeq, s.clk.Now(), 0)
 		for i := 0; i < s.cfg.NumServers; i++ {
 			if rank := s.cfg.ServerRank(i); rank != s.comm.Rank() {
-				s.send(rank, tagToServer(s.opSeq), encodeAbort(status))
+				s.send(rank, tagToServer(s.opSeq), encodeAbort(req.Attempt, req.Round, status))
 			}
 		}
 	}
 	finalErr = status
-	s.send(s.cfg.MasterClient(), tagToClient(s.opSeq), encodeStatus(msgComplete, status))
+	s.send(s.cfg.MasterClient(), tagToClient(s.opSeq), encodeStatus(msgComplete, req.Attempt, req.Round, status))
+	return nil
 }
 
-// execute performs this server's share of the operation: every array in
-// order, every assigned chunk in file order, every sub-chunk
-// sequentially. deadline (0 = none) bounds the whole operation.
+// missingAllDead reports whether every participant yet to report is
+// confirmed dead by the transport.
+func (s *Server) missingAllDead(participants []int, got map[int]bool) bool {
+	pc, ok := s.comm.(mpi.PeerChecker)
+	if !ok {
+		return false
+	}
+	for _, i := range participants {
+		if !got[i] && !pc.PeerLost(s.cfg.ServerRank(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// execute performs this server's share of a legacy-path operation —
+// reads and plain-mode writes — every array in order, every chunk in
+// file order, every sub-chunk sequentially. deadline (0 = none) bounds
+// the whole operation.
 func (s *Server) execute(req opRequest, deadline time.Duration) error {
 	for ai, spec := range req.Specs {
-		var p0 time.Duration
-		if s.tr.Enabled() {
-			p0 = s.clk.Now()
-		}
-		jobs := assignChunks(spec.Disk, spec.ElemSize, s.cfg.NumServers, s.index)
-		subs := planSubchunks(ai, spec, jobs, spec.subchunkBytes(s.cfg))
-		name := spec.FileName(req.Suffix, s.index)
-		var planned int64
-		for _, sj := range subs {
-			planned += sj.Bytes
-		}
-		s.opBytes += planned
-		if s.tr.Enabled() {
-			s.tr.Span(obs.CatPlan, "plan "+spec.Name, s.opSeq, p0, s.clk.Now(), planned)
-		}
-
 		var err error
 		switch req.Op {
 		case opWrite:
-			err = s.writeArray(spec, name, subs, deadline)
+			err = s.plainWriteArray(req, ai, spec, deadline)
 		case opRead:
-			err = s.readArray(spec, name, subs, deadline)
+			err = s.readResolved(req, ai, spec, deadline)
 		default:
 			err = fmt.Errorf("core: unknown operation %d", req.Op)
 		}
@@ -345,6 +437,86 @@ func (s *Server) execute(req opRequest, deadline time.Duration) error {
 		}
 	}
 	return nil
+}
+
+// planArray derives this server's sub-chunk plan for one array from a
+// chunk assignment, charging the plan span and the operation's byte
+// account.
+func (s *Server) planArray(ai int, spec ArraySpec, jobs []chunkJob) []subchunkJob {
+	var p0 time.Duration
+	if s.tr.Enabled() {
+		p0 = s.clk.Now()
+	}
+	subs := planSubchunks(ai, spec, jobs, spec.subchunkBytes(s.cfg))
+	var planned int64
+	for _, sj := range subs {
+		planned += sj.Bytes
+	}
+	s.opBytes += planned
+	if s.tr.Enabled() {
+		s.tr.Span(obs.CatPlan, "plan "+spec.Name, s.opSeq, p0, s.clk.Now(), planned)
+	}
+	return subs
+}
+
+// plainWriteArray is the pre-manifest write path (Config.PlainWrites):
+// straight to the final file name, no epoch, no manifest, no commit.
+func (s *Server) plainWriteArray(req opRequest, ai int, spec ArraySpec, deadline time.Duration) error {
+	jobs := assignChunks(spec.Disk, spec.ElemSize, s.cfg.NumServers, s.index)
+	subs := s.planArray(ai, spec, jobs)
+	return s.writeArray(spec, spec.FileName(req.Suffix, s.index), subs, deadline, nil)
+}
+
+// readResolved serves one array of a collective read from whatever this
+// server's committed state holds for the decided epoch: the committed
+// file under its manifest, a legacy manifest-less file, a roll-forward
+// of an interrupted commit, the retained previous epoch — or nothing,
+// when this server's state predates the decided epoch (a revived server
+// whose chunks the survivors carry).
+func (s *Server) readResolved(req opRequest, ai int, spec ArraySpec, deadline time.Duration) error {
+	base := spec.FileName(req.Suffix, s.index)
+	if s.cfg.PlainWrites {
+		jobs := assignChunks(spec.Disk, spec.ElemSize, s.cfg.NumServers, s.index)
+		subs := s.planArray(ai, spec, jobs)
+		return s.readArray(spec, base, subs, deadline, serverFileBytes(spec, s.cfg.NumServers, s.index))
+	}
+	var epoch uint64
+	if ai < len(req.Epochs) {
+		epoch = req.Epochs[ai]
+	}
+	name, m, err := s.resolveRead(spec, base, epoch)
+	if err != nil {
+		return err
+	}
+	if name == "" {
+		return nil // nothing to serve at the decided epoch
+	}
+	var jobs []chunkJob
+	var want int64
+	if m != nil {
+		if m.SchemaSum != specFingerprint(spec) {
+			return fmt.Errorf("manifest of %s was written under a different schema: %w", name, ErrCorrupt)
+		}
+		jobs = chunkJobsFromManifest(spec.Disk, m)
+		want = m.TotalBytes
+		if s.cfg.VerifyOnRestart {
+			var v0 time.Duration
+			if s.tr.Enabled() {
+				v0 = s.clk.Now()
+			}
+			if verr := storage.VerifyData(s.disk, name, m); verr != nil {
+				return fmt.Errorf("%w: %v", ErrCorrupt, verr)
+			}
+			if s.tr.Enabled() {
+				s.tr.Span(obs.CatRecover, "verify "+name, s.opSeq, v0, s.clk.Now(), m.TotalBytes)
+			}
+		}
+	} else {
+		jobs = assignChunks(spec.Disk, spec.ElemSize, s.cfg.NumServers, s.index)
+		want = serverFileBytes(spec, s.cfg.NumServers, s.index)
+	}
+	subs := s.planArray(ai, spec, jobs)
+	return s.readArray(spec, name, subs, deadline, want)
 }
 
 // pending is a sub-chunk being assembled from client pieces. got
@@ -373,7 +545,7 @@ type pending struct {
 // map drops duplicates — so retries mask transient message loss
 // without corrupting the file. Stale replies (for sub-chunks already
 // retired, or already-seen pieces) are ignored, not errors.
-func (s *Server) writeArray(spec ArraySpec, name string, subs []subchunkJob, deadline time.Duration) error {
+func (s *Server) writeArray(spec ArraySpec, name string, subs []subchunkJob, deadline time.Duration, mb *manifestBuilder) error {
 	if len(subs) == 0 {
 		return nil // this server owns no data of this array
 	}
@@ -381,7 +553,7 @@ func (s *Server) writeArray(spec ArraySpec, name string, subs []subchunkJob, dea
 	if err != nil {
 		return err
 	}
-	if err := s.pullSubchunks(spec, subs, deadline, sink); err != nil {
+	if err := s.pullSubchunks(spec, subs, deadline, sink, mb); err != nil {
 		sink.abandon()
 		s.mergeStage(sink.report())
 		return err
@@ -393,8 +565,9 @@ func (s *Server) writeArray(spec ArraySpec, name string, subs []subchunkJob, dea
 
 // pullSubchunks is the write mover: it keeps up to cfg.Pipeline
 // sub-chunk pulls in flight and retires completed sub-chunks to the
-// sink strictly in plan order.
-func (s *Server) pullSubchunks(spec ArraySpec, subs []subchunkJob, deadline time.Duration, sink writeSink) error {
+// sink strictly in plan order. mb, when non-nil, collects each retired
+// sub-chunk's extent and CRC32C for the epoch manifest.
+func (s *Server) pullSubchunks(spec ArraySpec, subs []subchunkJob, deadline time.Duration, sink writeSink, mb *manifestBuilder) error {
 	window := s.cfg.pipeline()
 	inflight := make(map[uint32]*pending, window)
 	// In-flight request IDs in plan order, a fixed ring so a long
@@ -453,17 +626,29 @@ func (s *Server) pullSubchunks(spec ArraySpec, subs []subchunkJob, deadline time
 		r := rbuf{b: m.Data}
 		switch t := r.u8(); t {
 		case msgAbort:
-			atomic.AddInt64(&s.stats.Aborts, 1)
-			s.met.aborts.Add(1)
-			status, derr := decodeStatus(&r)
+			frame, derr := decodeStatus(&r)
 			bufpool.Put(m.Data)
 			if derr != nil {
 				return derr
 			}
+			if frame.Attempt < s.curAttempt {
+				continue // abort of an attempt this server already left
+			}
+			atomic.AddInt64(&s.stats.Aborts, 1)
+			s.met.aborts.Add(1)
+			status := frame.Err
 			if status == nil {
 				status = errors.New("core: operation aborted")
 			}
-			return fmt.Errorf("aborted by master server: %w", status)
+			return &abortedError{cause: status}
+		case msgOpRequest:
+			// A replanning round: a participant died and the master
+			// rebroadcast the request on this operation's server tag.
+			nreq, derr := decodeOpRequest(m.Data)
+			if derr == nil && nreq.Seq == uint32(s.opSeq) && nreq.Attempt == s.curAttempt && nreq.Round > s.curRound {
+				return &replanError{req: nreq}
+			}
+			continue // stale duplicate of an older round
 		case msgSubData:
 			d, derr := decodeSubData(&r)
 			if derr != nil {
@@ -503,6 +688,9 @@ func (s *Server) pullSubchunks(spec ArraySpec, subs []subchunkJob, deadline time
 				s.tr.Span(obs.CatNet, "pull sub-chunk", s.opSeq, pend.start, end, pend.job.Bytes)
 				s.met.subLatency.Observe(int64(end - pend.start))
 			}
+			if mb != nil {
+				mb.addSub(pend.job.FileOffset, pend.job.Bytes, storage.CRC32C(pend.buf))
+			}
 			if werr := sink.write(pend.buf, pend.job.FileOffset, pend.pooled); werr != nil {
 				return werr
 			}
@@ -510,6 +698,11 @@ func (s *Server) pullSubchunks(spec ArraySpec, subs []subchunkJob, deadline time
 			head = (head + 1) % window
 			live--
 			written++
+			if written == 1 {
+				if cerr := s.crashPoint("pull"); cerr != nil {
+					return cerr
+				}
+			}
 		}
 	}
 	return nil
@@ -555,11 +748,11 @@ func (s *Server) chargeReorg(n int64) {
 // none) bounds the operation: between sub-chunks the server checks its
 // budget and drains any abort broadcast, so a read cannot grind on
 // after the master has declared the operation dead.
-func (s *Server) readArray(spec ArraySpec, name string, subs []subchunkJob, deadline time.Duration) error {
+func (s *Server) readArray(spec ArraySpec, name string, subs []subchunkJob, deadline time.Duration, want int64) error {
 	if len(subs) == 0 {
 		return nil
 	}
-	src, err := s.newReadSource(spec, name, subs)
+	src, err := s.newReadSource(spec, name, subs, want)
 	if err != nil {
 		return err
 	}
@@ -657,13 +850,17 @@ func (s *Server) checkReadInterrupt(deadline time.Duration) error {
 	if t := r.u8(); t != msgAbort {
 		return fmt.Errorf("expected abort, got message type %d during read", t)
 	}
-	atomic.AddInt64(&s.stats.Aborts, 1)
-	s.met.aborts.Add(1)
-	status, derr := decodeStatus(&r)
+	frame, derr := decodeStatus(&r)
 	bufpool.Put(m.Data)
 	if derr != nil {
 		return derr
 	}
+	if frame.Attempt < s.curAttempt {
+		return nil // abort of an attempt this server already left
+	}
+	atomic.AddInt64(&s.stats.Aborts, 1)
+	s.met.aborts.Add(1)
+	status := frame.Err
 	if status == nil {
 		status = errors.New("core: operation aborted")
 	}

@@ -59,7 +59,9 @@ func inputsFor(sizeMB int64, nc, ion int, trad, write, fast bool) Inputs {
 	}
 	return Inputs{
 		Cfg: core.Config{NumClients: nc, NumServers: ion,
-			StartupOverhead: harness.StartupOverhead, CopyRate: harness.CopyRate},
+			StartupOverhead: harness.StartupOverhead, CopyRate: harness.CopyRate,
+			// The model predicts the paper's plain protocol; simulate the same.
+			PlainWrites: true},
 		Specs:    []core.ArraySpec{{Name: "x", ElemSize: harness.ElemSize, Mem: mem, Disk: disk}},
 		Link:     mpi.SP2Link(),
 		Disk:     storage.SP2AIX(),
@@ -172,7 +174,7 @@ func TestRankAgreesWithSimulation(t *testing.T) {
 	coarse := array.MustSchema(shape, []array.Dist{array.Block, array.Star, array.Star}, []int{2})
 	fine := array.MustSchema(shape, []array.Dist{array.Block, array.Star, array.Star}, []int{64})
 	cfg := core.Config{NumClients: 8, NumServers: 2,
-		StartupOverhead: harness.StartupOverhead, CopyRate: harness.CopyRate}
+		StartupOverhead: harness.StartupOverhead, CopyRate: harness.CopyRate, PlainWrites: true}
 
 	var simTimes [2]time.Duration
 	for i, disk := range []array.Schema{coarse, fine} {

@@ -183,7 +183,7 @@ func RunGranularityAblation(sizeBytes int64, computeNodes, ion int, sweep []int,
 		specs := []core.ArraySpec{{Name: "g", ElemSize: ElemSize, Mem: mem, Disk: disk}}
 		cfg := core.Config{NumClients: computeNodes, NumServers: ion,
 			SubchunkBytes: opt.SubchunkBytes, Pipeline: opt.Pipeline, ReadAhead: opt.ReadAhead,
-			StartupOverhead: StartupOverhead, CopyRate: CopyRate}
+			StartupOverhead: StartupOverhead, CopyRate: CopyRate, PlainWrites: true}
 		res, err := core.RunSim(cfg, mpi.SP2Link(), core.SimDiskFactory(sp2AIX()), func(cl *core.Client) error {
 			bufs := [][]byte{make([]byte, specs[0].MemChunkBytes(cl.Rank()))}
 			return cl.WriteArrays("", specs, bufs)

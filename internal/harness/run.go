@@ -21,6 +21,9 @@ func configFor(f Figure, ion int, opt Options) core.Config {
 		CopyRate:        CopyRate,
 		Trace:           opt.Trace,
 		Metrics:         opt.Metrics,
+		// The paper's machines had no commit machinery; the virtual-time
+		// goldens are calibrated to the plain write path.
+		PlainWrites: true,
 	}
 }
 

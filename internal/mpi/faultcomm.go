@@ -36,8 +36,9 @@ type FaultPlan struct {
 	// after the sender's next Send, swapping adjacent messages.
 	ReorderProb float64
 
-	crashed map[int]bool
-	stats   FaultStats
+	crashed    map[int]bool
+	crashAfter map[int]int
+	stats      FaultStats
 }
 
 // FaultStats counts the faults a plan has injected.
@@ -53,7 +54,19 @@ type FaultStats struct {
 // reproducible schedules. Set the probability fields before wrapping
 // endpoints, or at any quiesced moment between operations.
 func NewFaultPlan(seed int64) *FaultPlan {
-	return &FaultPlan{rng: rand.New(rand.NewSource(seed)), crashed: make(map[int]bool)}
+	return &FaultPlan{rng: rand.New(rand.NewSource(seed)),
+		crashed: make(map[int]bool), crashAfter: make(map[int]int)}
+}
+
+// CrashAfterSends arms a deterministic mid-operation crash: rank's next
+// n sends are delivered normally, then the rank is crashed exactly as
+// by CrashRank. Unlike the probabilistic knobs this places the failure
+// at a repeatable point in the protocol, which is what recovery tests
+// need to sweep crash sites.
+func (p *FaultPlan) CrashAfterSends(rank, n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.crashAfter[rank] = n
 }
 
 // CrashRank marks a rank dead: its endpoint's sends are discarded, its
@@ -79,6 +92,7 @@ func (p *FaultPlan) Heal() {
 	defer p.mu.Unlock()
 	p.DropProb, p.DupProb, p.DelayProb, p.ReorderProb = 0, 0, 0, 0
 	p.crashed = make(map[int]bool)
+	p.crashAfter = make(map[int]int)
 }
 
 // Stats returns a snapshot of the injected-fault counters.
@@ -93,6 +107,14 @@ func (p *FaultPlan) Stats() FaultStats {
 func (p *FaultPlan) roll(from, to int) (verdict sendVerdict) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if n, ok := p.crashAfter[from]; ok {
+		if n <= 0 {
+			delete(p.crashAfter, from)
+			p.crashed[from] = true
+		} else {
+			p.crashAfter[from] = n - 1
+		}
+	}
 	if p.crashed[from] || p.crashed[to] {
 		p.stats.CrashedSends++
 		return sendVerdict{drop: true}

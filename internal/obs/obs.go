@@ -47,6 +47,9 @@ const (
 	// CatCtl covers control traffic: op requests, schema broadcast,
 	// completion collection.
 	CatCtl
+	// CatRecover covers failure handling: commit phases, chunk
+	// reassignment after a server loss, client retries, roll-forward.
+	CatRecover
 )
 
 // String returns the category's name as used in exported traces.
@@ -66,6 +69,8 @@ func (c Cat) String() string {
 		return "reorg"
 	case CatCtl:
 		return "ctl"
+	case CatRecover:
+		return "recover"
 	}
 	return "?"
 }
@@ -85,6 +90,8 @@ func catFromString(s string) Cat {
 		return CatStall
 	case "reorg":
 		return CatReorg
+	case "recover":
+		return CatRecover
 	}
 	return CatCtl
 }

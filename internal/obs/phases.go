@@ -14,15 +14,16 @@ import (
 // a phase can exceed Wall — that surplus is exactly the parallelism
 // plus overlap the server-directed design buys.
 type OpPhases struct {
-	Seq   int
-	Name  string
-	Spans int
-	Wall  time.Duration
-	Plan  time.Duration
-	Net   time.Duration
-	Disk  time.Duration
-	Stall time.Duration
-	Reorg time.Duration
+	Seq     int
+	Name    string
+	Spans   int
+	Wall    time.Duration
+	Plan    time.Duration
+	Net     time.Duration
+	Disk    time.Duration
+	Stall   time.Duration
+	Reorg   time.Duration
+	Recover time.Duration
 }
 
 func (p *OpPhases) addSpan(cat Cat, name string, dur time.Duration) {
@@ -45,6 +46,8 @@ func (p *OpPhases) addSpan(cat Cat, name string, dur time.Duration) {
 		p.Stall += dur
 	case CatReorg:
 		p.Reorg += dur
+	case CatRecover:
+		p.Recover += dur
 	}
 }
 
@@ -119,16 +122,16 @@ func argInt(args map[string]any, key string) (int, bool) {
 func RenderPhases(ops []OpPhases) string {
 	var b strings.Builder
 	b.WriteString("Per-operation phase breakdown (phases summed across nodes):\n")
-	fmt.Fprintf(&b, "%4s %-7s %6s %12s %12s %12s %12s %12s %12s\n",
-		"seq", "op", "spans", "wall", "plan", "network", "disk", "stall", "reorg")
+	fmt.Fprintf(&b, "%4s %-7s %6s %12s %12s %12s %12s %12s %12s %12s\n",
+		"seq", "op", "spans", "wall", "plan", "network", "disk", "stall", "reorg", "recover")
 	rd := func(d time.Duration) string { return d.Round(time.Microsecond).String() }
 	for _, p := range ops {
 		name := p.Name
 		if name == "" {
 			name = "?"
 		}
-		fmt.Fprintf(&b, "%4d %-7s %6d %12s %12s %12s %12s %12s %12s\n",
-			p.Seq, name, p.Spans, rd(p.Wall), rd(p.Plan), rd(p.Net), rd(p.Disk), rd(p.Stall), rd(p.Reorg))
+		fmt.Fprintf(&b, "%4d %-7s %6d %12s %12s %12s %12s %12s %12s %12s\n",
+			p.Seq, name, p.Spans, rd(p.Wall), rd(p.Plan), rd(p.Net), rd(p.Disk), rd(p.Stall), rd(p.Reorg), rd(p.Recover))
 	}
 	return b.String()
 }

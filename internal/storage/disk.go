@@ -28,6 +28,14 @@ type Disk interface {
 	Open(name string) (File, error)
 	// Remove deletes the named file.
 	Remove(name string) error
+	// Rename atomically replaces newName with oldName's file (POSIX
+	// rename semantics: the destination is overwritten if present).
+	// The epoch-commit protocol relies on this being the one atomic
+	// transition from "old epoch" to "new epoch".
+	Rename(oldName, newName string) error
+	// List returns the names of every file on the disk, sorted; the
+	// scrubber and epoch garbage collection walk it.
+	List() ([]string, error)
 	// FlushCache drops whatever cache the implementation keeps, so the
 	// next reads hit the media. Mirrors the paper's methodology of
 	// writing and deleting a large temporary file before reads.

@@ -22,9 +22,11 @@ type FaultDisk struct {
 	// FailOpens makes Open/Create fail outright.
 	FailOpens bool
 
-	mu     sync.Mutex
-	writes int64
-	reads  int64
+	mu       sync.Mutex
+	writes   int64
+	reads    int64
+	tornSync bool
+	torn     int64
 }
 
 // Heal atomically disables all injected faults.
@@ -33,7 +35,27 @@ func (d *FaultDisk) Heal() {
 	d.FailWritesAfter = 0
 	d.FailReadsAfter = 0
 	d.FailOpens = false
+	d.tornSync = false
 	d.mu.Unlock()
+}
+
+// ArmTornSync makes the next Sync on any file of this disk lie like a
+// powered-off drive: it reports success but the tail half of that
+// file's most recent WriteAt never reaches the media (it is overwritten
+// with zeros). One Sync consumes the arming. This simulates a real
+// power cut for crash-consistency tests — data silently lost after a
+// successful flush — rather than a clean error.
+func (d *FaultDisk) ArmTornSync() {
+	d.mu.Lock()
+	d.tornSync = true
+	d.mu.Unlock()
+}
+
+// TornSyncs reports how many torn syncs this disk has injected.
+func (d *FaultDisk) TornSyncs() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.torn
 }
 
 // Create implements Disk.
@@ -69,12 +91,22 @@ func (d *FaultDisk) Open(name string) (File, error) {
 // Remove implements Disk.
 func (d *FaultDisk) Remove(name string) error { return d.Inner.Remove(name) }
 
+// Rename implements Disk.
+func (d *FaultDisk) Rename(oldName, newName string) error { return d.Inner.Rename(oldName, newName) }
+
+// List implements Disk.
+func (d *FaultDisk) List() ([]string, error) { return d.Inner.List() }
+
 // FlushCache implements Disk.
 func (d *FaultDisk) FlushCache() { d.Inner.FlushCache() }
 
 type faultFile struct {
 	disk  *FaultDisk
 	inner File
+
+	mu      sync.Mutex
+	lastOff int64
+	lastLen int
 }
 
 func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
@@ -86,6 +118,9 @@ func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
 	if fail {
 		return 0, ErrInjected
 	}
+	f.mu.Lock()
+	f.lastOff, f.lastLen = off, len(p)
+	f.mu.Unlock()
 	return f.inner.WriteAt(p, off)
 }
 
@@ -101,6 +136,28 @@ func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
 	return f.inner.ReadAt(p, off)
 }
 
-func (f *faultFile) Sync() error          { return f.inner.Sync() }
+func (f *faultFile) Sync() error {
+	d := f.disk
+	d.mu.Lock()
+	tear := d.tornSync
+	if tear {
+		d.tornSync = false
+		d.torn++
+	}
+	d.mu.Unlock()
+	if tear {
+		f.mu.Lock()
+		off, n := f.lastOff, f.lastLen
+		f.mu.Unlock()
+		if n > 0 {
+			// The tail half of the last write never hit the media.
+			lost := n - n/2
+			if _, err := f.inner.WriteAt(make([]byte, lost), off+int64(n/2)); err != nil {
+				return nil // best effort: the lie stands even if the tear fails
+			}
+		}
+	}
+	return f.inner.Sync()
+}
 func (f *faultFile) Size() (int64, error) { return f.inner.Size() }
 func (f *faultFile) Close() error         { return f.inner.Close() }

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -79,6 +80,32 @@ func (d *MemDisk) Remove(name string) error {
 	}
 	delete(d.files, name)
 	return nil
+}
+
+// Rename implements Disk, replacing any existing destination.
+func (d *MemDisk) Rename(oldName, newName string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[oldName]
+	if !ok {
+		return fmt.Errorf("memdisk: rename %s: no such file", oldName)
+	}
+	delete(d.files, oldName)
+	f.name = newName
+	d.files[newName] = f
+	return nil
+}
+
+// List implements Disk.
+func (d *MemDisk) List() ([]string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	names := make([]string, 0, len(d.files))
+	for name := range d.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
 }
 
 // FlushCache implements Disk; MemDisk has no cache.

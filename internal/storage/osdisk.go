@@ -3,6 +3,7 @@ package storage
 import (
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -63,6 +64,27 @@ func (d *OSDisk) Open(name string) (File, error) {
 // Remove implements Disk.
 func (d *OSDisk) Remove(name string) error {
 	return os.Remove(d.path(name))
+}
+
+// Rename implements Disk via the host's atomic rename.
+func (d *OSDisk) Rename(oldName, newName string) error {
+	return os.Rename(d.path(oldName), d.path(newName))
+}
+
+// List implements Disk.
+func (d *OSDisk) List() ([]string, error) {
+	entries, err := os.ReadDir(d.root)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
 }
 
 // FlushCache implements Disk. Dropping the host page cache requires

@@ -139,6 +139,19 @@ func (d *SimDisk) Remove(name string) error {
 	return d.inner.Remove(name)
 }
 
+// Rename implements Disk. A rename is a metadata operation — the AIX
+// model charges data movement only — so it costs no simulated time.
+// Cached residency travels under the old name; dropping both names
+// keeps the model conservative (the next reads hit the media).
+func (d *SimDisk) Rename(oldName, newName string) error {
+	d.cache.drop(oldName)
+	d.cache.drop(newName)
+	return d.inner.Rename(oldName, newName)
+}
+
+// List implements Disk; listing a directory charges no simulated time.
+func (d *SimDisk) List() ([]string, error) { return d.inner.List() }
+
 // FlushCache implements Disk: drops the modelled buffer cache, as the
 // paper does before each read experiment.
 func (d *SimDisk) FlushCache() {
