@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet staticcheck check fuzz bench-baseline trace-smoke recovery-smoke ci clean
+.PHONY: all build test race vet staticcheck check fuzz bench-baseline bench-check bench-pack trace-smoke recovery-smoke ci clean
 
 all: build
 
@@ -48,6 +48,19 @@ fuzz:
 BENCH_SCALE ?= 3
 bench-baseline:
 	$(GO) run ./cmd/pandabench -engine-json BENCH_engine.json -scale $(BENCH_SCALE)
+
+# bench-check re-measures the committed baseline's grid and fails if
+# any row's aggregate throughput regressed more than 10%, or if the
+# plan cache stopped hitting. A fresh snapshot lands next to the
+# baseline as BENCH_engine.json.new for inspection (CI uploads it).
+bench-check:
+	$(GO) run ./cmd/pandabench -engine-check BENCH_engine.json
+
+# bench-pack measures the data-movement fast path on this host: the
+# coalescing CopyRegion kernel across strided, coalesced, contiguous
+# and pooled-worker shapes, with allocation counts.
+bench-pack:
+	$(GO) test -run '^$$' -bench 'BenchmarkCopyRegion' -benchmem ./internal/array
 
 # trace-smoke records a small traced benchmark run and validates the
 # exported Chrome trace JSON — the CI observability gate.

@@ -19,7 +19,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
+	"panda/internal/array"
 	"panda/internal/harness"
 	"panda/internal/obs"
 )
@@ -32,6 +34,7 @@ func main() {
 	pipeline := flag.Int("pipeline", 0, "server write pipeline depth (0 = paper's blocking behaviour; 2+ adds write-behind)")
 	readahead := flag.Int("readahead", 0, "server read prefetch depth (0 = paper's serial reads)")
 	engineJSON := flag.String("engine-json", "", "write the staged-engine baseline (Table 1 configs, serial vs staged) as JSON to this file and exit")
+	engineCheck := flag.String("engine-check", "", "re-run the staged-engine baseline at the committed file's scale and fail if any row's agg_mbs regresses more than 10%; the fresh run is written alongside as <file>.new")
 	tracePath := flag.String("trace", "", "record every operation and write Chrome trace-event JSON here (load at ui.perfetto.dev); also prints a per-operation phase breakdown")
 	verbose := flag.Bool("v", false, "print each measurement as it completes")
 	flag.Parse()
@@ -52,6 +55,10 @@ func main() {
 
 	if *engineJSON != "" {
 		runEngineBaseline(*engineJSON, opt)
+		return
+	}
+	if *engineCheck != "" {
+		runEngineCheck(*engineCheck, opt)
 		return
 	}
 
@@ -190,11 +197,37 @@ type engineRow struct {
 	Messages  int64   `json:"messages"`
 }
 
-// runEngineBaseline measures the paper's Table 1 real-disk
-// configurations (Figure 3 reads, Figure 4 writes) with the serial
-// engine and with the staged engine, and writes the results as JSON —
-// the regression baseline `make bench-baseline` tracks.
-func runEngineBaseline(path string, opt harness.Options) {
+// packRow is one host-measured pack-kernel throughput figure. Unlike
+// the virtual-time rows it depends on the machine running the bench, so
+// the regression check reports but never gates on it.
+type packRow struct {
+	Name  string  `json:"name"`
+	Bytes int64   `json:"bytes"`
+	MBs   float64 `json:"mbs"`
+}
+
+// planCacheRow is the deterministic plan-cache measurement: a
+// multi-step Timestep write loop under virtual time.
+type planCacheRow struct {
+	Steps   int   `json:"steps"`
+	IONodes int   `json:"io_nodes"`
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+}
+
+// engineDoc is the BENCH_engine.json layout.
+type engineDoc struct {
+	Description string       `json:"description"`
+	Scale       uint         `json:"scale"`
+	Rows        []engineRow  `json:"rows"`
+	Pack        []packRow    `json:"pack,omitempty"`
+	PlanCache   planCacheRow `json:"plan_cache,omitempty"`
+}
+
+// measureEngine runs the engine-baseline grid — the paper's Table 1
+// real-disk configurations (Figure 3 reads, Figure 4 writes), serial
+// engine vs staged — at opt.Scale.
+func measureEngine(opt harness.Options) []engineRow {
 	engines := []struct {
 		name      string
 		pipeline  int
@@ -241,16 +274,70 @@ func runEngineBaseline(path string, opt harness.Options) {
 			}
 		}
 	}
-	out := struct {
-		Description string      `json:"description"`
-		Scale       uint        `json:"scale"`
-		Rows        []engineRow `json:"rows"`
-	}{
-		Description: "staged server engine baseline: Table 1 AIX disk + SP2 link, serial vs staged (pipeline=4, readahead=2)",
-		Scale:       opt.Scale,
-		Rows:        rows,
+	return rows
+}
+
+// measurePack times the coalescing copy kernel on this host over the
+// BenchmarkCopyRegion shapes: strided 2-D, strided 3-D, and a fully
+// contiguous section.
+func measurePack() []packRow {
+	type shape struct {
+		name           string
+		srcBox, dstBox []int
+		lo, hi         []int
+		elem           int
 	}
-	data, err := json.MarshalIndent(out, "", "  ")
+	shapes := []shape{
+		{"pack2d_strided", []int{2048, 64}, []int{2048, 8}, []int{0, 0}, []int{2048, 8}, 8},
+		{"pack3d_strided", []int{32, 64, 64}, []int{32, 64, 8}, []int{0, 0, 0}, []int{32, 64, 8}, 8},
+		{"pack2d_contig", []int{256, 1024}, []int{256, 1024}, []int{0, 0}, []int{256, 1024}, 8},
+	}
+	var rows []packRow
+	for _, sh := range shapes {
+		srcR, dstR := array.Box(sh.srcBox), array.Box(sh.dstBox)
+		sect := array.Region{Lo: sh.lo, Hi: sh.hi}
+		src := make([]byte, srcR.NumElems()*int64(sh.elem))
+		dst := make([]byte, dstR.NumElems()*int64(sh.elem))
+		n := sect.NumElems() * int64(sh.elem)
+		// Warm up, then time enough iterations to smooth scheduler noise.
+		array.CopyRegion(dst, dstR, src, srcR, sect, sh.elem)
+		iters := int(256 << 20 / n)
+		if iters < 16 {
+			iters = 16
+		}
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			array.CopyRegion(dst, dstR, src, srcR, sect, sh.elem)
+		}
+		secs := time.Since(t0).Seconds()
+		rows = append(rows, packRow{
+			Name:  sh.name,
+			Bytes: n,
+			MBs:   float64(n) * float64(iters) / (1 << 20) / secs,
+		})
+	}
+	return rows
+}
+
+// measurePlanCache runs the deterministic plan-cache probe: a 4-step
+// Timestep write of the fig4 configuration.
+func measurePlanCache(opt harness.Options) planCacheRow {
+	const steps, ion = 4, 4
+	f, err := harness.FigureByID("fig4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	size := int64(64) * harness.MB >> opt.Scale
+	hits, misses, err := harness.RunPlanCacheProbe(f, size, ion, steps, opt)
+	if err != nil {
+		log.Fatalf("plan-cache probe: %v", err)
+	}
+	return planCacheRow{Steps: steps, IONodes: ion, Hits: hits, Misses: misses}
+}
+
+// writeEngineDoc marshals and writes one engine-baseline document.
+func writeEngineDoc(path string, doc engineDoc) {
+	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -258,7 +345,83 @@ func runEngineBaseline(path string, opt harness.Options) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %d measurements to %s\n", len(rows), path)
+}
+
+// runEngineBaseline measures the engine grid plus the pack-kernel and
+// plan-cache rows and writes the results as JSON — the regression
+// baseline `make bench-baseline` tracks and `-engine-check` gates on.
+func runEngineBaseline(path string, opt harness.Options) {
+	doc := engineDoc{
+		Description: "staged server engine baseline: Table 1 AIX disk + SP2 link, serial vs staged (pipeline=4, readahead=2)",
+		Scale:       opt.Scale,
+		Rows:        measureEngine(opt),
+		Pack:        measurePack(),
+		PlanCache:   measurePlanCache(opt),
+	}
+	writeEngineDoc(path, doc)
+	fmt.Printf("wrote %d measurements to %s\n", len(doc.Rows), path)
+}
+
+// runEngineCheck is the CI bench smoke: re-run the engine grid at the
+// committed baseline's scale and fail when any cell's aggregate MB/s
+// regresses more than 10%. The virtual-time rows are deterministic, so
+// the tolerance only absorbs deliberate model changes, not noise. The
+// fresh run lands at <path>.new for artifact upload; pack rows are
+// host-dependent and reported without gating.
+func runEngineCheck(path string, opt harness.Options) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var base engineDoc
+	if err := json.Unmarshal(data, &base); err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	opt.Scale = base.Scale
+	fresh := engineDoc{
+		Description: base.Description,
+		Scale:       base.Scale,
+		Rows:        measureEngine(opt),
+		Pack:        measurePack(),
+		PlanCache:   measurePlanCache(opt),
+	}
+	writeEngineDoc(path+".new", fresh)
+
+	key := func(r engineRow) string {
+		return fmt.Sprintf("%s/ion%d/pipe%d/ra%d", r.Figure, r.IONodes, r.Pipeline, r.ReadAhead)
+	}
+	freshBy := make(map[string]engineRow, len(fresh.Rows))
+	for _, r := range fresh.Rows {
+		freshBy[key(r)] = r
+	}
+	failures := 0
+	for _, b := range base.Rows {
+		f, ok := freshBy[key(b)]
+		if !ok {
+			fmt.Printf("FAIL %-22s missing from fresh run\n", key(b))
+			failures++
+			continue
+		}
+		verdict := "ok  "
+		if f.AggMBs < 0.9*b.AggMBs {
+			verdict = "FAIL"
+			failures++
+		}
+		fmt.Printf("%s %-22s base %8.2f MB/s  now %8.2f MB/s\n", verdict, key(b), b.AggMBs, f.AggMBs)
+	}
+	for _, p := range fresh.Pack {
+		fmt.Printf("info %-22s %8.2f MB/s (host-dependent, not gated)\n", p.Name, p.MBs)
+	}
+	fmt.Printf("info plan-cache            %d hits / %d misses over %d steps\n",
+		fresh.PlanCache.Hits, fresh.PlanCache.Misses, fresh.PlanCache.Steps)
+	if fresh.PlanCache.Hits == 0 {
+		fmt.Println("FAIL plan cache never hit on the multi-step probe")
+		failures++
+	}
+	if failures > 0 {
+		log.Fatalf("engine check: %d regression(s) against %s", failures, path)
+	}
+	fmt.Printf("engine check passed: %d rows within 10%% of %s\n", len(base.Rows), path)
 }
 
 func runSharing(opt harness.Options) {

@@ -58,9 +58,11 @@ func main() {
 	readahead := flag.Int("readahead", 0, "i/o node read prefetch depth; 1+ overlaps disk reads with scattering (0 = paper's serial reads)")
 	tracePath := flag.String("trace", "", "write this node's Chrome trace-event JSON here at exit (load at ui.perfetto.dev)")
 	httpAddr := flag.String("http", "", "serve /metrics, /status and /debug/pprof on this address (e.g. :8080)")
+	packWorkers := flag.Int("packworkers", 0, "goroutines for large strided pack copies (0 = serial)")
+	planCache := flag.Int("plancache", 0, "per-server plan cache entries (0 = default 64, negative = off)")
 	flag.Parse()
 
-	cfg := core.Config{NumClients: *clients, NumServers: *servers, OpTimeout: *opTimeout, PullRetries: *retries, Pipeline: *pipeline, ReadAhead: *readahead}
+	cfg := core.Config{NumClients: *clients, NumServers: *servers, OpTimeout: *opTimeout, PullRetries: *retries, Pipeline: *pipeline, ReadAhead: *readahead, PackWorkers: *packWorkers, PlanCacheSize: *planCache}
 	if err := cfg.Validate(); err != nil {
 		log.Fatal(err)
 	}

@@ -79,6 +79,23 @@ func (c *Client) send(to, tag int, data []byte) {
 	c.comm.SendOwned(to, tag, data)
 }
 
+// sendVec ships a data frame as header + payload segments via the
+// transport's scatter-gather path when it has one, counting the frame
+// exactly like send. hdr is a pooled buffer and is recycled here;
+// payload is only borrowed for the duration of the call.
+func (c *Client) sendVec(to, tag int, hdr, payload []byte) {
+	n := int64(len(hdr) + len(payload))
+	atomic.AddInt64(&c.stats.MsgsSent, 1)
+	atomic.AddInt64(&c.stats.BytesSent, n)
+	c.met.msgsSent.Add(1)
+	c.met.bytesSent.Add(n)
+	if mpi.SendSegments(c.comm, to, tag, hdr, payload) {
+		atomic.AddInt64(&c.stats.FramesCoalesced, 1)
+		c.met.framesCoalesced.Add(1)
+	}
+	bufpool.Put(hdr)
+}
+
 func (c *Client) countRecv(n int) {
 	atomic.AddInt64(&c.stats.MsgsRecv, 1)
 	atomic.AddInt64(&c.stats.BytesRecv, int64(n))
@@ -127,10 +144,10 @@ func (c *Client) collective(op byte, suffix string, specs []ArraySpec, bufs [][]
 	if c.cfg.OpTimeout > 0 && c.cfg.Retry.Max > 0 {
 		maxAttempts = c.cfg.Retry.Max + 1
 	}
-	var seen map[string]bool
+	var seen map[pieceID]bool
 	var gotBytes int64
 	if op == opRead {
-		seen = make(map[string]bool)
+		seen = make(map[pieceID]bool)
 	}
 	var rng *rand.Rand
 	var lastErr error
@@ -168,7 +185,7 @@ func (c *Client) collective(op byte, suffix string, specs []ArraySpec, bufs [][]
 // collective operation until its Complete arrives or the attempt's
 // deadline expires. seen and gotBytes persist across attempts: pieces
 // already absorbed stay absorbed.
-func (c *Client) runAttempt(op byte, suffix string, specs []ArraySpec, bufs [][]byte, seq int, attempt uint16, seen map[string]bool, gotBytes *int64, chunkBytes int64) error {
+func (c *Client) runAttempt(op byte, suffix string, specs []ArraySpec, bufs [][]byte, seq int, attempt uint16, seen map[pieceID]bool, gotBytes *int64, chunkBytes int64) error {
 	deadline := clientOpDeadline(c.cfg, c.clk)
 	if c.IsMaster() {
 		req := encodeOpRequest(opRequest{Op: op, Seq: uint32(seq), Attempt: attempt, Suffix: suffix, Specs: specs})
@@ -245,11 +262,12 @@ func (c *Client) runAttempt(op byte, suffix string, specs []ArraySpec, bufs [][]
 				// Relay completion to the other clients — before acting
 				// on the outcome, so a failure reaches every rank.
 				for i := 1; i < c.cfg.NumClients; i++ {
-					cp := make([]byte, len(m.Data))
+					cp := bufpool.GetRaw(len(m.Data))
 					copy(cp, m.Data)
 					c.send(i, tagToClient(seq), cp)
 				}
 			}
+			bufpool.Put(m.Data) // status decoded and relayed; recycle the frame
 			if frame.Err != nil && frame.Attempt < attempt {
 				continue // failure of an attempt already abandoned
 			}
@@ -266,9 +284,30 @@ func (c *Client) runAttempt(op byte, suffix string, specs []ArraySpec, bufs [][]
 	}
 }
 
-// pieceKey identifies one piece of one array for duplicate detection.
-func pieceKey(arrayIdx int, reg array.Region) string {
-	return fmt.Sprintf("%d:%v:%v", arrayIdx, reg.Lo, reg.Hi)
+// pieceID identifies one piece of one array for duplicate detection. A
+// comparable struct rather than a formatted string: the hot loops check
+// one per received piece, and Sprintf allocated every time. Each
+// dimension packs its [lo, hi) pair into one uint64 (wire coordinates
+// are u32, so the packing is collision-free); the rare rank beyond the
+// fixed array spills into a formatted tail.
+type pieceID struct {
+	arrayIdx int
+	rank     int
+	dims     [4]uint64
+	tail     string // dims beyond len(dims); "" in practice
+}
+
+// pieceKey builds the duplicate-detection key for one piece.
+func pieceKey(arrayIdx int, reg array.Region) pieceID {
+	id := pieceID{arrayIdx: arrayIdx, rank: reg.Rank()}
+	for d := 0; d < reg.Rank(); d++ {
+		if d < len(id.dims) {
+			id.dims[d] = uint64(uint32(reg.Lo[d]))<<32 | uint64(uint32(reg.Hi[d]))
+		} else {
+			id.tail += fmt.Sprintf(",%d:%d", reg.Lo[d], reg.Hi[d])
+		}
+	}
+	return id
 }
 
 // serveRequest answers one sub-chunk request during a write: extract
@@ -292,22 +331,28 @@ func (c *Client) serveRequest(seq int, specs []ArraySpec, bufs [][]byte, server 
 	}
 	var payload, tmp []byte
 	if off, contig := array.ContiguousIn(chunk, q.Region); contig {
+		// Contiguous fast path: the payload is a view of the
+		// application's buffer; sendVec ships it without a frame copy on
+		// scatter-gather transports.
 		start := off * int64(spec.ElemSize)
 		n := q.Region.NumElems() * int64(spec.ElemSize)
 		payload = bufs[q.ArrayIdx][start : start+n]
+		c.chargeContig(n)
 	} else {
+		pk0 := c.met.packStart()
 		tmp = array.Extract(bufs[q.ArrayIdx], chunk, q.Region, spec.ElemSize)
+		c.met.packDone(pk0)
 		payload = tmp
 		c.chargeReorg(seq, int64(len(payload)))
 	}
-	c.send(server, tagToServer(seq), encodeSubData(subData{
+	hdr := encodeSubDataHeader(subData{
 		ArrayIdx: q.ArrayIdx,
 		ReqID:    q.ReqID,
 		Region:   q.Region,
-		Payload:  payload,
-	}))
+	})
+	c.sendVec(server, tagToServer(seq), hdr, payload)
 	if tmp != nil {
-		bufpool.Put(tmp) // the frame copied it; recycle the extract scratch
+		bufpool.Put(tmp) // the send is done with it; recycle the extract scratch
 	}
 	if c.tr.Enabled() {
 		c.tr.Span(obs.CatNet, "serve piece", seq, t0, c.clk.Now(), int64(len(payload)))
@@ -331,11 +376,23 @@ func (c *Client) absorbData(seq int, specs []ArraySpec, bufs [][]byte, d subData
 		return fmt.Errorf("core: client %d: piece %v carries %d bytes, want %d", c.Rank(), d.Region, len(d.Payload), want)
 	}
 	_, contig := array.ContiguousIn(chunk, d.Region)
+	pk0 := c.met.packStart()
 	array.CopyRegion(bufs[d.ArrayIdx], chunk, d.Payload, d.Region, d.Region, spec.ElemSize)
-	if !contig {
+	c.met.packDone(pk0)
+	if contig {
+		c.chargeContig(want)
+	} else {
 		c.chargeReorg(seq, want)
 	}
 	return nil
+}
+
+// chargeContig accounts for n bytes moved through a contiguous fast
+// path — the complement of chargeReorg, so the contiguous-vs-strided
+// split of every byte moved is visible in metrics.
+func (c *Client) chargeContig(n int64) {
+	atomic.AddInt64(&c.stats.ContigBytes, n)
+	c.met.contigBytes.Add(n)
 }
 
 // chargeReorg accounts for a strided copy of n bytes during operation

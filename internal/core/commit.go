@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"panda/internal/bufpool"
 	"panda/internal/mpi"
 	"panda/internal/obs"
 	"panda/internal/storage"
@@ -170,20 +171,7 @@ func (s *Server) stageEpochs(req opRequest, deadline time.Duration) ([]preparedA
 			return prepared, fmt.Errorf("core: server %d, array %s: write request carries no epoch", s.index, spec.Name)
 		}
 		epoch := req.Epochs[ai]
-		var p0 time.Duration
-		if s.tr.Enabled() {
-			p0 = s.clk.Now()
-		}
-		jobs := assignChunksAlive(spec.Disk, spec.ElemSize, s.cfg.NumServers, s.index, dead)
-		subs := planSubchunks(ai, spec, jobs, spec.subchunkBytes(s.cfg))
-		var planned int64
-		for _, sj := range subs {
-			planned += sj.Bytes
-		}
-		s.opBytes += planned
-		if s.tr.Enabled() {
-			s.tr.Span(obs.CatPlan, "plan "+spec.Name, s.opSeq, p0, s.clk.Now(), planned)
-		}
+		jobs, subs := s.planArray(ai, spec, dead)
 		if err := s.crashPoint("plan"); err != nil {
 			return prepared, err
 		}
@@ -237,6 +225,7 @@ func (s *Server) runCommitWrite(req opRequest, deadline time.Duration) (opErr, f
 		prepared, err := s.stageEpochs(req, deadline)
 		var re *replanError
 		if errors.As(err, &re) {
+			s.plans = nil // the alive set changed; cached plans are stale
 			req = re.req
 			continue
 		}
@@ -256,6 +245,7 @@ func (s *Server) runCommitWrite(req opRequest, deadline time.Duration) (opErr, f
 				return opErr, fatal
 			}
 			if replan != nil {
+				s.plans = nil
 				req = *replan
 				continue
 			}
@@ -267,6 +257,7 @@ func (s *Server) runCommitWrite(req opRequest, deadline time.Duration) (opErr, f
 			return opErr, fatal
 		}
 		if replan != nil {
+			s.plans = nil
 			req = *replan
 			continue
 		}
@@ -369,7 +360,7 @@ func (s *Server) masterCommit(req opRequest, prepared []preparedArray, ownErr er
 		s.tr.Instant(obs.CatRecover, fmt.Sprintf("reassign round %d", next.Round), s.opSeq, s.clk.Now(), 0)
 		raw := encodeOpRequest(next)
 		for _, i := range s.aliveOthers(next) {
-			cp := make([]byte, len(raw))
+			cp := bufpool.GetRaw(len(raw))
 			copy(cp, raw)
 			// The op's server tag reaches survivors wherever they block:
 			// mid-pull or waiting for the commit decision.
@@ -497,6 +488,7 @@ func (s *Server) waitCommit(req opRequest, prepared []preparedArray, deadline ti
 			return &abortedError{cause: err}, nil, nil
 		case msgOpRequest:
 			nreq, derr := decodeOpRequest(m.Data)
+			bufpool.Put(m.Data) // decode copies everything out
 			if derr == nil && nreq.Seq == req.Seq && nreq.Attempt == req.Attempt && nreq.Round > req.Round {
 				return nil, &nreq, nil
 			}

@@ -125,6 +125,22 @@ type Config struct {
 	// bounded histograms (message traffic, sub-chunk latency, receive
 	// waits, staged-queue depth) into the registry. nil disables.
 	Metrics *obs.Registry
+	// PackWorkers sets the process-wide pack-copy worker pool: strided
+	// pack/unpack copies larger than ~1 MB are split across this many
+	// goroutines. 0 leaves the pool as it is (serial unless another
+	// deployment in the process raised it); 1 forces serial copies. The
+	// pool is pure CPU and never touches a clock, so raising it cannot
+	// perturb virtual-time results.
+	PackWorkers int
+	// PlanCacheSize bounds the per-server plan cache, in entries. Each
+	// entry memoizes one array's chunk assignment and sub-chunk schedule
+	// keyed by (schema fingerprint, array index, server count, sub-chunk
+	// limit, alive set), so iterating workloads — a Timestep loop writing
+	// the same arrays every step — replan for free. 0 means the default
+	// (64 entries); negative disables caching. Manifest-derived read
+	// plans are never cached (they depend on file contents, not schemas),
+	// and a failover replan invalidates the cache outright.
+	PlanCacheSize int
 	// OpLog, when non-nil, receives a summary of every collective
 	// operation a server completes (success or failure), from the
 	// server's own goroutine. pandanode uses it for per-operation log
@@ -230,6 +246,9 @@ func (c Config) Validate() error {
 	if c.Retry.Jitter < 0 || c.Retry.Jitter > 1 {
 		return fmt.Errorf("core: Retry.Jitter = %v, must be in [0,1]", c.Retry.Jitter)
 	}
+	if c.PackWorkers < 0 {
+		return fmt.Errorf("core: negative PackWorkers")
+	}
 	return nil
 }
 
@@ -270,4 +289,17 @@ func (c Config) readAhead() int {
 		return 0
 	}
 	return c.ReadAhead
+}
+
+// defaultPlanCacheSize is the plan-cache bound when PlanCacheSize is 0.
+const defaultPlanCacheSize = 64
+
+func (c Config) planCacheSize() int {
+	if c.PlanCacheSize == 0 {
+		return defaultPlanCacheSize
+	}
+	if c.PlanCacheSize < 0 {
+		return 0
+	}
+	return c.PlanCacheSize
 }

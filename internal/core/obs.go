@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync/atomic"
+	"time"
 
 	"panda/internal/obs"
 )
@@ -19,6 +20,15 @@ type nodeMetrics struct {
 	reorgBytes          *obs.Counter
 	timeouts, retries   *obs.Counter
 	aborts              *obs.Counter
+	// contigBytes vs reorgBytes splits every byte moved by data
+	// placement into contiguous fast-path and strided traffic;
+	// packNanos is the real (host) time spent inside strided pack
+	// copies; framesCoalesced counts zero-copy scatter-gather sends.
+	contigBytes     *obs.Counter
+	packNanos       *obs.Counter
+	framesCoalesced *obs.Counter
+	// planHits / planMisses count plan-cache consultations.
+	planHits, planMisses *obs.Counter
 	// reassigns, rollForwards and degraded count recovery events: replan
 	// rounds launched, interrupted commits finished at read time, and
 	// collectives completed with dead participants.
@@ -40,20 +50,25 @@ func newNodeMetrics(r *obs.Registry) nodeMetrics {
 		return nodeMetrics{}
 	}
 	return nodeMetrics{
-		msgsSent:     r.Counter("msgs_sent"),
-		bytesSent:    r.Counter("bytes_sent"),
-		msgsRecv:     r.Counter("msgs_recv"),
-		bytesRecv:    r.Counter("bytes_recv"),
-		reorgBytes:   r.Counter("reorg_bytes"),
-		timeouts:     r.Counter("timeouts"),
-		retries:      r.Counter("retries"),
-		aborts:       r.Counter("aborts"),
-		reassigns:    r.Counter("reassigns"),
-		rollForwards: r.Counter("roll_forwards"),
-		degraded:     r.Counter("degraded_ops"),
-		subLatency:   r.Histogram("subchunk_latency_ns", obs.LatencyBounds),
-		recvWait:     r.Histogram("recv_wait_ns", obs.LatencyBounds),
-		queueDepth:   r.Histogram("stage_queue_depth", obs.DepthBounds),
+		msgsSent:        r.Counter("msgs_sent"),
+		bytesSent:       r.Counter("bytes_sent"),
+		msgsRecv:        r.Counter("msgs_recv"),
+		bytesRecv:       r.Counter("bytes_recv"),
+		reorgBytes:      r.Counter("reorg_bytes"),
+		contigBytes:     r.Counter("contig_bytes"),
+		packNanos:       r.Counter("pack_ns"),
+		framesCoalesced: r.Counter("frames_coalesced"),
+		planHits:        r.Counter("plan_cache_hits"),
+		planMisses:      r.Counter("plan_cache_misses"),
+		timeouts:        r.Counter("timeouts"),
+		retries:         r.Counter("retries"),
+		aborts:          r.Counter("aborts"),
+		reassigns:       r.Counter("reassigns"),
+		rollForwards:    r.Counter("roll_forwards"),
+		degraded:        r.Counter("degraded_ops"),
+		subLatency:      r.Histogram("subchunk_latency_ns", obs.LatencyBounds),
+		recvWait:        r.Histogram("recv_wait_ns", obs.LatencyBounds),
+		queueDepth:      r.Histogram("stage_queue_depth", obs.DepthBounds),
 	}
 }
 
@@ -74,18 +89,41 @@ func opName(op byte) string {
 // including mid-operation and during aborts.
 func (st *Stats) snapshot() Stats {
 	return Stats{
-		MsgsSent:     atomic.LoadInt64(&st.MsgsSent),
-		BytesSent:    atomic.LoadInt64(&st.BytesSent),
-		MsgsRecv:     atomic.LoadInt64(&st.MsgsRecv),
-		BytesRecv:    atomic.LoadInt64(&st.BytesRecv),
-		ReorgBytes:   atomic.LoadInt64(&st.ReorgBytes),
-		Timeouts:     atomic.LoadInt64(&st.Timeouts),
-		Retries:      atomic.LoadInt64(&st.Retries),
-		Aborts:       atomic.LoadInt64(&st.Aborts),
-		Reassigns:    atomic.LoadInt64(&st.Reassigns),
-		RollForwards: atomic.LoadInt64(&st.RollForwards),
-		Degraded:     atomic.LoadInt64(&st.Degraded),
-		OverlapNanos: atomic.LoadInt64(&st.OverlapNanos),
-		StallNanos:   atomic.LoadInt64(&st.StallNanos),
+		MsgsSent:        atomic.LoadInt64(&st.MsgsSent),
+		BytesSent:       atomic.LoadInt64(&st.BytesSent),
+		MsgsRecv:        atomic.LoadInt64(&st.MsgsRecv),
+		BytesRecv:       atomic.LoadInt64(&st.BytesRecv),
+		ReorgBytes:      atomic.LoadInt64(&st.ReorgBytes),
+		Timeouts:        atomic.LoadInt64(&st.Timeouts),
+		Retries:         atomic.LoadInt64(&st.Retries),
+		Aborts:          atomic.LoadInt64(&st.Aborts),
+		Reassigns:       atomic.LoadInt64(&st.Reassigns),
+		RollForwards:    atomic.LoadInt64(&st.RollForwards),
+		Degraded:        atomic.LoadInt64(&st.Degraded),
+		OverlapNanos:    atomic.LoadInt64(&st.OverlapNanos),
+		StallNanos:      atomic.LoadInt64(&st.StallNanos),
+		ContigBytes:     atomic.LoadInt64(&st.ContigBytes),
+		FramesCoalesced: atomic.LoadInt64(&st.FramesCoalesced),
+		PlanHits:        atomic.LoadInt64(&st.PlanHits),
+		PlanMisses:      atomic.LoadInt64(&st.PlanMisses),
 	}
+}
+
+// packStart begins timing one pack/unpack copy when metrics are on; it
+// returns the zero time otherwise. Host wall time, not the node clock:
+// under virtual time a copy is instantaneous on the simulated clock,
+// and its real CPU cost is exactly what this metric exposes.
+func (m *nodeMetrics) packStart() time.Time {
+	if m.packNanos == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// packDone closes a packStart interval.
+func (m *nodeMetrics) packDone(t0 time.Time) {
+	if m.packNanos == nil {
+		return
+	}
+	m.packNanos.Add(time.Since(t0).Nanoseconds())
 }

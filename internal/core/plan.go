@@ -117,6 +117,17 @@ func specFingerprint(a ArraySpec) uint32 {
 	return storage.CRC32C(w.b)
 }
 
+// planFingerprint extends specFingerprint with the memory schema: a
+// sub-chunk plan depends on where the clients hold the data (the piece
+// lists), not just on the file layout, so the plan cache keys on both.
+func planFingerprint(a ArraySpec) uint32 {
+	var w wbuf
+	w.u32(uint32(a.ElemSize))
+	w.schema(a.Disk)
+	w.schema(a.Mem)
+	return storage.CRC32C(w.b)
+}
+
 // serverFileBytes is the total size of the file array a stores on
 // server index s.
 func serverFileBytes(a ArraySpec, numServers, s int) int64 {

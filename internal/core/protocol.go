@@ -177,8 +177,10 @@ func (w *wbuf) region(reg array.Region) {
 
 func (r *rbuf) region() array.Region {
 	rank := int(r.u8())
-	lo := make([]int, rank)
-	hi := make([]int, rank)
+	// One backing array for both bounds: region decode is on the
+	// per-piece hot path, so halving its allocations matters.
+	lohi := make([]int, 2*rank)
+	lo, hi := lohi[:rank:rank], lohi[rank:]
 	for d := 0; d < rank; d++ {
 		lo[d] = int(r.u32())
 		hi[d] = int(r.u32())
@@ -357,6 +359,21 @@ func encodeSubData(d subData) []byte {
 	w.u32(d.ReqID)
 	w.region(d.Region)
 	w.b = append(w.b, d.Payload...)
+	return w.b
+}
+
+// encodeSubDataHeader builds only the header of a data frame, in a
+// pooled buffer. Paired with mpi.SendSegments it ships the payload
+// straight from the caller's buffer — the zero-copy fast path. The
+// caller recycles the header with bufpool.Put once the send returns;
+// receivers see a frame indistinguishable from encodeSubData's.
+func encodeSubDataHeader(d subData) []byte {
+	n := 8 + 1 + 8*d.Region.Rank()
+	w := wbuf{b: bufpool.GetRaw(n)[:0]}
+	w.u8(msgSubData)
+	w.u16(uint16(d.ArrayIdx))
+	w.u32(d.ReqID)
+	w.region(d.Region)
 	return w.b
 }
 

@@ -5,11 +5,22 @@ import (
 	"sync"
 	"time"
 
+	"panda/internal/array"
 	"panda/internal/clock"
 	"panda/internal/mpi"
 	"panda/internal/storage"
 	"panda/internal/vtime"
 )
+
+// applyPackWorkers points the process-wide pack pool at the deployment's
+// PackWorkers knob. The pool only grows (array.SetPackWorkers ignores
+// shrinks of spawned workers but adopts the new width), and 0 means
+// "leave it alone", so concurrent deployments compose harmlessly.
+func applyPackWorkers(cfg Config) {
+	if cfg.PackWorkers > 0 {
+		array.SetPackWorkers(cfg.PackWorkers)
+	}
+}
 
 // tagAppDone carries the end-of-application handshake: every non-master
 // client tells the master client its application code has returned; the
@@ -77,6 +88,7 @@ func RunWith(cfg Config, comms []mpi.Comm, disks []storage.Disk, app App) ([]err
 	if len(disks) != cfg.NumServers {
 		return nil, fmt.Errorf("core: %d disks for %d servers", len(disks), cfg.NumServers)
 	}
+	applyPackWorkers(cfg)
 	clk := clock.NewReal()
 
 	errs := make([]error, cfg.WorldSize())
@@ -180,6 +192,7 @@ func SpawnSim(sim *vtime.Sim, prefix string, cfg Config, link mpi.LinkConfig, mk
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	applyPackWorkers(cfg)
 	world := mpi.NewSimWorld(sim, cfg.WorldSize(), link)
 	res := &SimResult{
 		ClientElapsed: make([]time.Duration, cfg.NumClients),
@@ -250,6 +263,7 @@ func RunClientNode(cfg Config, comm mpi.Comm, app App) error {
 	if cfg.IsServer(comm.Rank()) {
 		return fmt.Errorf("core: rank %d is a server rank", comm.Rank())
 	}
+	applyPackWorkers(cfg)
 	return clientMain(cfg, comm, clock.NewReal(), app)
 }
 
@@ -263,5 +277,6 @@ func RunServerNode(cfg Config, comm mpi.Comm, disk storage.Disk) error {
 	if !cfg.IsServer(comm.Rank()) {
 		return fmt.Errorf("core: rank %d is a client rank", comm.Rank())
 	}
+	applyPackWorkers(cfg)
 	return NewServer(cfg, comm, disk, clock.NewReal()).Serve()
 }

@@ -39,6 +39,32 @@ type Server struct {
 	// curAttempt and curRound identify the request currently executing,
 	// for stale-frame filtering inside the operation.
 	curAttempt, curRound uint16
+
+	// plans memoizes schema-derived sub-chunk plans (see planFor). Only
+	// the server goroutine touches it.
+	plans map[planKey]planEntry
+}
+
+// planKey identifies one array's schema-derived plan on this server.
+// Everything the plan depends on is in the key: the schemas and element
+// size (fingerprinted), the array's index in the request (baked into
+// each subchunkJob), the deployment shape, the sub-chunk limit, and the
+// set of dead servers (reassignment moves chunks between survivors).
+type planKey struct {
+	name          string
+	fp            uint32
+	arrayIdx      int
+	numServers    int
+	subchunkBytes int64
+	deads         uint64 // bitmask over server indexes
+}
+
+// planEntry is one cached plan. jobs and subs are shared across hits
+// and never mutated downstream.
+type planEntry struct {
+	jobs  []chunkJob
+	subs  []subchunkJob
+	bytes int64
 }
 
 // Stats counts a node's traffic during collective operations. Fields
@@ -83,6 +109,18 @@ type Stats struct {
 	// waiting for a prefetch, and end-of-array joins. High stalls mean
 	// the disk, not the network, bounds the operation.
 	StallNanos int64
+	// ContigBytes counts bytes moved through contiguous fast paths —
+	// the complement of ReorgBytes, so the two together split every
+	// byte moved by data placement.
+	ContigBytes int64
+	// FramesCoalesced counts data frames shipped as header + payload
+	// segments with no intermediate flattening copy (scatter-gather
+	// transports only; in-process delivery always pays one copy).
+	FramesCoalesced int64
+	// PlanHits and PlanMisses count plan-cache consultations on this
+	// server: a hit reuses the chunk assignment and sub-chunk schedule
+	// of an identical earlier operation instead of recomputing them.
+	PlanHits, PlanMisses int64
 }
 
 // NewServer creates the server for one I/O node. disk is that node's
@@ -132,9 +170,12 @@ func (s *Server) Serve() error {
 		case msgOpRequest:
 			req, derr := decodeOpRequest(m.Data)
 			if derr == nil && !s.acceptReq(req) {
+				bufpool.Put(m.Data)
 				continue // duplicate, stale retry, or already-served round
 			}
-			if err := s.handleOp(m.Data, req, derr); err != nil {
+			err := s.handleOp(m.Data, req, derr)
+			bufpool.Put(m.Data) // fully decoded and forwarded by copy
+			if err != nil {
 				// Fatal: an injected crash killed this server mid-write,
 				// exactly as a process death would.
 				return fmt.Errorf("core: server %d: %w", s.index, err)
@@ -240,6 +281,30 @@ func (s *Server) send(to, tag int, data []byte) {
 	s.comm.SendOwned(to, tag, data)
 }
 
+// sendVec ships hdr+payload as one message through the transport's
+// scatter-gather path when it has one, flattening into a pooled frame
+// otherwise. hdr must come from bufpool and is recycled here; payload
+// is borrowed only until the call returns.
+func (s *Server) sendVec(to, tag int, hdr, payload []byte) {
+	n := int64(len(hdr) + len(payload))
+	atomic.AddInt64(&s.stats.MsgsSent, 1)
+	atomic.AddInt64(&s.stats.BytesSent, n)
+	s.met.msgsSent.Add(1)
+	s.met.bytesSent.Add(n)
+	if mpi.SendSegments(s.comm, to, tag, hdr, payload) {
+		atomic.AddInt64(&s.stats.FramesCoalesced, 1)
+		s.met.framesCoalesced.Add(1)
+	}
+	bufpool.Put(hdr)
+}
+
+// chargeContig accounts for n bytes moved through a contiguous fast
+// path — no reorganization copy, no CopyRate charge.
+func (s *Server) chargeContig(n int64) {
+	atomic.AddInt64(&s.stats.ContigBytes, n)
+	s.met.contigBytes.Add(n)
+}
+
 // handleOp runs one collective operation end to end on this server.
 // req/decodeErr are the already-decoded request (decoding happens in
 // Serve so the sequence can be adopted before any deadline starts).
@@ -288,7 +353,7 @@ func (s *Server) handleOp(raw []byte, req opRequest, decodeErr error) (fatal err
 		s.tr.Instant(obs.CatCtl, "forward request", s.opSeq, s.clk.Now(), int64(len(raw)))
 		for i := 0; i < s.cfg.NumServers; i++ {
 			if rank := s.cfg.ServerRank(i); rank != s.comm.Rank() {
-				cp := make([]byte, len(raw))
+				cp := bufpool.GetRaw(len(raw))
 				copy(cp, raw)
 				s.send(rank, tagControl, cp)
 			}
@@ -439,10 +504,81 @@ func (s *Server) execute(req opRequest, deadline time.Duration) error {
 	return nil
 }
 
-// planArray derives this server's sub-chunk plan for one array from a
-// chunk assignment, charging the plan span and the operation's byte
-// account.
-func (s *Server) planArray(ai int, spec ArraySpec, jobs []chunkJob) []subchunkJob {
+// planArray derives this server's chunk assignment and sub-chunk plan
+// for one array — through the plan cache when it applies — charging the
+// plan span and the operation's byte account. dead lists servers whose
+// chunks are reassigned across the survivors (nil for a full house).
+func (s *Server) planArray(ai int, spec ArraySpec, dead map[int]bool) ([]chunkJob, []subchunkJob) {
+	var p0 time.Duration
+	if s.tr.Enabled() {
+		p0 = s.clk.Now()
+	}
+	jobs, subs, planned := s.planFor(ai, spec, dead)
+	s.opBytes += planned
+	if s.tr.Enabled() {
+		s.tr.Span(obs.CatPlan, "plan "+spec.Name, s.opSeq, p0, s.clk.Now(), planned)
+	}
+	return jobs, subs
+}
+
+// planFor resolves one array's plan, consulting the cache. A hit reuses
+// the chunk assignment and sub-chunk schedule of an identical earlier
+// operation; everything the plan depends on is in the key, so a reused
+// plan is byte-identical to a recomputed one.
+func (s *Server) planFor(ai int, spec ArraySpec, dead map[int]bool) ([]chunkJob, []subchunkJob, int64) {
+	key, cacheable := s.planKeyFor(ai, spec, dead)
+	if cacheable {
+		if e, ok := s.plans[key]; ok {
+			atomic.AddInt64(&s.stats.PlanHits, 1)
+			s.met.planHits.Add(1)
+			return e.jobs, e.subs, e.bytes
+		}
+	}
+	jobs := assignChunksAlive(spec.Disk, spec.ElemSize, s.cfg.NumServers, s.index, dead)
+	subs := planSubchunks(ai, spec, jobs, spec.subchunkBytes(s.cfg))
+	var planned int64
+	for _, sj := range subs {
+		planned += sj.Bytes
+	}
+	if cacheable {
+		atomic.AddInt64(&s.stats.PlanMisses, 1)
+		s.met.planMisses.Add(1)
+		if len(s.plans) >= s.cfg.planCacheSize() {
+			s.plans = nil // cheap bound: restart rather than evict
+		}
+		if s.plans == nil {
+			s.plans = make(map[planKey]planEntry)
+		}
+		s.plans[key] = planEntry{jobs: jobs, subs: subs, bytes: planned}
+	}
+	return jobs, subs, planned
+}
+
+// planKeyFor builds the cache key for one array, reporting false when
+// the plan is not cacheable (caching disabled, or the deployment is too
+// large for the alive-set bitmask).
+func (s *Server) planKeyFor(ai int, spec ArraySpec, dead map[int]bool) (planKey, bool) {
+	if s.cfg.planCacheSize() <= 0 || s.cfg.NumServers > 64 {
+		return planKey{}, false
+	}
+	var mask uint64
+	for d := range dead {
+		mask |= 1 << uint(d)
+	}
+	return planKey{
+		name:          spec.Name,
+		fp:            planFingerprint(spec),
+		arrayIdx:      ai,
+		numServers:    s.cfg.NumServers,
+		subchunkBytes: spec.subchunkBytes(s.cfg),
+		deads:         mask,
+	}, true
+}
+
+// planManifest derives a read plan from a manifest's chunk list —
+// never cached: the list reflects what the committed file actually
+// contains, not what the schemas imply.
+func (s *Server) planManifest(ai int, spec ArraySpec, jobs []chunkJob) []subchunkJob {
 	var p0 time.Duration
 	if s.tr.Enabled() {
 		p0 = s.clk.Now()
@@ -462,8 +598,7 @@ func (s *Server) planArray(ai int, spec ArraySpec, jobs []chunkJob) []subchunkJo
 // plainWriteArray is the pre-manifest write path (Config.PlainWrites):
 // straight to the final file name, no epoch, no manifest, no commit.
 func (s *Server) plainWriteArray(req opRequest, ai int, spec ArraySpec, deadline time.Duration) error {
-	jobs := assignChunks(spec.Disk, spec.ElemSize, s.cfg.NumServers, s.index)
-	subs := s.planArray(ai, spec, jobs)
+	_, subs := s.planArray(ai, spec, nil)
 	return s.writeArray(spec, spec.FileName(req.Suffix, s.index), subs, deadline, nil)
 }
 
@@ -476,8 +611,7 @@ func (s *Server) plainWriteArray(req opRequest, ai int, spec ArraySpec, deadline
 func (s *Server) readResolved(req opRequest, ai int, spec ArraySpec, deadline time.Duration) error {
 	base := spec.FileName(req.Suffix, s.index)
 	if s.cfg.PlainWrites {
-		jobs := assignChunks(spec.Disk, spec.ElemSize, s.cfg.NumServers, s.index)
-		subs := s.planArray(ai, spec, jobs)
+		_, subs := s.planArray(ai, spec, nil)
 		return s.readArray(spec, base, subs, deadline, serverFileBytes(spec, s.cfg.NumServers, s.index))
 	}
 	var epoch uint64
@@ -491,13 +625,12 @@ func (s *Server) readResolved(req opRequest, ai int, spec ArraySpec, deadline ti
 	if name == "" {
 		return nil // nothing to serve at the decided epoch
 	}
-	var jobs []chunkJob
+	var subs []subchunkJob
 	var want int64
 	if m != nil {
 		if m.SchemaSum != specFingerprint(spec) {
 			return fmt.Errorf("manifest of %s was written under a different schema: %w", name, ErrCorrupt)
 		}
-		jobs = chunkJobsFromManifest(spec.Disk, m)
 		want = m.TotalBytes
 		if s.cfg.VerifyOnRestart {
 			var v0 time.Duration
@@ -511,11 +644,11 @@ func (s *Server) readResolved(req opRequest, ai int, spec ArraySpec, deadline ti
 				s.tr.Span(obs.CatRecover, "verify "+name, s.opSeq, v0, s.clk.Now(), m.TotalBytes)
 			}
 		}
+		subs = s.planManifest(ai, spec, chunkJobsFromManifest(spec.Disk, m))
 	} else {
-		jobs = assignChunks(spec.Disk, spec.ElemSize, s.cfg.NumServers, s.index)
+		_, subs = s.planArray(ai, spec, nil)
 		want = serverFileBytes(spec, s.cfg.NumServers, s.index)
 	}
-	subs := s.planArray(ai, spec, jobs)
 	return s.readArray(spec, name, subs, deadline, want)
 }
 
@@ -528,7 +661,7 @@ type pending struct {
 	buf       []byte
 	pooled    bool // buf came from bufpool (assembled); adopted frames are not recyclable
 	remaining int
-	got       map[string]bool
+	got       map[pieceID]bool
 	start     time.Duration // when the first request went out (tracing/metrics only)
 }
 
@@ -590,7 +723,7 @@ func (s *Server) pullSubchunks(spec ArraySpec, subs []subchunkJob, deadline time
 			next++
 			s.nextReqID++
 			id := s.nextReqID
-			pend := &pending{job: sj, remaining: len(sj.Pieces), got: make(map[string]bool, len(sj.Pieces))}
+			pend := &pending{job: sj, remaining: len(sj.Pieces), got: make(map[pieceID]bool, len(sj.Pieces))}
 			if measured {
 				pend.start = s.clk.Now()
 			}
@@ -645,6 +778,7 @@ func (s *Server) pullSubchunks(spec ArraySpec, subs []subchunkJob, deadline time
 			// A replanning round: a participant died and the master
 			// rebroadcast the request on this operation's server tag.
 			nreq, derr := decodeOpRequest(m.Data)
+			bufpool.Put(m.Data) // decode copies everything out
 			if derr == nil && nreq.Seq == uint32(s.opSeq) && nreq.Attempt == s.curAttempt && nreq.Round > s.curRound {
 				return &replanError{req: nreq}
 			}
@@ -718,6 +852,7 @@ func (s *Server) depositPiece(spec ArraySpec, pend *pending, d subData) (adopted
 		// The whole sub-chunk came from one client in traditional
 		// order already: adopt the payload, no copy at all.
 		pend.buf = d.Payload
+		s.chargeContig(int64(len(d.Payload)))
 		return true
 	}
 	if pend.buf == nil {
@@ -725,8 +860,12 @@ func (s *Server) depositPiece(spec ArraySpec, pend *pending, d subData) (adopted
 		pend.pooled = true
 	}
 	_, contig := array.ContiguousIn(sub, d.Region)
+	t0 := s.met.packStart()
 	array.CopyRegion(pend.buf, sub, d.Payload, d.Region, d.Region, spec.ElemSize)
-	if !contig {
+	s.met.packDone(t0)
+	if contig {
+		s.chargeContig(int64(len(d.Payload)))
+	} else {
 		s.chargeReorg(int64(len(d.Payload)))
 	}
 	return false
@@ -789,27 +928,31 @@ func (s *Server) scatterSubchunks(spec ArraySpec, subs []subchunkJob, deadline t
 		}
 		for _, pc := range sj.Pieces {
 			var payload, tmp []byte
+			n := pc.Region.NumElems() * int64(spec.ElemSize)
 			if pc.Region.Equal(sj.Region) {
 				payload = buf
+				s.chargeContig(n)
 			} else {
 				off, contig := array.ContiguousIn(sj.Region, pc.Region)
-				n := pc.Region.NumElems() * int64(spec.ElemSize)
 				if contig {
 					start := off * int64(spec.ElemSize)
 					payload = buf[start : start+n]
+					s.chargeContig(n)
 				} else {
+					t0 := s.met.packStart()
 					tmp = array.Extract(buf, sj.Region, pc.Region, spec.ElemSize)
+					s.met.packDone(t0)
 					payload = tmp
 					s.chargeReorg(n)
 				}
 			}
-			s.send(pc.Client, tagToClient(s.opSeq), encodeSubData(subData{
-				ArrayIdx: sj.ArrayIdx,
-				Region:   pc.Region,
-				Payload:  payload,
-			}))
+			// Scatter-gather send: the header is built alone and the
+			// payload travels as a borrowed segment — no flattening copy
+			// on transports with a vector path.
+			hdr := encodeSubDataHeader(subData{ArrayIdx: sj.ArrayIdx, Region: pc.Region})
+			s.sendVec(pc.Client, tagToClient(s.opSeq), hdr, payload)
 			if tmp != nil {
-				bufpool.Put(tmp) // the frame copied it; recycle the extract scratch
+				bufpool.Put(tmp) // sendVec is done with it; recycle the scratch
 			}
 		}
 		if measured {

@@ -212,6 +212,13 @@ type Point struct {
 	// serial configuration.
 	OverlapNanos int64
 	StallNanos   int64
+	// ContigBytes sums the contiguous fast-path traffic across all
+	// nodes (the complement of ReorgBytes).
+	ContigBytes int64
+	// PlanHits and PlanMisses sum the servers' plan-cache counters.
+	// Single-operation cells miss once per array and never hit; the
+	// multi-step probe (RunPlanCacheProbe) is where hits appear.
+	PlanHits, PlanMisses int64
 }
 
 // Shape3D factors totalBytes/ElemSize into a 3-D power-of-two shape as

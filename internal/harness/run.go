@@ -120,21 +120,72 @@ func RunCell(f Figure, sizeBytes int64, ion int, opt Options) (Point, error) {
 	for _, st := range res.ClientStats {
 		p.Messages += st.MsgsSent
 		p.ReorgBytes += st.ReorgBytes
+		p.ContigBytes += st.ContigBytes
 		p.Timeouts += st.Timeouts
 		p.Retries += st.Retries
 	}
 	for _, st := range res.ServerStats {
 		p.Messages += st.MsgsSent
 		p.ReorgBytes += st.ReorgBytes
+		p.ContigBytes += st.ContigBytes
 		p.Timeouts += st.Timeouts
 		p.Retries += st.Retries
 		p.OverlapNanos += st.OverlapNanos
 		p.StallNanos += st.StallNanos
+		p.PlanHits += st.PlanHits
+		p.PlanMisses += st.PlanMisses
 	}
 	for _, st := range res.DiskStats {
 		p.Seeks += st.Seeks
 	}
 	return p, nil
+}
+
+// RunPlanCacheProbe runs a Timestep-style loop — the same arrays
+// written `steps` times under step suffixes — through one simulated
+// deployment and returns the summed server plan-cache counters. Every
+// step after the first replans for free: the deterministic plan-cache
+// row of the engine baseline. f must be a write figure.
+func RunPlanCacheProbe(f Figure, sizeBytes int64, ion, steps int, opt Options) (hits, misses int64, err error) {
+	if f.Op != Write {
+		return 0, 0, fmt.Errorf("harness: plan-cache probe needs a write figure, got %s", f.ID)
+	}
+	cfg := configFor(f, ion, opt)
+	specs, err := specsFor(f, sizeBytes, ion)
+	if err != nil {
+		return 0, 0, err
+	}
+	inners := make([]*storage.MemDisk, ion)
+	for i := range inners {
+		inners[i] = storage.NewNullDisk()
+	}
+	mkDisk := func(i int, clk clock.Clock) storage.Disk {
+		if f.Disk == FastDisk {
+			return inners[i]
+		}
+		return storage.NewSimDisk(inners[i], storage.SP2AIX(), clk)
+	}
+	app := func(cl *core.Client) error {
+		bufs := make([][]byte, len(specs))
+		for i, spec := range specs {
+			bufs[i] = make([]byte, spec.MemChunkBytes(cl.Rank()))
+		}
+		for s := 0; s < steps; s++ {
+			if werr := cl.WriteArrays(fmt.Sprintf(".t%d", s), specs, bufs); werr != nil {
+				return werr
+			}
+		}
+		return nil
+	}
+	res, err := core.RunSim(cfg, mpi.SP2Link(), mkDisk, app)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, st := range res.ServerStats {
+		hits += st.PlanHits
+		misses += st.PlanMisses
+	}
+	return hits, misses, nil
 }
 
 // RunFigure measures every cell of a figure, sizes scaled down by

@@ -3,6 +3,8 @@ package mpi
 import (
 	"sync"
 	"time"
+
+	"panda/internal/bufpool"
 )
 
 // World is an in-process communicator running in real time: each rank is
@@ -123,6 +125,21 @@ func (c *inprocComm) SendOwned(to, tag int, data []byte) {
 	checkPeer(c, to)
 	checkTag(tag)
 	c.world.boxes[to].put(Message{Source: c.rank, Tag: tag, Data: data})
+}
+
+// SendVec implements VectorComm. In-process delivery parks messages in
+// a mailbox indefinitely, so the borrowed payload cannot be passed
+// through — it is concatenated with the header into one pooled frame
+// (the same single copy a flattened send pays, minus the intermediate
+// allocation). Reports false: the payload copy was not avoided.
+func (c *inprocComm) SendVec(to, tag int, hdr, payload []byte) bool {
+	checkPeer(c, to)
+	checkTag(tag)
+	frame := bufpool.GetRaw(len(hdr) + len(payload))
+	copy(frame, hdr)
+	copy(frame[len(hdr):], payload)
+	c.world.boxes[to].put(Message{Source: c.rank, Tag: tag, Data: frame})
+	return false
 }
 
 type doneRequest struct{}

@@ -356,6 +356,36 @@ func (c *meshComm) Send(to, tag int, data []byte) {
 
 func (c *meshComm) SendOwned(to, tag int, data []byte) { c.Send(to, tag, data) }
 
+// SendVec implements VectorComm: one writev ships wire header, protocol
+// header and payload without an intermediate frame. Self-sends park in
+// the mailbox and must not alias the borrowed payload, so they copy.
+func (c *meshComm) SendVec(to, tag int, hdr, payload []byte) bool {
+	checkPeer(c, to)
+	checkTag(tag)
+	n := len(hdr) + len(payload)
+	if to == c.rank {
+		frame := make([]byte, n)
+		copy(frame, hdr)
+		copy(frame[len(hdr):], payload)
+		c.box.put(Message{Source: c.rank, Tag: tag, Data: frame})
+		return false
+	}
+	p, err := c.peerFor(to)
+	if err != nil {
+		panic(fmt.Sprintf("mpi: mesh send to %d: %v", to, err))
+	}
+	var wire [8]byte
+	binary.BigEndian.PutUint32(wire[0:], uint32(tag)+1)
+	binary.BigEndian.PutUint32(wire[4:], uint32(n))
+	bufs := net.Buffers{wire[:], hdr, payload}
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	if _, err := bufs.WriteTo(p.conn); err != nil {
+		panic(fmt.Sprintf("mpi: mesh send to %d: %v", to, err))
+	}
+	return true
+}
+
 func (c *meshComm) Isend(to, tag int, data []byte) Request {
 	c.Send(to, tag, data)
 	return doneRequest{}

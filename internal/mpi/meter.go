@@ -61,6 +61,15 @@ func (c *meteredComm) SendOwned(to, tag int, data []byte) {
 	c.inner.SendOwned(to, tag, data)
 }
 
+// SendVec counts the full frame and forwards to the inner
+// communicator's scatter-gather path when it has one, concatenating
+// into a pooled frame otherwise (e.g. when wrapping a FaultComm, whose
+// injection machinery needs an owned flat buffer).
+func (c *meteredComm) SendVec(to, tag int, hdr, payload []byte) bool {
+	c.countSend(len(hdr) + len(payload))
+	return SendSegments(c.inner, to, tag, hdr, payload)
+}
+
 func (c *meteredComm) Isend(to, tag int, data []byte) Request {
 	c.countSend(len(data))
 	return c.inner.Isend(to, tag, data)

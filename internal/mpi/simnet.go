@@ -3,6 +3,7 @@ package mpi
 import (
 	"time"
 
+	"panda/internal/bufpool"
 	"panda/internal/vtime"
 )
 
@@ -132,6 +133,19 @@ func (c *simComm) Send(to, tag int, data []byte) {
 func (c *simComm) SendOwned(to, tag int, data []byte) {
 	done := c.transmit(to, tag, data)
 	c.proc.SleepUntil(done)
+}
+
+// SendVec implements VectorComm. Delivery is deferred to the simulated
+// arrival time, so the borrowed payload is concatenated with the header
+// into one pooled frame; the wire is charged the full hdr+payload
+// length, keeping simulated timings identical to a flattened send.
+// Reports false: the payload copy was not avoided.
+func (c *simComm) SendVec(to, tag int, hdr, payload []byte) bool {
+	frame := bufpool.GetRaw(len(hdr) + len(payload))
+	copy(frame, hdr)
+	copy(frame[len(hdr):], payload)
+	c.SendOwned(to, tag, frame)
+	return false
 }
 
 type simRequest struct {

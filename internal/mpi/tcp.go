@@ -201,10 +201,8 @@ func (h *Hub) route(source int, conn net.Conn) error {
 			continue // destination died; drop, sender learns via death frame
 		}
 		h.wmu[to].Lock()
-		_, err := dst.Write(hdr[:])
-		if err == nil && n > 0 {
-			_, err = dst.Write(payload)
-		}
+		bufs := net.Buffers{hdr[:], payload}
+		_, err := bufs.WriteTo(dst)
 		h.wmu[to].Unlock()
 		bufpool.Put(payload)
 		if err != nil {
@@ -325,6 +323,27 @@ func (c *tcpComm) Send(to, tag int, data []byte) {
 }
 
 func (c *tcpComm) SendOwned(to, tag int, data []byte) { c.Send(to, tag, data) }
+
+// SendVec implements VectorComm: the wire header, protocol header and
+// payload go out in one writev, so the payload is read straight from
+// the caller's buffer by the kernel — no intermediate frame. The write
+// completes before SendVec returns, honoring the borrow contract.
+func (c *tcpComm) SendVec(to, tag int, hdr, payload []byte) bool {
+	checkPeer(c, to)
+	checkTag(tag)
+	var wire [16]byte
+	binary.BigEndian.PutUint32(wire[0:], uint32(to))
+	binary.BigEndian.PutUint32(wire[4:], uint32(c.rank))
+	binary.BigEndian.PutUint32(wire[8:], uint32(tag)+1)
+	binary.BigEndian.PutUint32(wire[12:], uint32(len(hdr)+len(payload)))
+	bufs := net.Buffers{wire[:], hdr, payload}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := bufs.WriteTo(c.conn); err != nil {
+		panic(fmt.Sprintf("mpi: tcp send: %v", err))
+	}
+	return true
+}
 
 func (c *tcpComm) Isend(to, tag int, data []byte) Request {
 	c.Send(to, tag, data)
