@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet staticcheck check fuzz bench-baseline bench-check bench-pack trace-smoke recovery-smoke ci clean
+.PHONY: all build test race vet staticcheck check fuzz bench-baseline bench-check bench-sched sched-check bench-pack trace-smoke recovery-smoke ci clean
 
 all: build
 
@@ -36,10 +36,13 @@ race:
 # real hunt.
 FUZZTIME ?= 30s
 fuzz:
-	$(GO) test -run '^$$' -fuzz FuzzDecodeOpRequest -fuzztime $(FUZZTIME) ./internal/core
-	$(GO) test -run '^$$' -fuzz FuzzDecodeSubData -fuzztime $(FUZZTIME) ./internal/core
-	$(GO) test -run '^$$' -fuzz FuzzDecodeSubReq -fuzztime $(FUZZTIME) ./internal/core
-	$(GO) test -run '^$$' -fuzz FuzzDecodeStatus -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodeOpRequest$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodeSubData$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodeSubReq$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodeSubDataOp$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodeSubReqOp$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodeSchedDone$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz 'FuzzDecodeStatus$$' -fuzztime $(FUZZTIME) ./internal/core
 
 # bench-baseline snapshots the staged-engine performance on the Table 1
 # configurations (serial vs staged, reads and writes) into
@@ -55,6 +58,19 @@ bench-baseline:
 # baseline as BENCH_engine.json.new for inspection (CI uploads it).
 bench-check:
 	$(GO) run ./cmd/pandabench -engine-check BENCH_engine.json
+
+# bench-sched snapshots the mixed-workload scheduler bench (three
+# tenants of weight 4:2:1, overlapped vs serialized dispatch; p99 op
+# latency and aggregate MB/s) into the sched rows of BENCH_engine.json,
+# preserving the other sections. sched-check is the matching CI gate:
+# it re-runs the workload at the committed scale and fails if aggregate
+# throughput regresses more than 10% or overlapped dispatch stops
+# beating the serialized baseline.
+bench-sched:
+	$(GO) run ./cmd/pandabench -sched-json BENCH_engine.json -scale $(BENCH_SCALE)
+
+sched-check:
+	$(GO) run ./cmd/pandabench -sched-check BENCH_engine.json
 
 # bench-pack measures the data-movement fast path on this host: the
 # coalescing CopyRegion kernel across strided, coalesced, contiguous

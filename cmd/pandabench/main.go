@@ -35,6 +35,8 @@ func main() {
 	readahead := flag.Int("readahead", 0, "server read prefetch depth (0 = paper's serial reads)")
 	engineJSON := flag.String("engine-json", "", "write the staged-engine baseline (Table 1 configs, serial vs staged) as JSON to this file and exit")
 	engineCheck := flag.String("engine-check", "", "re-run the staged-engine baseline at the committed file's scale and fail if any row's agg_mbs regresses more than 10%; the fresh run is written alongside as <file>.new")
+	schedJSON := flag.String("sched-json", "", "measure the mixed-workload scheduler bench and update the sched rows of this baseline file in place (other sections preserved)")
+	schedCheck := flag.String("sched-check", "", "re-run the mixed-workload scheduler bench at the committed file's scale and fail if aggregate MB/s regresses more than 10% or overlapped dispatch stops beating serialized")
 	tracePath := flag.String("trace", "", "record every operation and write Chrome trace-event JSON here (load at ui.perfetto.dev); also prints a per-operation phase breakdown")
 	verbose := flag.Bool("v", false, "print each measurement as it completes")
 	flag.Parse()
@@ -61,6 +63,14 @@ func main() {
 		runEngineCheck(*engineCheck, opt)
 		return
 	}
+	if *schedJSON != "" {
+		runSchedBaseline(*schedJSON, opt)
+		return
+	}
+	if *schedCheck != "" {
+		runSchedCheck(*schedCheck, opt)
+		return
+	}
 
 	switch *fig {
 	case "all":
@@ -71,6 +81,7 @@ func main() {
 		runBaseline(opt)
 		runAblations(opt)
 		runSharing(opt)
+		runSched(opt)
 	case "table1":
 		runTable1()
 	case "baseline":
@@ -79,11 +90,13 @@ func main() {
 		runAblations(opt)
 	case "sharing":
 		runSharing(opt)
+	case "sched":
+		runSched(opt)
 	default:
 		f, err := harness.FigureByID(*fig)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			fmt.Fprintln(os.Stderr, "known: fig3 fig4 fig5 fig6 fig7 fig8 fig9 multi table1 baseline ablations sharing all")
+			fmt.Fprintln(os.Stderr, "known: fig3 fig4 fig5 fig6 fig7 fig8 fig9 multi table1 baseline ablations sharing sched all")
 			os.Exit(2)
 		}
 		runFigure(f, opt, *csv)
@@ -215,6 +228,22 @@ type planCacheRow struct {
 	Misses  int64 `json:"misses"`
 }
 
+// schedRow is one mixed-workload scheduler measurement: three tenants
+// of weight 4:2:1 writing and reading back independent arrays through
+// the concurrent operation scheduler, at one in-flight window. Virtual
+// time makes the rows deterministic, so they gate like the engine grid.
+type schedRow struct {
+	Inflight   int     `json:"inflight"`
+	Ops        int     `json:"ops"`
+	SizeMB     int64   `json:"size_mb"`
+	IONodes    int     `json:"io_nodes"`
+	ElapsedNs  int64   `json:"elapsed_ns"`
+	AggMBs     float64 `json:"agg_mbs"`
+	P50Ns      int64   `json:"p50_ns"`
+	P99Ns      int64   `json:"p99_ns"`
+	DiskMerges int64   `json:"disk_merges"`
+}
+
 // engineDoc is the BENCH_engine.json layout.
 type engineDoc struct {
 	Description string       `json:"description"`
@@ -222,6 +251,7 @@ type engineDoc struct {
 	Rows        []engineRow  `json:"rows"`
 	Pack        []packRow    `json:"pack,omitempty"`
 	PlanCache   planCacheRow `json:"plan_cache,omitempty"`
+	Sched       []schedRow   `json:"sched,omitempty"`
 }
 
 // measureEngine runs the engine-baseline grid — the paper's Table 1
@@ -335,6 +365,130 @@ func measurePlanCache(opt harness.Options) planCacheRow {
 	return planCacheRow{Steps: steps, IONodes: ion, Hits: hits, Misses: misses}
 }
 
+// schedBenchION and schedBenchInflight fix the scheduler bench shape;
+// the array size scales with opt.Scale like every other row.
+const (
+	schedBenchION      = 4
+	schedBenchInflight = 4
+)
+
+// measureSched runs the mixed-workload scheduler bench overlapped and
+// serialized and returns both rows, overlapped first.
+func measureSched(opt harness.Options) []schedRow {
+	size := int64(16) * harness.MB >> opt.Scale
+	r, err := harness.RunSchedBench(size, schedBenchION, schedBenchInflight, opt)
+	if err != nil {
+		log.Fatalf("sched bench: %v", err)
+	}
+	row := func(p harness.SchedPoint) schedRow {
+		return schedRow{
+			Inflight:   p.Inflight,
+			Ops:        p.Ops,
+			SizeMB:     size / harness.MB,
+			IONodes:    schedBenchION,
+			ElapsedNs:  p.Elapsed.Nanoseconds(),
+			AggMBs:     p.AggMBs,
+			P50Ns:      p.P50.Nanoseconds(),
+			P99Ns:      p.P99.Nanoseconds(),
+			DiskMerges: p.DiskMerges,
+		}
+	}
+	rows := []schedRow{row(r.Overlapped), row(r.Serial)}
+	if opt.Verbose {
+		for _, sr := range rows {
+			fmt.Printf("sched inflight=%d  %8.2f MB/s  p99=%v\n",
+				sr.Inflight, sr.AggMBs, time.Duration(sr.P99Ns))
+		}
+	}
+	return rows
+}
+
+// checkSchedRows gates fresh scheduler rows against committed ones:
+// per-row aggregate throughput within 10%, and the structural property
+// that overlapped dispatch beats the serialized baseline. Returns the
+// number of failures.
+func checkSchedRows(base, fresh []schedRow) int {
+	freshBy := make(map[int]schedRow, len(fresh))
+	for _, r := range fresh {
+		freshBy[r.Inflight] = r
+	}
+	failures := 0
+	for _, b := range base {
+		f, ok := freshBy[b.Inflight]
+		if !ok {
+			fmt.Printf("FAIL sched/inflight%d       missing from fresh run\n", b.Inflight)
+			failures++
+			continue
+		}
+		verdict := "ok  "
+		if f.AggMBs < 0.9*b.AggMBs {
+			verdict = "FAIL"
+			failures++
+		}
+		fmt.Printf("%s sched/inflight%-2d       base %8.2f MB/s  now %8.2f MB/s  p99 %v\n",
+			verdict, b.Inflight, b.AggMBs, f.AggMBs, time.Duration(f.P99Ns))
+	}
+	over, oOK := freshBy[schedBenchInflight]
+	serial, sOK := freshBy[1]
+	if oOK && sOK && over.AggMBs <= serial.AggMBs {
+		fmt.Printf("FAIL sched overlapped %.2f MB/s not above serialized %.2f MB/s\n",
+			over.AggMBs, serial.AggMBs)
+		failures++
+	}
+	return failures
+}
+
+// runSchedBaseline refreshes the sched rows of an existing baseline
+// file in place (`make bench-sched`). Other sections are preserved; a
+// missing file gets a sched-only document at the requested scale.
+func runSchedBaseline(path string, opt harness.Options) {
+	var doc engineDoc
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		opt.Scale = doc.Scale
+	} else {
+		doc.Description = "mixed-workload scheduler baseline (run `make bench-baseline` for the full grid)"
+		doc.Scale = opt.Scale
+	}
+	doc.Sched = measureSched(opt)
+	writeEngineDoc(path, doc)
+	fmt.Printf("updated %d scheduler rows in %s (scale %d)\n", len(doc.Sched), path, doc.Scale)
+}
+
+// runSchedCheck is the CI scheduler gate: re-run the mixed workload at
+// the committed baseline's scale and fail on regression or on the
+// overlapped run losing to the serialized one.
+func runSchedCheck(path string, opt harness.Options) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var base engineDoc
+	if err := json.Unmarshal(data, &base); err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	if len(base.Sched) == 0 {
+		log.Fatalf("%s has no sched rows; run `make bench-sched` (or `make bench-baseline`) and commit the result", path)
+	}
+	opt.Scale = base.Scale
+	if failures := checkSchedRows(base.Sched, measureSched(opt)); failures > 0 {
+		log.Fatalf("sched check: %d regression(s) against %s", failures, path)
+	}
+	fmt.Printf("sched check passed: %d rows within 10%% of %s\n", len(base.Sched), path)
+}
+
+// runSched prints the human-readable scheduler comparison.
+func runSched(opt harness.Options) {
+	size := 16 * harness.MB >> opt.Scale
+	r, err := harness.RunSchedBench(size, schedBenchION, schedBenchInflight, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(harness.RenderSchedBench(size, schedBenchION, r))
+}
+
 // writeEngineDoc marshals and writes one engine-baseline document.
 func writeEngineDoc(path string, doc engineDoc) {
 	data, err := json.MarshalIndent(doc, "", "  ")
@@ -357,6 +511,7 @@ func runEngineBaseline(path string, opt harness.Options) {
 		Rows:        measureEngine(opt),
 		Pack:        measurePack(),
 		PlanCache:   measurePlanCache(opt),
+		Sched:       measureSched(opt),
 	}
 	writeEngineDoc(path, doc)
 	fmt.Printf("wrote %d measurements to %s\n", len(doc.Rows), path)
@@ -384,6 +539,7 @@ func runEngineCheck(path string, opt harness.Options) {
 		Rows:        measureEngine(opt),
 		Pack:        measurePack(),
 		PlanCache:   measurePlanCache(opt),
+		Sched:       measureSched(opt),
 	}
 	writeEngineDoc(path+".new", fresh)
 
@@ -418,6 +574,7 @@ func runEngineCheck(path string, opt harness.Options) {
 		fmt.Println("FAIL plan cache never hit on the multi-step probe")
 		failures++
 	}
+	failures += checkSchedRows(base.Sched, fresh.Sched)
 	if failures > 0 {
 		log.Fatalf("engine check: %d regression(s) against %s", failures, path)
 	}

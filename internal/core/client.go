@@ -27,19 +27,28 @@ type Client struct {
 	tr   obs.Track
 	met  nodeMetrics
 
-	stats   Stats
-	elapsed time.Duration
-	opSeq   int // collective operations issued so far
+	stats     *Stats
+	elapsedNs *int64
+	opSeq     int // collective operations issued so far
+
+	// Scheduler state: opFramed marks a per-op executor copy (see
+	// submit.go), router demultiplexes incoming frames by op when
+	// operations overlap.
+	opFramed bool
+	router   *clientRouter
+	handles  map[int]*OpHandle // outstanding submissions, application goroutine only
 }
 
 // NewClient creates the client endpoint for one compute node.
 func NewClient(cfg Config, comm mpi.Comm, clk clock.Clock) *Client {
 	return &Client{
-		cfg:  cfg,
-		comm: comm,
-		clk:  clk,
-		tr:   cfg.Trace.Track(fmt.Sprintf("client%d", comm.Rank())),
-		met:  newNodeMetrics(cfg.Metrics),
+		cfg:       cfg,
+		comm:      comm,
+		clk:       clk,
+		tr:        cfg.Trace.Track(fmt.Sprintf("client%d", comm.Rank())),
+		met:       newNodeMetrics(cfg.Metrics),
+		stats:     &Stats{},
+		elapsedNs: new(int64),
 	}
 }
 
@@ -57,7 +66,7 @@ func (c *Client) Stats() Stats { return c.stats.snapshot() }
 // LastElapsed reports the time this client spent inside its most
 // recent collective call — the quantity the paper's elapsed-time
 // metric takes the maximum of across compute nodes.
-func (c *Client) LastElapsed() time.Duration { return c.elapsed }
+func (c *Client) LastElapsed() time.Duration { return time.Duration(atomic.LoadInt64(c.elapsedNs)) }
 
 // WriteArrays collectively writes the given arrays. bufs[i] is this
 // client's memory chunk of specs[i] and must hold exactly its chunk's
@@ -104,23 +113,19 @@ func (c *Client) countRecv(n int) {
 }
 
 func (c *Client) collective(op byte, suffix string, specs []ArraySpec, bufs [][]byte) error {
-	start := c.clk.Now()
-	defer func() { c.elapsed = c.clk.Now() - start }()
-
-	if err := validateSpecs(c.cfg, specs); err != nil {
-		return err
-	}
-	if len(bufs) != len(specs) {
-		return fmt.Errorf("core: %d buffers for %d arrays", len(bufs), len(specs))
-	}
-	var chunkBytes int64
-	for i, spec := range specs {
-		want := spec.MemChunkBytes(c.Rank())
-		if int64(len(bufs[i])) != want {
-			return fmt.Errorf("core: client %d: buffer for array %s holds %d bytes, chunk needs %d",
-				c.Rank(), spec.Name, len(bufs[i]), want)
+	if c.cfg.Sched.enabled() {
+		// Scheduler deployments run every collective through the async
+		// submit path, so the blocking API composes with concurrent
+		// submissions from the same application.
+		h, err := c.submit(op, suffix, specs, bufs, "")
+		if err != nil {
+			return err
 		}
-		chunkBytes += want
+		return h.Await()
+	}
+	chunkBytes, err := c.checkCollective(specs, bufs)
+	if err != nil {
+		return err
 	}
 
 	// The master client sends the high-level request to the master
@@ -131,6 +136,37 @@ func (c *Client) collective(op byte, suffix string, specs []ArraySpec, bufs [][]
 	// in the tag.
 	seq := c.opSeq
 	c.opSeq++
+	return c.collectiveSeq(op, suffix, specs, bufs, seq, chunkBytes, "")
+}
+
+// checkCollective validates a collective call's arguments and returns
+// this client's total chunk bytes across the arrays.
+func (c *Client) checkCollective(specs []ArraySpec, bufs [][]byte) (int64, error) {
+	if err := validateSpecs(c.cfg, specs); err != nil {
+		return 0, err
+	}
+	if len(bufs) != len(specs) {
+		return 0, fmt.Errorf("core: %d buffers for %d arrays", len(bufs), len(specs))
+	}
+	var chunkBytes int64
+	for i, spec := range specs {
+		want := spec.MemChunkBytes(c.Rank())
+		if int64(len(bufs[i])) != want {
+			return 0, fmt.Errorf("core: client %d: buffer for array %s holds %d bytes, chunk needs %d",
+				c.Rank(), spec.Name, len(bufs[i]), want)
+		}
+		chunkBytes += want
+	}
+	return chunkBytes, nil
+}
+
+// collectiveSeq runs one collective operation under an already-assigned
+// sequence number: the retry loop around runAttempt. On the legacy path
+// the calling goroutine is the client; under the scheduler it is a
+// per-op executor working on a routed copy of the client.
+func (c *Client) collectiveSeq(op byte, suffix string, specs []ArraySpec, bufs [][]byte, seq int, chunkBytes int64, tenant string) error {
+	start := c.clk.Now()
+	defer func() { atomic.StoreInt64(c.elapsedNs, int64(c.clk.Now()-start)) }()
 	if c.tr.Enabled() {
 		defer func() { c.tr.Span(obs.CatOp, opName(op), seq, start, c.clk.Now(), chunkBytes) }()
 	}
@@ -169,7 +205,7 @@ func (c *Client) collective(op byte, suffix string, specs []ArraySpec, bufs [][]
 				c.clk.Sleep(pause)
 			}
 		}
-		err := c.runAttempt(op, suffix, specs, bufs, seq, uint16(attempt), seen, &gotBytes, chunkBytes)
+		err := c.runAttempt(op, suffix, specs, bufs, seq, uint16(attempt), seen, &gotBytes, chunkBytes, tenant)
 		if err == nil {
 			return nil
 		}
@@ -185,10 +221,10 @@ func (c *Client) collective(op byte, suffix string, specs []ArraySpec, bufs [][]
 // collective operation until its Complete arrives or the attempt's
 // deadline expires. seen and gotBytes persist across attempts: pieces
 // already absorbed stay absorbed.
-func (c *Client) runAttempt(op byte, suffix string, specs []ArraySpec, bufs [][]byte, seq int, attempt uint16, seen map[pieceID]bool, gotBytes *int64, chunkBytes int64) error {
+func (c *Client) runAttempt(op byte, suffix string, specs []ArraySpec, bufs [][]byte, seq int, attempt uint16, seen map[pieceID]bool, gotBytes *int64, chunkBytes int64, tenant string) error {
 	deadline := clientOpDeadline(c.cfg, c.clk)
 	if c.IsMaster() {
-		req := encodeOpRequest(opRequest{Op: op, Seq: uint32(seq), Attempt: attempt, Suffix: suffix, Specs: specs})
+		req := encodeOpRequest(opRequest{Op: op, Seq: uint32(seq), Attempt: attempt, Suffix: suffix, Specs: specs, Tenant: tenant})
 		c.tr.Instant(obs.CatCtl, "op request", seq, c.clk.Now(), int64(len(req)))
 		c.send(c.cfg.MasterServer(), tagControl, req)
 	}
@@ -226,19 +262,27 @@ func (c *Client) runAttempt(op byte, suffix string, specs []ArraySpec, bufs [][]
 		}
 		r := rbuf{b: m.Data}
 		switch t := r.u8(); t {
-		case msgSubReq:
-			q, err := decodeSubReq(&r)
+		case msgSubReq, msgSubReqOp:
+			q, err := decodeSubReqAny(t, &r)
 			if err != nil {
 				return err
+			}
+			if t == msgSubReqOp && q.OpID != uint32(seq) {
+				c.rejectFrame(m.Data)
+				continue
 			}
 			if err := c.serveRequest(seq, specs, bufs, m.Source, q); err != nil {
 				return err
 			}
 			bufpool.Put(m.Data) // the request is fully decoded; recycle the frame
-		case msgSubData:
-			d, err := decodeSubData(&r)
+		case msgSubData, msgSubDataOp:
+			d, err := decodeSubDataAny(t, &r)
 			if err != nil {
 				return err
+			}
+			if t == msgSubDataOp && d.OpID != uint32(seq) {
+				c.rejectFrame(m.Data)
+				continue
 			}
 			key := pieceKey(d.ArrayIdx, d.Region)
 			if seen != nil && seen[key] {
@@ -345,11 +389,18 @@ func (c *Client) serveRequest(seq int, specs []ArraySpec, bufs [][]byte, server 
 		payload = tmp
 		c.chargeReorg(seq, int64(len(payload)))
 	}
-	hdr := encodeSubDataHeader(subData{
+	d := subData{
 		ArrayIdx: q.ArrayIdx,
 		ReqID:    q.ReqID,
 		Region:   q.Region,
-	})
+	}
+	var hdr []byte
+	if c.opFramed {
+		d.OpID = uint32(seq)
+		hdr = encodeSubDataOpHeader(d)
+	} else {
+		hdr = encodeSubDataHeader(d)
+	}
 	c.sendVec(server, tagToServer(seq), hdr, payload)
 	if tmp != nil {
 		bufpool.Put(tmp) // the send is done with it; recycle the extract scratch
@@ -385,6 +436,14 @@ func (c *Client) absorbData(seq int, specs []ArraySpec, bufs [][]byte, d subData
 		c.chargeReorg(seq, want)
 	}
 	return nil
+}
+
+// rejectFrame drops an op-scoped frame whose operation ID contradicts
+// the op its tag routed it to, and recycles the frame.
+func (c *Client) rejectFrame(frame []byte) {
+	atomic.AddInt64(&c.stats.FramesRejected, 1)
+	c.met.framesRejected.Add(1)
+	bufpool.Put(frame)
 }
 
 // chargeContig accounts for n bytes moved through a contiguous fast

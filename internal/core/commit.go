@@ -50,13 +50,26 @@ import (
 // cleanup) exactly like a killed process.
 var errServerCrashed = errors.New("core: server crashed (injected)")
 
+// errOpCrashed is the per-operation injected-crash sentinel:
+// Config.crashHookOp returned non-nil, killing only this operation.
+// The op aborts and rolls back (or, past the decision point, is left
+// for read-time roll-forward) while the server and every concurrent
+// operation keep running — the isolation the scheduler must prove.
+var errOpCrashed = errors.New("core: operation crashed (injected)")
+
 // maxReassignRounds bounds replanning: each round removes at least one
 // server, so NumServers rounds is already unreachable.
 const maxReassignRounds = 8
 
-// crashPoint consults the injected crash hook at a named point of the
-// write path. A non-nil hook error kills the server there.
+// crashPoint consults the injected crash hooks at a named point of the
+// write path. A non-nil crashHook error kills the server there; a
+// non-nil crashHookOp error kills only the current operation.
 func (s *Server) crashPoint(point string) error {
+	if s.cfg.crashHookOp != nil {
+		if err := s.cfg.crashHookOp(s.index, s.opSeq, point); err != nil {
+			return fmt.Errorf("at %s: %w", point, errOpCrashed)
+		}
+	}
 	if s.cfg.crashHook == nil {
 		return nil
 	}
@@ -383,6 +396,17 @@ func (s *Server) masterCommit(req opRequest, prepared []preparedArray, ownErr er
 	// Every participant is PREPARED: decide. The decision records on the
 	// master's disk are the linearization point of the write.
 	if err := s.crashPoint("decide"); err != nil {
+		if errors.Is(err, errOpCrashed) {
+			// Per-op crash before anything is decided: the operation
+			// aborts and rolls back cleanly; the server lives on.
+			atomic.AddInt64(&s.stats.Aborts, 1)
+			s.met.aborts.Add(1)
+			for _, i := range s.aliveOthers(req) {
+				s.send(s.cfg.ServerRank(i), tagToServer(s.opSeq), encodeAbort(req.Attempt, req.Round, err))
+			}
+			s.removePrepared(prepared)
+			return err, nil, nil
+		}
 		return err, nil, err
 	}
 	var d0 time.Duration
@@ -410,6 +434,12 @@ func (s *Server) masterCommit(req opRequest, prepared []preparedArray, ownErr er
 		s.send(s.cfg.ServerRank(i), tagToServer(s.opSeq), encodeStatus(msgCommit, req.Attempt, req.Round, nil))
 	}
 	if err := s.crashPoint("commit"); err != nil {
+		if errors.Is(err, errOpCrashed) {
+			// Per-op crash after the decision is durable: the temps stay
+			// and read-time roll-forward finishes the rename, exactly as
+			// for a process death here — old-or-new atomicity holds.
+			return err, nil, nil
+		}
 		return err, nil, err
 	}
 	if err := s.commitPrepared(prepared); err != nil {
@@ -465,6 +495,11 @@ func (s *Server) waitCommit(req opRequest, prepared []preparedArray, deadline ti
 				continue
 			}
 			if err := s.crashPoint("commit"); err != nil {
+				if errors.Is(err, errOpCrashed) {
+					// Per-op crash: keep the temps (the decision is durable
+					// on the master), skip the ack; roll-forward repairs.
+					return err, nil, nil
+				}
 				return err, nil, err
 			}
 			cerr := s.commitPrepared(prepared)

@@ -152,6 +152,71 @@ type Config struct {
 	// injected transport crash would. Recovery tests use it to sweep
 	// crash windows deterministically. Test-only: unexported.
 	crashHook func(server int, point string) error
+	// crashHookOp is the per-operation variant used under the
+	// scheduler: a non-nil return kills only that operation (it aborts
+	// and rolls back) while the server and every concurrent op keep
+	// running. Test-only: unexported.
+	crashHookOp func(server, seq int, point string) error
+
+	// Sched configures the concurrent operation scheduler. The zero
+	// value (MaxInflight == 0) keeps the legacy one-op-at-a-time path.
+	Sched SchedConfig
+}
+
+// SchedConfig tunes the server-side operation scheduler that admits
+// many independent collectives onto one deployment: a bounded
+// admission queue with backpressure, deficit-round-robin weighted
+// fairness across tenants, and per-array conflict serialization.
+type SchedConfig struct {
+	// MaxInflight is the number of operations the master server
+	// dispatches concurrently. 0 disables the scheduler entirely
+	// (legacy path); 1 admits through the queue but serializes
+	// execution — the baseline the mixed-workload bench compares
+	// against.
+	MaxInflight int
+	// QueueDepth bounds the admission queue (0 = 16). A request
+	// arriving with the queue full is refused with ErrBusy.
+	QueueDepth int
+	// Weights maps tenant name → scheduling weight for the
+	// deficit-round-robin dispatcher; tenants not listed (and the
+	// empty tenant) weigh 1. A tenant with weight w receives a w/Σw
+	// share of dispatched bytes when the queue is contended.
+	Weights map[string]int
+	// Quantum is the byte credit added to a tenant's deficit per DRR
+	// round, scaled by its weight (0 = 1 MiB). Smaller quanta
+	// interleave tenants more finely; larger quanta favor throughput.
+	Quantum int64
+	// Seed, when nonzero, randomizes the dispatch order among tenants
+	// whose deficit already affords their next op — deterministically
+	// per seed. The interleave conformance suite sweeps it.
+	Seed int64
+}
+
+// enabled reports whether the scheduler path is active.
+func (sc SchedConfig) enabled() bool { return sc.MaxInflight > 0 }
+
+// queueDepth returns the admission queue bound.
+func (sc SchedConfig) queueDepth() int {
+	if sc.QueueDepth <= 0 {
+		return 16
+	}
+	return sc.QueueDepth
+}
+
+// quantum returns the DRR byte quantum.
+func (sc SchedConfig) quantum() int64 {
+	if sc.Quantum <= 0 {
+		return 1 << 20
+	}
+	return sc.Quantum
+}
+
+// weight returns the scheduling weight of a tenant.
+func (sc SchedConfig) weight(tenant string) int {
+	if w, ok := sc.Weights[tenant]; ok && w > 0 {
+		return w
+	}
+	return 1
 }
 
 // RetryPolicy bounds client-side retries of failed collectives.
@@ -204,6 +269,12 @@ type OpSummary struct {
 	Retries, Timeouts int64
 	// Err is the operation's outcome on this server (nil = success).
 	Err error
+	// Tenant is the submitting tenant (scheduler deployments only).
+	Tenant string
+	// Stats, under the scheduler, is this operation's own counter
+	// snapshot — attributed exactly, even with other ops in flight.
+	// Zero on the legacy path.
+	Stats Stats
 }
 
 // MBs returns the summary's throughput in MB/s (2^20 bytes).
@@ -248,6 +319,20 @@ func (c Config) Validate() error {
 	}
 	if c.PackWorkers < 0 {
 		return fmt.Errorf("core: negative PackWorkers")
+	}
+	if c.Sched.MaxInflight < 0 {
+		return fmt.Errorf("core: negative Sched.MaxInflight")
+	}
+	if c.Sched.QueueDepth < 0 {
+		return fmt.Errorf("core: negative Sched.QueueDepth")
+	}
+	if c.Sched.Quantum < 0 {
+		return fmt.Errorf("core: negative Sched.Quantum")
+	}
+	for t, w := range c.Sched.Weights {
+		if w <= 0 {
+			return fmt.Errorf("core: Sched.Weights[%q] = %d, must be positive", t, w)
+		}
 	}
 	return nil
 }

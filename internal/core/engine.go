@@ -122,6 +122,11 @@ func (s *Server) storageTrack() obs.Track {
 // newWriteSink picks the write-behind engine when the configuration and
 // clock allow overlap, and the paper's inline writer otherwise.
 func (s *Server) newWriteSink(name string) (writeSink, error) {
+	if s.dsched != nil {
+		// Scheduler executors share the node's storage activity so
+		// concurrent ops batch and merge at the disk (disksched.go).
+		return s.newSchedWriteSink(name)
+	}
 	if dom, ok := s.clk.(clock.Domain); ok && s.cfg.pipeline() >= 2 {
 		return s.newStagedWriteSink(dom, name), nil
 	}
@@ -300,6 +305,9 @@ func (k *stagedWriteSink) report() (int64, int64) { return k.res.diskNanos, k.st
 // newReadSource picks the read-ahead engine when the configuration and
 // clock allow overlap, and the paper's inline reader otherwise.
 func (s *Server) newReadSource(spec ArraySpec, name string, subs []subchunkJob, want int64) (readSource, error) {
+	if s.dsched != nil {
+		return s.newSchedReadSource(name, want)
+	}
 	if dom, ok := s.clk.(clock.Domain); ok && s.cfg.readAhead() >= 1 {
 		return s.newStagedReadSource(dom, spec, name, subs, want), nil
 	}

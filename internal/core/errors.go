@@ -25,6 +25,11 @@ var ErrNoCommittedEpoch = errors.New("core: no committed epoch")
 // retained previous epoch.
 var ErrCorrupt = errors.New("core: committed data fails verification")
 
+// ErrBusy is the typed failure a submitted operation returns when the
+// scheduler's admission queue is full: backpressure, not breakage. The
+// caller may retry after draining some of its in-flight operations.
+var ErrBusy = errors.New("core: scheduler admission queue full")
+
 // Status codes carried by Done and Complete messages so typed errors
 // survive the wire: a client that receives a Complete with
 // statusTimeout returns an error wrapping ErrTimeout, exactly as if it
@@ -36,6 +41,7 @@ const (
 	statusPeerLost
 	statusNoEpoch
 	statusCorrupt
+	statusBusy
 )
 
 // statusCode classifies err for the wire.
@@ -51,6 +57,8 @@ func statusCode(err error) byte {
 		return statusNoEpoch
 	case errors.Is(err, ErrCorrupt):
 		return statusCorrupt
+	case errors.Is(err, ErrBusy):
+		return statusBusy
 	default:
 		return statusFailed
 	}
@@ -83,6 +91,11 @@ func statusError(code byte, msg string) error {
 			return ErrCorrupt
 		}
 		return wrapped{msg: msg, sentinel: ErrCorrupt}
+	case statusBusy:
+		if msg == "" {
+			return ErrBusy
+		}
+		return wrapped{msg: msg, sentinel: ErrBusy}
 	default:
 		if msg == "" {
 			msg = "core: collective operation failed"

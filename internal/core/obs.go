@@ -43,6 +43,15 @@ type nodeMetrics struct {
 	// queueDepth observes the staged engine's inter-stage queue
 	// occupancy at every hand-off.
 	queueDepth *obs.Histogram
+	// Scheduler instruments: frames refused by op-ID screening, ops
+	// refused at admission, adjacent disk requests merged across the
+	// batch queue, and live occupancy of the admission queue and the
+	// in-flight dispatch window.
+	framesRejected *obs.Counter
+	schedBusy      *obs.Counter
+	diskMerges     *obs.Counter
+	schedQueue     *obs.Gauge
+	schedInflight  *obs.Gauge
 }
 
 func newNodeMetrics(r *obs.Registry) nodeMetrics {
@@ -69,6 +78,11 @@ func newNodeMetrics(r *obs.Registry) nodeMetrics {
 		subLatency:      r.Histogram("subchunk_latency_ns", obs.LatencyBounds),
 		recvWait:        r.Histogram("recv_wait_ns", obs.LatencyBounds),
 		queueDepth:      r.Histogram("stage_queue_depth", obs.DepthBounds),
+		framesRejected:  r.Counter("sched_frames_rejected"),
+		schedBusy:       r.Counter("sched_busy_rejects"),
+		diskMerges:      r.Counter("sched_disk_merges"),
+		schedQueue:      r.Gauge("sched_queue_depth"),
+		schedInflight:   r.Gauge("sched_inflight_ops"),
 	}
 }
 
@@ -106,7 +120,38 @@ func (st *Stats) snapshot() Stats {
 		FramesCoalesced: atomic.LoadInt64(&st.FramesCoalesced),
 		PlanHits:        atomic.LoadInt64(&st.PlanHits),
 		PlanMisses:      atomic.LoadInt64(&st.PlanMisses),
+		FramesRejected:  atomic.LoadInt64(&st.FramesRejected),
+		SchedBusy:       atomic.LoadInt64(&st.SchedBusy),
+		DiskMerges:      atomic.LoadInt64(&st.DiskMerges),
 	}
+}
+
+// merge atomically folds a finished operation's private counters into
+// the node-global totals. The scheduler's router calls it once per op,
+// after the op's executor has quiesced, so per-op snapshots always sum
+// (with the router's own control traffic) to the global counters.
+func (st *Stats) merge(op *Stats) {
+	o := op.snapshot()
+	atomic.AddInt64(&st.MsgsSent, o.MsgsSent)
+	atomic.AddInt64(&st.BytesSent, o.BytesSent)
+	atomic.AddInt64(&st.MsgsRecv, o.MsgsRecv)
+	atomic.AddInt64(&st.BytesRecv, o.BytesRecv)
+	atomic.AddInt64(&st.ReorgBytes, o.ReorgBytes)
+	atomic.AddInt64(&st.Timeouts, o.Timeouts)
+	atomic.AddInt64(&st.Retries, o.Retries)
+	atomic.AddInt64(&st.Aborts, o.Aborts)
+	atomic.AddInt64(&st.Reassigns, o.Reassigns)
+	atomic.AddInt64(&st.RollForwards, o.RollForwards)
+	atomic.AddInt64(&st.Degraded, o.Degraded)
+	atomic.AddInt64(&st.OverlapNanos, o.OverlapNanos)
+	atomic.AddInt64(&st.StallNanos, o.StallNanos)
+	atomic.AddInt64(&st.ContigBytes, o.ContigBytes)
+	atomic.AddInt64(&st.FramesCoalesced, o.FramesCoalesced)
+	atomic.AddInt64(&st.PlanHits, o.PlanHits)
+	atomic.AddInt64(&st.PlanMisses, o.PlanMisses)
+	atomic.AddInt64(&st.FramesRejected, o.FramesRejected)
+	atomic.AddInt64(&st.SchedBusy, o.SchedBusy)
+	atomic.AddInt64(&st.DiskMerges, o.DiskMerges)
 }
 
 // packStart begins timing one pack/unpack copy when metrics are on; it

@@ -52,6 +52,31 @@ func tagDoneFor(seq int) int { return 12 + 16*seq }
 // tagControl carries OpRequest and Shutdown; see the tag table above.
 const tagControl = 14
 
+// tagSchedDone is a node-local loopback: a scheduler executor reports
+// its operation finished by sending a SchedDone frame to its own rank,
+// where the router loop — the sole receiver — retires the op and
+// dispatches the next. Fixed tag; the frame carries the Seq.
+const tagSchedDone = 15
+
+// tagRouterStop is a client-local loopback telling the client's router
+// loop to exit once the application is done submitting operations.
+const tagRouterStop = 16
+
+// tagOpSeq classifies a tag: for members of the three sequenced
+// families it recovers the operation sequence number and the family
+// (0 = tagToServer, 1 = tagToClient, 2 = tagDoneFor); for fixed tags it
+// reports ok = false. Routers use it to steer frames to per-op state.
+func tagOpSeq(tag int) (seq, family int, ok bool) {
+	if tag < 10 {
+		return 0, 0, false
+	}
+	family = (tag - 10) % 16
+	if family > 2 {
+		return 0, 0, false
+	}
+	return (tag - 10) / 16, family, true
+}
+
 // Message types.
 const (
 	msgOpRequest byte = iota + 1
@@ -71,6 +96,16 @@ const (
 	// msgCommitted acks a server's rename of its epoch onto the final
 	// names (server → master server on tagDoneFor).
 	msgCommitted
+	// msgSchedDone is the executor→router loopback on tagSchedDone.
+	msgSchedDone
+	// msgSubReqOp and msgSubDataOp are the op-ID-scoped variants of
+	// msgSubReq/msgSubData used when a scheduler multiplexes several
+	// operations over one deployment: the frame names its operation
+	// explicitly, so a receiver can reject a frame that the tag alone
+	// would have routed into another op's state. The legacy frames stay
+	// byte-identical for single-op deployments.
+	msgSubReqOp
+	msgSubDataOp
 )
 
 // Operation kinds.
@@ -250,6 +285,11 @@ type opRequest struct {
 	// Epochs carries, per spec, the committed epoch a read must serve
 	// (0 = resolve locally / legacy file). Writes leave it zero.
 	Epochs []uint64
+	// Tenant names the submitting tenant for the scheduler's weighted
+	// fair queueing; empty for legacy/unattributed traffic. Encoded as
+	// an optional tail so frames without a tenant stay byte-identical
+	// to the pre-scheduler wire format.
+	Tenant string
 }
 
 func encodeOpRequest(req opRequest) []byte {
@@ -276,6 +316,9 @@ func encodeOpRequest(req opRequest) []byte {
 			epoch = req.Epochs[i]
 		}
 		w.u64(epoch)
+	}
+	if req.Tenant != "" {
+		w.str(req.Tenant)
 	}
 	return w.b
 }
@@ -308,6 +351,9 @@ func decodeOpRequest(b []byte) (opRequest, error) {
 		req.Specs[i].Disk = r.schema()
 		req.Epochs[i] = r.u64()
 	}
+	if r.err == nil && r.off < len(r.b) {
+		req.Tenant = r.str()
+	}
 	if r.err != nil {
 		return opRequest{}, r.err
 	}
@@ -319,6 +365,9 @@ type subReq struct {
 	ArrayIdx int
 	ReqID    uint32
 	Region   array.Region // already intersected with the client's chunk
+	// OpID is the operation sequence the request belongs to; carried on
+	// the wire only by the msgSubReqOp variant (scheduler deployments).
+	OpID uint32
 }
 
 func encodeSubReq(q subReq) []byte {
@@ -338,6 +387,25 @@ func decodeSubReq(r *rbuf) (subReq, error) {
 	return q, r.err
 }
 
+// encodeSubReqOp is the op-ID-scoped variant: same body as
+// encodeSubReq with the operation sequence right after the type byte.
+func encodeSubReqOp(q subReq) []byte {
+	var w wbuf
+	w.u8(msgSubReqOp)
+	w.u32(q.OpID)
+	w.u16(uint16(q.ArrayIdx))
+	w.u32(q.ReqID)
+	w.region(q.Region)
+	return w.b
+}
+
+func decodeSubReqOp(r *rbuf) (subReq, error) {
+	opID := r.u32()
+	q, err := decodeSubReq(r)
+	q.OpID = opID
+	return q, err
+}
+
 // subData carries one piece of array data, client→server on writes and
 // server→client on reads. Payload bytes follow the header directly.
 type subData struct {
@@ -345,6 +413,9 @@ type subData struct {
 	ReqID    uint32
 	Region   array.Region
 	Payload  []byte
+	// OpID is the operation sequence the data belongs to; carried on
+	// the wire only by the msgSubDataOp variant (scheduler deployments).
+	OpID uint32
 }
 
 // encodeSubData builds a data frame: header plus a copy of the payload.
@@ -384,6 +455,66 @@ func decodeSubData(r *rbuf) (subData, error) {
 	d.Region = r.region()
 	d.Payload = r.rest()
 	return d, r.err
+}
+
+// encodeSubDataOpHeader builds the header of an op-ID-scoped data
+// frame (the scheduler's counterpart of encodeSubDataHeader), in a
+// pooled buffer sized exactly.
+func encodeSubDataOpHeader(d subData) []byte {
+	n := 12 + 1 + 8*d.Region.Rank()
+	w := wbuf{b: bufpool.GetRaw(n)[:0]}
+	w.u8(msgSubDataOp)
+	w.u32(d.OpID)
+	w.u16(uint16(d.ArrayIdx))
+	w.u32(d.ReqID)
+	w.region(d.Region)
+	return w.b
+}
+
+func decodeSubDataOp(r *rbuf) (subData, error) {
+	opID := r.u32()
+	d, err := decodeSubData(r)
+	d.OpID = opID
+	return d, err
+}
+
+// decodeSubDataAny decodes either data-frame flavour, selected by the
+// already-consumed type byte.
+func decodeSubDataAny(typ byte, r *rbuf) (subData, error) {
+	if typ == msgSubDataOp {
+		return decodeSubDataOp(r)
+	}
+	return decodeSubData(r)
+}
+
+// decodeSubReqAny decodes either request-frame flavour, selected by the
+// already-consumed type byte.
+func decodeSubReqAny(typ byte, r *rbuf) (subReq, error) {
+	if typ == msgSubReqOp {
+		return decodeSubReqOp(r)
+	}
+	return decodeSubReq(r)
+}
+
+// encodeSchedDone builds the executor→router completion loopback:
+// which operation finished, and whether the failure it hit is fatal to
+// the whole server (a crashed storage stack) rather than to the op.
+func encodeSchedDone(seq uint32, fatal bool) []byte {
+	var w wbuf
+	w.u8(msgSchedDone)
+	w.u32(seq)
+	f := byte(0)
+	if fatal {
+		f = 1
+	}
+	w.u8(f)
+	return w.b
+}
+
+func decodeSchedDone(r *rbuf) (seq uint32, fatal bool, err error) {
+	seq = r.u32()
+	fatal = r.u8() != 0
+	return seq, fatal, r.err
 }
 
 // statusFrame is the body shared by Done, Prepared, Commit, Committed,

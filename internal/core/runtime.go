@@ -39,6 +39,23 @@ type App func(cl *Client) error
 func clientMain(cfg Config, comm mpi.Comm, clk clock.Clock, app App) error {
 	cl := NewClient(cfg, comm, clk)
 	err := app(cl)
+	if cfg.Sched.enabled() {
+		// Scheduler shutdown: finish every outstanding submission first
+		// (an op still on the wire must not race the server drain), then
+		// run the same handshake with the router relaying the master's
+		// appDone collection.
+		cl.drainHandles()
+		if cl.IsMaster() {
+			cl.collectAppDone()
+			for i := 0; i < cfg.NumServers; i++ {
+				comm.Send(cfg.ServerRank(i), tagControl, encodeShutdown())
+			}
+		} else {
+			comm.Send(cfg.MasterClient(), tagAppDone, nil)
+		}
+		cl.stopRouter()
+		return err
+	}
 	if cl.IsMaster() {
 		for i := 1; i < cfg.NumClients; i++ {
 			if _, herr := recvBounded(comm, clk, mpi.AnySource, tagAppDone, opDeadline(cfg, clk)); herr != nil {

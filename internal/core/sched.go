@@ -1,0 +1,510 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+
+	"panda/internal/bufpool"
+	"panda/internal/clock"
+	"panda/internal/mpi"
+	"panda/internal/storage"
+)
+
+// The concurrent operation scheduler.
+//
+// With Config.Sched.MaxInflight > 0 a server stops handling collectives
+// one at a time and becomes a router + executor pool:
+//
+//	router    — the server's main loop. It owns the only real receive
+//	            on the communicator (AnySource/AnyTag), classifies each
+//	            frame by tag, and hands it to the operation it belongs
+//	            to through a per-op mailbox. Frames for an op that is
+//	            admitted but not yet dispatched are stashed; frames for
+//	            a finished op are rejected, never absorbed into another
+//	            op's state.
+//	admission — the master server's router runs a bounded queue with a
+//	            deficit-round-robin dispatcher: per-tenant weighted
+//	            byte credit, per-array conflict serialization, ErrBusy
+//	            backpressure when the queue is full. Non-master servers
+//	            dispatch forwarded requests immediately — the master
+//	            already made the scheduling decision for the
+//	            deployment.
+//	executors — one per in-flight op: a shallow copy of the Server
+//	            running the unchanged single-op protocol (handleOp) on
+//	            its own concurrent activity, against a routedComm whose
+//	            receives come from the op's mailbox. Executors carry a
+//	            private Stats block the router merges into the node
+//	            totals at retirement, so per-op attribution is exact.
+//	disk      — executors route bulk data through the shared diskSched
+//	            (disksched.go), which batches and merges adjacent
+//	            requests across ops.
+//
+// An executor announces completion by sending a SchedDone frame to its
+// own rank — a node-local loopback that works identically on the
+// in-process, TCP and simulated transports — so the router stays a
+// single-wait loop with exactly one wake-up source.
+
+// schedOp is one collective operation moving through the scheduler:
+// admitted (queued, stash accumulating), dispatched (box live, executor
+// running), then retired.
+type schedOp struct {
+	seq    int
+	raw    []byte // the request frame, owned until the executor finishes
+	req    opRequest
+	tenant string
+	cost   int64    // payload bytes, the DRR currency
+	keys   []string // conflict keys: one per array file set
+	stash  []mpi.Message
+	box    mbox[mpi.Message]
+	ex     *Server
+}
+
+// reqCost prices an operation for the DRR dispatcher: the total payload
+// bytes it moves.
+func reqCost(req opRequest) int64 {
+	var n int64
+	for _, spec := range req.Specs {
+		n += spec.TotalBytes()
+	}
+	if n <= 0 {
+		n = 1
+	}
+	return n
+}
+
+// conflictKeys lists the file sets an operation touches. Two ops
+// sharing a key are serialized by the dispatcher: concurrent collectives
+// on the same array have no defined order, and overlapping epoch
+// resolution would corrupt the commit protocol.
+func conflictKeys(req opRequest) []string {
+	keys := make([]string, 0, len(req.Specs))
+	for _, spec := range req.Specs {
+		keys = append(keys, spec.Name+req.Suffix)
+	}
+	return keys
+}
+
+// schedCore is the admission queue + deficit-round-robin dispatcher,
+// kept free of any I/O so the fairness property tests can drive it
+// directly. Tenants accumulate byte credit (quantum x weight) once per
+// round; a tenant's head op dispatches when its credit covers the op's
+// cost, so long-run dispatched bytes converge to the weight vector
+// whenever every tenant stays backlogged.
+type schedCore struct {
+	cfg      SchedConfig
+	order    []string // sorted tenant names, the round-robin ring
+	known    map[string]bool
+	queues   map[string][]*schedOp
+	deficit  map[string]int64
+	busy     map[string]int // conflict key -> in-flight ops holding it
+	queued   int
+	inflight int
+	rr       int // rotation point of the visit order
+	rng      *rand.Rand
+}
+
+func newSchedCore(cfg SchedConfig) *schedCore {
+	sc := &schedCore{
+		cfg:     cfg,
+		known:   make(map[string]bool),
+		queues:  make(map[string][]*schedOp),
+		deficit: make(map[string]int64),
+		busy:    make(map[string]int),
+	}
+	if cfg.Seed != 0 {
+		sc.rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	return sc
+}
+
+// admit appends op to its tenant's queue, refusing when the shared
+// admission queue is at its bound.
+func (sc *schedCore) admit(op *schedOp) bool {
+	if sc.queued >= sc.cfg.queueDepth() {
+		return false
+	}
+	if !sc.known[op.tenant] {
+		sc.known[op.tenant] = true
+		sc.order = append(sc.order, op.tenant)
+		sort.Strings(sc.order)
+	}
+	sc.queues[op.tenant] = append(sc.queues[op.tenant], op)
+	sc.queued++
+	return true
+}
+
+// visitOrder is the tenant order for one dispatch scan: a rotation of
+// the ring by default, a seeded shuffle when SchedConfig.Seed asks the
+// conformance suite's randomized interleaves for.
+func (sc *schedCore) visitOrder() []string {
+	out := make([]string, len(sc.order))
+	copy(out, sc.order)
+	if sc.rng != nil {
+		sc.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out
+	}
+	if n := len(out); n > 1 {
+		rot := sc.rr % n
+		out = append(out[rot:], out[:rot]...)
+	}
+	return out
+}
+
+// conflicted reports whether any of op's file sets is held by an
+// in-flight operation.
+func (sc *schedCore) conflicted(op *schedOp) bool {
+	for _, k := range op.keys {
+		if sc.busy[k] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// next picks the next dispatchable operation, or nil when every queued
+// head is conflict-blocked (or nothing is queued). The caller owns the
+// concurrency bound; next only owns fairness and conflicts.
+func (sc *schedCore) next() *schedOp {
+	if sc.queued == 0 {
+		return nil
+	}
+	for {
+		for _, t := range sc.visitOrder() {
+			q := sc.queues[t]
+			if len(q) == 0 {
+				continue
+			}
+			head := q[0]
+			if sc.conflicted(head) {
+				continue
+			}
+			if sc.deficit[t] >= head.cost {
+				sc.queues[t] = q[1:]
+				sc.queued--
+				sc.deficit[t] -= head.cost
+				if len(sc.queues[t]) == 0 {
+					// Classic DRR: an idle tenant keeps no credit, so a
+					// returning tenant cannot burst past its share.
+					sc.deficit[t] = 0
+				}
+				sc.inflight++
+				for _, k := range head.keys {
+					sc.busy[k]++
+				}
+				sc.rr++
+				return head
+			}
+		}
+		// No head is affordable: credit one round to every eligible
+		// tenant. Conflict-blocked tenants earn nothing — banking credit
+		// they cannot spend would burst when the conflict clears.
+		credited := false
+		for _, t := range sc.order {
+			q := sc.queues[t]
+			if len(q) == 0 || sc.conflicted(q[0]) {
+				continue
+			}
+			credited = true
+			sc.deficit[t] += int64(sc.cfg.weight(t)) * sc.cfg.quantum()
+		}
+		if !credited {
+			return nil
+		}
+	}
+}
+
+// complete releases a retired operation's conflict keys.
+func (sc *schedCore) complete(op *schedOp) {
+	sc.inflight--
+	for _, k := range op.keys {
+		if sc.busy[k]--; sc.busy[k] <= 0 {
+			delete(sc.busy, k)
+		}
+	}
+}
+
+// flush empties every queue — cleanup on a fatal router exit.
+func (sc *schedCore) flush() []*schedOp {
+	var out []*schedOp
+	for _, t := range sc.order {
+		out = append(out, sc.queues[t]...)
+		sc.queues[t] = nil
+	}
+	sc.queued = 0
+	return out
+}
+
+// schedRouter is the per-server scheduler state around schedCore: the
+// op table, the drain machinery, and the metrics plumbing.
+type schedRouter struct {
+	s        *Server
+	dom      clock.Domain
+	core     *schedCore     // master server only; nil elsewhere
+	ops      map[int]*schedOp // admitted (queued or in flight), by seq
+	done     map[int]bool
+	inflight int
+	draining bool
+	fatal    error
+}
+
+// serveSched is the scheduler-mode Serve loop.
+func (s *Server) serveSched(dom clock.Domain) error {
+	r := &schedRouter{
+		s:    s,
+		dom:  dom,
+		ops:  make(map[int]*schedOp),
+		done: make(map[int]bool),
+	}
+	if s.IsMaster() {
+		r.core = newSchedCore(s.cfg.Sched)
+	}
+	s.dsched = newDiskSched(dom, s)
+	defer s.dsched.stop()
+
+	for {
+		if r.fatal != nil && r.inflight == 0 {
+			for _, op := range r.flushQueued() {
+				bufpool.Put(op.raw)
+			}
+			return fmt.Errorf("core: server %d: %w", s.index, r.fatal)
+		}
+		if r.draining && r.inflight == 0 && r.queuedCount() == 0 {
+			return nil
+		}
+		m, err := r.recv()
+		if err != nil {
+			return fmt.Errorf("core: server %d: %w", s.index, err)
+		}
+		r.route(m)
+	}
+}
+
+func (r *schedRouter) queuedCount() int {
+	if r.core == nil {
+		return 0
+	}
+	return r.core.queued
+}
+
+func (r *schedRouter) flushQueued() []*schedOp {
+	if r.core == nil {
+		return nil
+	}
+	return r.core.flush()
+}
+
+// recv is the router's single wait: every wake-up — protocol frames,
+// forwarded requests, executor completions — arrives here. With
+// OpTimeout set the wait is chopped so an idle router can notice the
+// master client's death, exactly like the legacy recvControl.
+func (r *schedRouter) recv() (mpi.Message, error) {
+	s := r.s
+	dc, bounded := s.comm.(mpi.DeadlineComm)
+	if s.cfg.OpTimeout <= 0 || !bounded {
+		return s.comm.Recv(mpi.AnySource, mpi.AnyTag), nil
+	}
+	for {
+		m, err := dc.RecvTimeout(mpi.AnySource, mpi.AnyTag, s.cfg.OpTimeout)
+		if err == nil {
+			return m, nil
+		}
+		if errors.Is(err, mpi.ErrTimeout) {
+			if r.inflight == 0 && r.queuedCount() == 0 {
+				if pc, ok := s.comm.(mpi.PeerChecker); ok && pc.PeerLost(s.cfg.MasterClient()) {
+					return mpi.Message{}, fmt.Errorf("master client gone while idle: %w", ErrPeerLost)
+				}
+			}
+			continue
+		}
+		return mpi.Message{}, mapTransportErr(err)
+	}
+}
+
+// route classifies one frame by tag and delivers it. The router never
+// counts routed frames into Stats — the executor that pops a frame
+// counts it, so the node totals stay exactly the sum of the per-op
+// blocks (plus the router-attributed FramesRejected/SchedBusy).
+func (r *schedRouter) route(m mpi.Message) {
+	switch m.Tag {
+	case tagSchedDone:
+		rb := rbuf{b: m.Data}
+		if rb.u8() == msgSchedDone {
+			if seq, fatal, err := decodeSchedDone(&rb); err == nil {
+				r.retire(int(seq), fatal)
+			}
+		}
+		bufpool.Put(m.Data)
+	case tagControl:
+		if len(m.Data) == 0 {
+			return
+		}
+		switch m.Data[0] {
+		case msgShutdown:
+			r.draining = true
+			bufpool.Put(m.Data)
+		case msgOpRequest:
+			r.handleRequest(m)
+		default:
+			r.reject(m.Data)
+		}
+	default:
+		seq, _, ok := tagOpSeq(m.Tag)
+		if !ok {
+			r.reject(m.Data)
+			return
+		}
+		op, live := r.ops[seq]
+		switch {
+		case live && op.box != nil:
+			op.box.put(m)
+		case live:
+			op.stash = append(op.stash, m) // admitted, not yet dispatched
+		default:
+			// Unknown or finished operation: stale or misdirected
+			// traffic. Dropping here is the isolation guarantee — the
+			// frame can never reach another op's state.
+			r.reject(m.Data)
+		}
+	}
+}
+
+// reject drops a frame that must not reach any operation.
+func (r *schedRouter) reject(frame []byte) {
+	atomic.AddInt64(&r.s.stats.FramesRejected, 1)
+	r.s.met.framesRejected.Add(1)
+	bufpool.Put(frame)
+}
+
+// handleRequest admits one operation. On the master that means the
+// bounded queue and the DRR dispatcher; elsewhere the master's
+// forwarded request dispatches immediately.
+func (r *schedRouter) handleRequest(m mpi.Message) {
+	s := r.s
+	req, derr := decodeOpRequest(m.Data)
+	if derr != nil {
+		r.reject(m.Data)
+		return
+	}
+	seq := int(req.Seq)
+	if r.ops[seq] != nil || r.done[seq] {
+		// Duplicate delivery (whole-op retries are a legacy-path
+		// feature; the scheduler's admission answer is authoritative).
+		r.reject(m.Data)
+		return
+	}
+	op := &schedOp{
+		seq:    seq,
+		raw:    m.Data,
+		req:    req,
+		tenant: req.Tenant,
+		cost:   reqCost(req),
+		keys:   conflictKeys(req),
+	}
+	if r.core == nil {
+		r.ops[seq] = op
+		r.start(op)
+		return
+	}
+	if !r.core.admit(op) {
+		atomic.AddInt64(&s.stats.SchedBusy, 1)
+		s.met.schedBusy.Add(1)
+		s.comm.Send(s.cfg.MasterClient(), tagToClient(seq), encodeStatus(msgComplete, req.Attempt, req.Round, ErrBusy))
+		bufpool.Put(op.raw)
+		return
+	}
+	r.ops[seq] = op
+	s.met.schedQueue.Set(int64(r.core.queued))
+	r.dispatch()
+}
+
+// dispatch fills free executor slots from the DRR dispatcher.
+func (r *schedRouter) dispatch() {
+	if r.core == nil || r.fatal != nil {
+		return
+	}
+	for r.inflight < r.s.cfg.Sched.MaxInflight {
+		op := r.core.next()
+		if op == nil {
+			break
+		}
+		r.start(op)
+	}
+	r.s.met.schedQueue.Set(int64(r.core.queued))
+}
+
+// start spawns the executor for one dispatched operation: a shallow
+// Server copy with a private Stats block, its own clock and trace lane,
+// a rebound disk for metadata, and a routedComm fed by the op mailbox.
+func (r *schedRouter) start(op *schedOp) {
+	s := r.s
+	op.box = newMbox[mpi.Message](s.clk)
+	for _, sm := range op.stash {
+		op.box.put(sm)
+	}
+	op.stash = nil
+	r.inflight++
+	s.met.schedInflight.Set(int64(r.inflight))
+
+	ex := &Server{
+		cfg:         s.cfg,
+		index:       s.index,
+		met:         s.met,
+		stats:       &Stats{},
+		opFramed:    true,
+		tenant:      op.tenant,
+		dsched:      s.dsched,
+		lastSeq:     -1,
+		lastAttempt: -1,
+		lastRound:   -1,
+	}
+	op.ex = ex
+	seq := op.seq
+	r.dom.Go(fmt.Sprintf("server%d-op%d", s.index, seq), func(clk clock.Clock) {
+		under := mpi.RebindComm(s.comm, clk)
+		ex.clk = clk
+		ex.comm = &routedComm{under: under, box: op.box, clk: clk}
+		// Metadata I/O (manifests, decision records, renames) runs on
+		// the executor's own clock; bulk data goes through dsched.
+		ex.disk = storage.RebindClock(s.disk, clk)
+		ex.tr = s.cfg.Trace.Track(fmt.Sprintf("server%d/op%d", s.index, seq))
+		ex.acceptReq(op.req)
+		ferr := ex.handleOp(op.raw, op.req, nil)
+		bufpool.Put(op.raw)
+		// Loopback completion: the router's single wait retires the op.
+		under.Send(s.comm.Rank(), tagSchedDone, encodeSchedDone(uint32(seq), ferr != nil))
+	})
+}
+
+// retire folds a finished executor back into the node: merge its
+// private counters into the totals, release its conflict keys, expose
+// per-tenant accounting, and dispatch the next operation.
+func (r *schedRouter) retire(seq int, fatal bool) {
+	op, ok := r.ops[seq]
+	if !ok {
+		return // duplicate loopback; harmless
+	}
+	delete(r.ops, seq)
+	r.done[seq] = true
+	r.inflight--
+	s := r.s
+	s.met.schedInflight.Set(int64(r.inflight))
+	s.stats.merge(op.ex.stats)
+	if s.cfg.Metrics != nil {
+		label := op.tenant
+		if label == "" {
+			label = "default"
+		}
+		s.cfg.Metrics.Counter("tenant_ops_" + label).Add(1)
+		s.cfg.Metrics.Counter("tenant_bytes_" + label).Add(op.ex.opBytes)
+	}
+	if r.core != nil {
+		r.core.complete(op)
+	}
+	if fatal && r.fatal == nil {
+		r.fatal = fmt.Errorf("fatal failure in operation %d", seq)
+	}
+	r.dispatch()
+}

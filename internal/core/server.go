@@ -29,7 +29,16 @@ type Server struct {
 	nextReqID uint32
 	opSeq     int   // sequence of the operation being handled
 	opBytes   int64 // payload bytes this server moved in the current operation
-	stats     Stats
+	stats     *Stats
+
+	// Scheduler state. On the root server opFramed is false and stats
+	// is the node-global counter block. Executor copies (one per
+	// in-flight op, see sched.go) set opFramed, carry a private stats
+	// block that the router merges into the global at completion, and
+	// route their disk traffic through dsched.
+	opFramed bool
+	tenant   string
+	dsched   *diskSched
 
 	// Dedup watermark: the newest (seq, attempt, round) this server has
 	// started executing. A request is accepted only when lexicographically
@@ -121,6 +130,18 @@ type Stats struct {
 	// server: a hit reuses the chunk assignment and sub-chunk schedule
 	// of an identical earlier operation instead of recomputing them.
 	PlanHits, PlanMisses int64
+	// FramesRejected counts frames refused by op-ID screening under the
+	// scheduler: a frame whose explicit operation ID contradicts the op
+	// its tag routed it to (stale, duplicate, or misdirected traffic)
+	// is dropped rather than absorbed into the wrong op's state.
+	FramesRejected int64
+	// SchedBusy counts operations refused at admission because the
+	// scheduler's bounded queue was full (returned as ErrBusy).
+	SchedBusy int64
+	// DiskMerges counts adjacent disk requests the scheduler's batch
+	// queue coalesced into single larger transfers across (and within)
+	// concurrent operations.
+	DiskMerges int64
 }
 
 // NewServer creates the server for one I/O node. disk is that node's
@@ -135,6 +156,7 @@ func NewServer(cfg Config, comm mpi.Comm, disk storage.Disk, clk clock.Clock) *S
 		index:       idx,
 		tr:          cfg.Trace.Track(fmt.Sprintf("server%d", idx)),
 		met:         newNodeMetrics(cfg.Metrics),
+		stats:       &Stats{},
 		lastSeq:     -1,
 		lastAttempt: -1,
 		lastRound:   -1,
@@ -156,6 +178,11 @@ func (s *Server) IsMaster() bool { return s.comm.Rank() == s.cfg.MasterServer() 
 // reports the master client dead — the deployment cannot receive
 // further work or an orderly shutdown once its coordinator is gone.
 func (s *Server) Serve() error {
+	if s.cfg.Sched.enabled() {
+		if dom, ok := s.clk.(clock.Domain); ok {
+			return s.serveSched(dom)
+		}
+	}
 	for {
 		m, err := s.recvControl()
 		if err != nil {
@@ -322,7 +349,7 @@ func (s *Server) handleOp(raw []byte, req opRequest, decodeErr error) (fatal err
 				s.tr.Span(obs.CatOp, opName(req.Op), s.opSeq, opStart, end, s.opBytes)
 			}
 			if s.cfg.OpLog != nil {
-				s.cfg.OpLog(OpSummary{
+				sum := OpSummary{
 					Server:   s.index,
 					Seq:      s.opSeq,
 					Op:       opName(req.Op),
@@ -331,7 +358,17 @@ func (s *Server) handleOp(raw []byte, req opRequest, decodeErr error) (fatal err
 					Retries:  atomic.LoadInt64(&s.stats.Retries) - retries0,
 					Timeouts: atomic.LoadInt64(&s.stats.Timeouts) - timeouts0,
 					Err:      finalErr,
-				})
+					Tenant:   s.tenant,
+				}
+				if s.opFramed {
+					// Executor mode: stats is this op's private block, so
+					// the snapshot attributes counters exactly even with
+					// other ops in flight (the legacy delta would race).
+					sum.Stats = s.stats.snapshot()
+					sum.Retries = sum.Stats.Retries
+					sum.Timeouts = sum.Stats.Timeouts
+				}
+				s.cfg.OpLog(sum)
 			}
 		}()
 	}
@@ -731,7 +768,7 @@ func (s *Server) pullSubchunks(spec ArraySpec, subs []subchunkJob, deadline time
 			ring[(head+live)%window] = id
 			live++
 			for _, pc := range sj.Pieces {
-				s.send(pc.Client, tagToClient(s.opSeq), encodeSubReq(subReq{ArrayIdx: sj.ArrayIdx, ReqID: id, Region: pc.Region}))
+				s.send(pc.Client, tagToClient(s.opSeq), s.encodeSubReqFrame(subReq{ArrayIdx: sj.ArrayIdx, ReqID: id, Region: pc.Region}))
 			}
 		}
 
@@ -746,7 +783,7 @@ func (s *Server) pullSubchunks(spec ArraySpec, subs []subchunkJob, deadline time
 						if !pend.got[pieceKey(pend.job.ArrayIdx, pc.Region)] {
 							atomic.AddInt64(&s.stats.Retries, 1)
 							s.met.retries.Add(1)
-							s.send(pc.Client, tagToClient(s.opSeq), encodeSubReq(subReq{ArrayIdx: pend.job.ArrayIdx, ReqID: id, Region: pc.Region}))
+							s.send(pc.Client, tagToClient(s.opSeq), s.encodeSubReqFrame(subReq{ArrayIdx: pend.job.ArrayIdx, ReqID: id, Region: pc.Region}))
 						}
 					}
 				}
@@ -783,10 +820,18 @@ func (s *Server) pullSubchunks(spec ArraySpec, subs []subchunkJob, deadline time
 				return &replanError{req: nreq}
 			}
 			continue // stale duplicate of an older round
-		case msgSubData:
-			d, derr := decodeSubData(&r)
+		case msgSubData, msgSubDataOp:
+			d, derr := decodeSubDataAny(t, &r)
 			if derr != nil {
 				return derr
+			}
+			if t == msgSubDataOp && d.OpID != uint32(s.opSeq) {
+				// An op-scoped frame for some other operation: never
+				// deposit it into this op's state.
+				atomic.AddInt64(&s.stats.FramesRejected, 1)
+				s.met.framesRejected.Add(1)
+				bufpool.Put(m.Data)
+				continue
 			}
 			pend, ok := inflight[d.ReqID]
 			if !ok {
@@ -840,6 +885,26 @@ func (s *Server) pullSubchunks(spec ArraySpec, subs []subchunkJob, deadline time
 		}
 	}
 	return nil
+}
+
+// encodeSubReqFrame builds a pull request, op-ID-scoped when this
+// server runs as a scheduler executor.
+func (s *Server) encodeSubReqFrame(q subReq) []byte {
+	if s.opFramed {
+		q.OpID = uint32(s.opSeq)
+		return encodeSubReqOp(q)
+	}
+	return encodeSubReq(q)
+}
+
+// encodeSubDataFrameHeader builds a data frame header, op-ID-scoped
+// when this server runs as a scheduler executor.
+func (s *Server) encodeSubDataFrameHeader(d subData) []byte {
+	if s.opFramed {
+		d.OpID = uint32(s.opSeq)
+		return encodeSubDataOpHeader(d)
+	}
+	return encodeSubDataHeader(d)
 }
 
 // depositPiece places one received piece into the sub-chunk under
@@ -949,7 +1014,7 @@ func (s *Server) scatterSubchunks(spec ArraySpec, subs []subchunkJob, deadline t
 			// Scatter-gather send: the header is built alone and the
 			// payload travels as a borrowed segment — no flattening copy
 			// on transports with a vector path.
-			hdr := encodeSubDataHeader(subData{ArrayIdx: sj.ArrayIdx, Region: pc.Region})
+			hdr := s.encodeSubDataFrameHeader(subData{ArrayIdx: sj.ArrayIdx, Region: pc.Region})
 			s.sendVec(pc.Client, tagToClient(s.opSeq), hdr, payload)
 			if tmp != nil {
 				bufpool.Put(tmp) // sendVec is done with it; recycle the scratch

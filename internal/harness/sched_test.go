@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSchedBenchOverlapBeatsSerial pins the property the CI gate
+// depends on: under virtual time, the mixed workload with an in-flight
+// window finishes faster than the same workload serialized, and the
+// run is deterministic.
+func TestSchedBenchOverlapBeatsSerial(t *testing.T) {
+	r, err := RunSchedBench(4*MB, 2, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", RenderSchedBench(4*MB, 2, r))
+	if r.Speedup <= 1.0 {
+		t.Fatalf("overlapped (inflight=4) not faster than serialized: %.3fx", r.Speedup)
+	}
+	if r.Overlapped.DiskMerges == 0 {
+		t.Fatal("overlapped run produced no cross-op disk merges")
+	}
+	if r.Overlapped.P99 <= 0 || r.Serial.P99 <= 0 {
+		t.Fatalf("latency percentiles missing: overlapped p99=%v serial p99=%v",
+			r.Overlapped.P99, r.Serial.P99)
+	}
+	// Queue wait shows up in the serialized p50: with one op at a time
+	// the median op waits behind others.
+	if r.Serial.P50 <= r.Overlapped.P50 {
+		t.Errorf("serialized p50 %v not above overlapped p50 %v — queue wait unmeasured?",
+			r.Serial.P50, r.Overlapped.P50)
+	}
+
+	again, err := RunSchedMixed(4*MB, 2, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Elapsed != r.Overlapped.Elapsed || again.P99 != r.Overlapped.P99 {
+		t.Fatalf("bench not deterministic: elapsed %v vs %v, p99 %v vs %v",
+			again.Elapsed, r.Overlapped.Elapsed, again.P99, r.Overlapped.P99)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	lats := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(lats, 0.50); got != 5 {
+		t.Errorf("p50 = %v, want 5", got)
+	}
+	if got := percentile(lats, 0.99); got != 10 {
+		t.Errorf("p99 = %v, want 10", got)
+	}
+	if got := percentile(nil, 0.99); got != 0 {
+		t.Errorf("empty p99 = %v, want 0", got)
+	}
+}
