@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet staticcheck check fuzz bench-baseline bench-check bench-sched sched-check bench-pack trace-smoke recovery-smoke ci clean
+.PHONY: all build test race vet staticcheck check fuzz bench-baseline bench-check bench-sched sched-check bench-pack trace-smoke recovery-smoke daemon-smoke ci clean
 
 all: build
 
@@ -93,6 +93,14 @@ recovery-smoke:
 	PANDA_RECOVERY_OUT=$(CURDIR)/recovery-artifacts $(GO) test -count=1 \
 		-run 'TestCrashPointSweep|TestReassignmentCompletesDegraded' ./internal/core
 	@ls recovery-artifacts >/dev/null
+
+# daemon-smoke starts a pandad service daemon over a fresh catalog and
+# drives a write/read/reload/drain cycle from separate client
+# processes, gating on every exit status plus a clean fsck — the CI
+# service-lifecycle gate. The daemon log and catalog directory land in
+# daemon-artifacts/ for inspection.
+daemon-smoke:
+	DAEMON_SMOKE_OUT=$(CURDIR)/daemon-artifacts bash scripts/daemon_smoke.sh
 
 ci: check race
 

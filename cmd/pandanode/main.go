@@ -23,15 +23,18 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"strings"
 	"sync"
+	"time"
 
 	"panda/internal/array"
 	"panda/internal/bufpool"
@@ -86,14 +89,20 @@ func main() {
 			ops.add(line)
 		}
 	}
+	var httpSrv *http.Server
 	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatalf("pandanode: http listener: %v", err)
+		}
+		httpSrv = &http.Server{Handler: obs.Handler(reg, rec, ops.dump)}
 		go func() {
-			h := obs.Handler(reg, rec, ops.dump)
-			if err := http.ListenAndServe(*httpAddr, h); err != nil {
+			if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 				log.Printf("pandanode: http listener: %v", err)
 			}
 		}()
 	}
+	defer stopHTTP(httpSrv)
 	defer writeTrace(rec, *tracePath)
 
 	dial := func(rank int) (mpi.Comm, func(), error) {
@@ -151,6 +160,7 @@ func main() {
 		fmt.Printf("i/o node %d: serving (rank %d)\n", cfg.ServerIndex(*rank), *rank)
 		if err := core.RunServerNode(cfg, comm, disk); err != nil {
 			writeTrace(rec, *tracePath)
+			stopHTTP(httpSrv)
 			log.Fatal(err)
 		}
 		fmt.Printf("i/o node %d: shut down\n", cfg.ServerIndex(*rank))
@@ -163,6 +173,7 @@ func main() {
 		defer closeComm()
 		if err := core.RunClientNode(cfg, comm, demoApp(cfg, *sizeMB)); err != nil {
 			writeTrace(rec, *tracePath)
+			stopHTTP(httpSrv)
 			log.Fatal(err)
 		}
 
@@ -209,6 +220,21 @@ func (r *opLogRing) dump(w io.Writer) {
 		return
 	}
 	fmt.Fprintf(w, "last %d operations:\n%s\n", len(lines), strings.Join(lines, "\n"))
+}
+
+// stopHTTP shuts the -http listener down cleanly: the listener closes
+// (no new scrapes) and in-flight /metrics and /status responses flush
+// before the process exits, instead of the serving goroutine being
+// torn down mid-write. Nil server is a no-op; safe to call twice.
+func stopHTTP(s *http.Server) {
+	if s == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		s.Close() //nolint:errcheck
+	}
 }
 
 // writeTrace exports the recorder as Chrome trace-event JSON; nil

@@ -1,0 +1,456 @@
+package panda
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	"panda/internal/core"
+	"panda/internal/mpi"
+	"panda/internal/obs"
+	"panda/internal/storage"
+)
+
+// The Panda service daemon: a resident deployment serving many client
+// sessions over TCP.
+//
+// A Daemon owns the I/O-node pool, the operation scheduler, and a
+// persistent array catalog. Client processes Dial it at any time, open
+// or create arrays by name, run collective operations as a scheduler
+// tenant, and disconnect — without disturbing other tenants and without
+// restarting anything. The catalog (and the epoch-committed data behind
+// it) survives daemon restarts: a rebooted daemon scrubs its disks,
+// reconciles the catalog against the commit decision records, and
+// serves the same arrays again.
+//
+// cmd/pandad wraps a Daemon in a process with SIGHUP-triggered tuning
+// reload and SIGTERM-triggered graceful drain.
+
+// Tuning is the live-reloadable part of a daemon's configuration: the
+// scheduler and pipeline knobs. A reload applies to operations
+// dispatched after it; in-flight operations keep the values they
+// started with.
+type Tuning struct {
+	// MaxInflight is the number of operations dispatched concurrently
+	// (0 on reload keeps the current bound; 0 at startup means 4).
+	MaxInflight int `json:"max_inflight"`
+	// QueueDepth bounds the admission queue (0 = 16).
+	QueueDepth int `json:"queue_depth"`
+	// Quantum is the DRR byte credit per round (0 = 1 MiB).
+	Quantum int64 `json:"quantum"`
+	// Weights maps tenant name to scheduling weight.
+	Weights map[string]int `json:"weights"`
+	// Pipeline is the write pipeline depth (0 or 1 = blocking).
+	Pipeline int `json:"pipeline"`
+	// ReadAhead is the read prefetch depth (0 = serial).
+	ReadAhead int `json:"read_ahead"`
+}
+
+func (t Tuning) reconfig() core.Reconfig {
+	return core.Reconfig{
+		MaxInflight: t.MaxInflight,
+		QueueDepth:  t.QueueDepth,
+		Quantum:     t.Quantum,
+		Weights:     t.Weights,
+		Pipeline:    t.Pipeline,
+		ReadAhead:   t.ReadAhead,
+	}
+}
+
+// DaemonConfig configures a service daemon.
+type DaemonConfig struct {
+	// Addr is the TCP listen address ("" = "127.0.0.1:0"; use
+	// Daemon.Addr to learn the bound address).
+	Addr string
+	// Dir stores each I/O node's files (and the catalog) under
+	// Dir/ion<i>/; "" keeps everything in memory — gone with the
+	// process, useful only for tests.
+	Dir string
+	// ClientSlots is the number of client ranks available to attached
+	// sessions in aggregate (0 = 8).
+	ClientSlots int
+	// IONodes is the number of I/O nodes (0 = 2).
+	IONodes int
+	// SubchunkBytes bounds the transfer/IO unit (0 = 1 MB).
+	SubchunkBytes int64
+	// OpTimeout bounds every collective operation; 0 disables.
+	OpTimeout time.Duration
+	// PullRetries is the per-sub-chunk re-request budget inside
+	// OpTimeout.
+	PullRetries int
+	// Tuning is the initial scheduler and pipeline tuning.
+	Tuning Tuning
+	// Logf, when non-nil, receives one line per notable daemon event.
+	Logf func(format string, args ...any)
+}
+
+// Daemon is a running Panda service.
+type Daemon struct {
+	ccfg    core.Config
+	svc     *core.Service
+	hub     *mpi.Hub
+	disks   []storage.Disk
+	reg     *obs.Registry
+	logf    func(string, ...any)
+	hubDone chan error
+}
+
+// crashPoint kills the process when the PANDAD_CRASH_POINT environment
+// variable names this point — the recovery tests' deterministic
+// SIGKILL. A library no-op otherwise.
+func crashPoint(name string) {
+	if os.Getenv("PANDAD_CRASH_POINT") == name {
+		os.Exit(3)
+	}
+}
+
+// StartDaemon builds the service — disks, catalog recovery, server
+// pool, TCP hub — and begins accepting sessions. The returned Daemon
+// is serving when StartDaemon returns.
+func StartDaemon(cfg DaemonConfig) (*Daemon, error) {
+	if cfg.ClientSlots == 0 {
+		cfg.ClientSlots = 8
+	}
+	if cfg.IONodes == 0 {
+		cfg.IONodes = 2
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.Tuning.MaxInflight == 0 {
+		cfg.Tuning.MaxInflight = 4
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	reg := obs.NewRegistry()
+	ccfg := core.Config{
+		NumClients:    cfg.ClientSlots,
+		NumServers:    cfg.IONodes,
+		SubchunkBytes: cfg.SubchunkBytes,
+		Pipeline:      cfg.Tuning.Pipeline,
+		ReadAhead:     cfg.Tuning.ReadAhead,
+		OpTimeout:     cfg.OpTimeout,
+		PullRetries:   cfg.PullRetries,
+		Metrics:       reg,
+		Service:       true,
+		Sched: core.SchedConfig{
+			MaxInflight: cfg.Tuning.MaxInflight,
+			QueueDepth:  cfg.Tuning.QueueDepth,
+			Quantum:     cfg.Tuning.Quantum,
+			Weights:     cfg.Tuning.Weights,
+		},
+		OpLog: func(sum core.OpSummary) {
+			if sum.Err == nil {
+				logf("op seq=%d server=%d %s %d bytes tenant=%q in %v",
+					sum.Seq, sum.Server, sum.Op, sum.Bytes, sum.Tenant, sum.Elapsed)
+				if sum.Op == "write" {
+					crashPoint("post-write")
+				}
+			} else {
+				logf("op seq=%d server=%d %s failed: %v", sum.Seq, sum.Server, sum.Op, sum.Err)
+			}
+		},
+	}
+
+	disks := make([]storage.Disk, cfg.IONodes)
+	for i := range disks {
+		if cfg.Dir == "" {
+			disks[i] = storage.NewMemDisk()
+			continue
+		}
+		d, err := storage.NewOSDisk(filepath.Join(cfg.Dir, fmt.Sprintf("ion%d", i)))
+		if err != nil {
+			return nil, err
+		}
+		disks[i] = d
+	}
+	cat, err := storage.LoadCatalog(disks[0])
+	if err != nil {
+		return nil, fmt.Errorf("panda: daemon: %w", err)
+	}
+	svc, err := core.NewService(ccfg, disks, cat)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := svc.Recover()
+	if err != nil {
+		return nil, fmt.Errorf("panda: daemon recovery: %w", err)
+	}
+	logf("recovered: %d arrays catalogued, scrub manifests=%d rolled_forward=%d rolled_back=%d removed=%d issues=%d",
+		cat.Len(), rep.Manifests, rep.RolledForward, rep.RolledBack, rep.Removed, len(rep.Issues))
+
+	hub, err := mpi.ListenHub(cfg.Addr, ccfg.WorldSize())
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{
+		ccfg:    ccfg,
+		svc:     svc,
+		hub:     hub,
+		disks:   disks,
+		reg:     reg,
+		logf:    logf,
+		hubDone: make(chan error, 1),
+	}
+	go func() { d.hubDone <- hub.ServeDynamic(d.handleSession) }()
+
+	// The daemon's own I/O-node goroutines join the mesh through the
+	// hub like any other rank, so remote session members reach them
+	// with no special casing.
+	comms := make([]mpi.Comm, cfg.IONodes)
+	for i := range comms {
+		comms[i], err = mpi.DialComm(hub.Addr(), ccfg.ServerRank(i), ccfg.WorldSize())
+		if err != nil {
+			hub.Close()
+			return nil, err
+		}
+	}
+	// Registration is asynchronous behind the dial; wait until the hub
+	// sees every server rank so injected control frames (drain,
+	// reconfigure) can never race the mesh coming up.
+	for i := 0; i < cfg.IONodes; i++ {
+		rank := ccfg.ServerRank(i)
+		for wait := 0; !hub.Registered(rank); wait++ {
+			if wait > 500 {
+				hub.Close()
+				return nil, fmt.Errorf("panda: daemon: server rank %d never joined the mesh", rank)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if err := svc.Start(comms, func(to, tag int, b []byte) { hub.Inject(to, tag, b) }, nil); err != nil {
+		hub.Close()
+		return nil, err
+	}
+	logf("serving on %s: %d client slots, %d I/O nodes", hub.Addr(), cfg.ClientSlots, cfg.IONodes)
+	return d, nil
+}
+
+// Addr returns the daemon's bound listen address.
+func (d *Daemon) Addr() string { return d.hub.Addr() }
+
+// Service exposes the underlying core service (tests and cmd/pandad).
+func (d *Daemon) Service() *core.Service { return d.svc }
+
+// Reload applies new scheduler and pipeline tuning to the live
+// service with zero interruption: in-flight operations finish under
+// the old tuning, subsequent dispatches use the new one.
+func (d *Daemon) Reload(t Tuning) {
+	d.svc.Reconfigure(t.reconfig())
+	cfg := d.svc.Config()
+	d.logf("reloaded tuning: max_inflight=%d queue_depth=%d quantum=%d weights=%v pipeline=%d read_ahead=%d",
+		cfg.Sched.MaxInflight, cfg.Sched.QueueDepth, cfg.Sched.Quantum, cfg.Sched.Weights, cfg.Pipeline, cfg.ReadAhead)
+}
+
+// Drain shuts the daemon down gracefully: new sessions and operations
+// are refused, in-flight and queued work runs to completion and
+// commits, the I/O nodes flush and exit, and the listener closes. It
+// returns the first server error (nil on a clean drain).
+func (d *Daemon) Drain() error {
+	d.logf("draining")
+	err := d.svc.Drain()
+	for _, disk := range d.disks {
+		disk.FlushCache()
+	}
+	d.hub.Close()
+	<-d.hubDone
+	d.logf("drained: %v", err)
+	return err
+}
+
+// The session control protocol: newline-delimited JSON request/reply
+// pairs on a dedicated connection opened with the session hello. The
+// connection is the session: closing it (or a client crash) detaches
+// the session and frees its client ranks.
+
+type ctlRequest struct {
+	Cmd    string `json:"cmd"`
+	Nodes  int    `json:"nodes,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
+	Name   string `json:"name,omitempty"`
+	Spec   []byte `json:"spec,omitempty"`
+	Create bool   `json:"create,omitempty"`
+}
+
+type ctlReply struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	Code  string `json:"code,omitempty"`
+
+	// attach
+	Session     int   `json:"session,omitempty"`
+	Ranks       []int `json:"ranks,omitempty"`
+	SeqBase     int   `json:"seq_base,omitempty"`
+	Clients     int   `json:"clients,omitempty"`
+	Servers     int   `json:"servers,omitempty"`
+	Subchunk    int64 `json:"subchunk,omitempty"`
+	OpTimeoutNs int64 `json:"op_timeout_ns,omitempty"`
+	PullRetries int   `json:"pull_retries,omitempty"`
+	MaxInflight int   `json:"max_inflight,omitempty"`
+
+	// open
+	Epoch uint64 `json:"epoch,omitempty"`
+	Spec  []byte `json:"spec,omitempty"`
+
+	// info
+	Weights    map[string]int  `json:"weights,omitempty"`
+	QueueDepth int             `json:"queue_depth,omitempty"`
+	Pipeline   int             `json:"pipeline,omitempty"`
+	ReadAhead  int             `json:"read_ahead,omitempty"`
+	Sessions   int             `json:"sessions,omitempty"`
+	Arrays     int             `json:"arrays,omitempty"`
+	Metrics    json.RawMessage `json:"metrics,omitempty"`
+}
+
+// codeFor maps a typed error to its wire code.
+func codeFor(err error) string {
+	switch {
+	case errors.Is(err, core.ErrSchemaMismatch):
+		return "schema_mismatch"
+	case errors.Is(err, core.ErrUnknownArray):
+		return "unknown_array"
+	case errors.Is(err, core.ErrDraining):
+		return "draining"
+	case errors.Is(err, core.ErrBusy):
+		return "busy"
+	default:
+		return ""
+	}
+}
+
+// errFromCode is the client-side inverse of codeFor.
+func errFromCode(code, msg string) error {
+	var sentinel error
+	switch code {
+	case "schema_mismatch":
+		sentinel = core.ErrSchemaMismatch
+	case "unknown_array":
+		sentinel = core.ErrUnknownArray
+	case "draining":
+		sentinel = core.ErrDraining
+	case "busy":
+		sentinel = core.ErrBusy
+	default:
+		return errors.New(msg)
+	}
+	return fmt.Errorf("%s: %w", msg, sentinel)
+}
+
+func fail(err error) ctlReply {
+	return ctlReply{OK: false, Error: err.Error(), Code: codeFor(err)}
+}
+
+// handleSession runs one control connection: requests in, replies out,
+// detach on disconnect. Runs on the hub's per-connection goroutine.
+func (d *Daemon) handleSession(conn net.Conn) {
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+	sid := 0
+	defer func() {
+		if sid != 0 {
+			d.svc.Detach(sid)
+			d.logf("session %d detached", sid)
+		}
+		conn.Close()
+	}()
+	for {
+		var req ctlRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		var rep ctlReply
+		switch req.Cmd {
+		case "attach":
+			if sid != 0 {
+				rep = fail(errors.New("panda: session already attached"))
+				break
+			}
+			info, err := d.svc.Attach(req.Nodes, req.Tenant)
+			if err != nil {
+				rep = fail(err)
+				break
+			}
+			sid = info.ID
+			cfg := d.svc.Config()
+			rep = ctlReply{
+				OK:          true,
+				Session:     info.ID,
+				Ranks:       info.Ranks,
+				SeqBase:     info.SeqBase,
+				Clients:     cfg.NumClients,
+				Servers:     cfg.NumServers,
+				Subchunk:    cfg.SubchunkBytes,
+				OpTimeoutNs: int64(cfg.OpTimeout),
+				PullRetries: cfg.PullRetries,
+				MaxInflight: cfg.Sched.MaxInflight,
+			}
+			d.logf("session %d attached: %d nodes at ranks %v, tenant %q", info.ID, req.Nodes, info.Ranks, req.Tenant)
+			crashPoint("post-attach")
+		case "open":
+			rep = d.handleOpen(req)
+			crashPoint("post-open")
+		case "info":
+			cfg := d.svc.Config()
+			var buf bytes.Buffer
+			_ = d.reg.WriteJSON(&buf)
+			arrays := 0
+			if cat := d.svc.Catalog(); cat != nil {
+				arrays = cat.Len()
+			}
+			rep = ctlReply{
+				OK:          true,
+				MaxInflight: cfg.Sched.MaxInflight,
+				QueueDepth:  cfg.Sched.QueueDepth,
+				Weights:     cfg.Sched.Weights,
+				Pipeline:    cfg.Pipeline,
+				ReadAhead:   cfg.ReadAhead,
+				Sessions:    len(d.svc.Sessions()),
+				Arrays:      arrays,
+				Metrics:     json.RawMessage(buf.Bytes()),
+			}
+		case "detach":
+			if sid != 0 {
+				d.svc.Detach(sid)
+				d.logf("session %d detached", sid)
+				sid = 0
+			}
+			rep = ctlReply{OK: true}
+		default:
+			rep = fail(fmt.Errorf("panda: unknown session command %q", req.Cmd))
+		}
+		if err := enc.Encode(rep); err != nil {
+			return
+		}
+	}
+}
+
+// handleOpen resolves one open/create request against the catalog.
+func (d *Daemon) handleOpen(req ctlRequest) ctlReply {
+	if req.Name == "" && len(req.Spec) == 0 {
+		return fail(errors.New("panda: open without a name"))
+	}
+	if len(req.Spec) == 0 {
+		spec, epoch, err := d.svc.OpenName(req.Name)
+		if err != nil {
+			return fail(err)
+		}
+		return ctlReply{OK: true, Epoch: epoch, Spec: core.EncodeSpec(spec)}
+	}
+	spec, err := core.DecodeSpec(req.Spec)
+	if err != nil {
+		return fail(err)
+	}
+	epoch, err := d.svc.Open(spec, req.Create)
+	if err != nil {
+		return fail(err)
+	}
+	return ctlReply{OK: true, Epoch: epoch, Spec: req.Spec}
+}

@@ -1,0 +1,330 @@
+package panda
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"panda/internal/storage"
+)
+
+// startTestDaemon runs a daemon over real files in a temp dir.
+func startTestDaemon(t *testing.T, dir string, tuning Tuning) *Daemon {
+	t.Helper()
+	d, err := StartDaemon(DaemonConfig{
+		Dir:         dir,
+		ClientSlots: 8,
+		IONodes:     2,
+		OpTimeout:   30 * time.Second,
+		Tuning:      tuning,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("StartDaemon: %v", err)
+	}
+	return d
+}
+
+// sessionArray declares a nodes-chunk array named name.
+func sessionArray(t *testing.T, name string, nodes int) *Array {
+	t.Helper()
+	a, err := NewArray(name, []int{nodes * 16, 8}, 4,
+		NewLayout("mem", []int{nodes}), []Distribution{BLOCK, NONE},
+		NewLayout("disk", []int{2}), []Distribution{BLOCK, NONE})
+	if err != nil {
+		t.Fatalf("NewArray: %v", err)
+	}
+	return a
+}
+
+func fillPattern(buf []byte, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Read(buf)
+}
+
+// TestDaemonCrossSessionReadback is the PR's acceptance scenario:
+// client A creates and writes an array and disconnects; client B
+// connects later, opens it by name alone, and reads it back bit-exact;
+// a drain then exits clean and fsck finds nothing wrong.
+func TestDaemonCrossSessionReadback(t *testing.T) {
+	dir := t.TempDir()
+	d := startTestDaemon(t, dir, Tuning{})
+
+	const nodes = 2
+	want := make(map[int][]byte)
+
+	// Client A: create, write, disconnect.
+	sa, err := Dial(SessionConfig{Addr: d.Addr(), Nodes: nodes, Tenant: "alice"})
+	if err != nil {
+		t.Fatalf("Dial A: %v", err)
+	}
+	ax := sessionArray(t, "X", nodes)
+	if err := sa.Create(ax); err != nil {
+		t.Fatalf("Create X: %v", err)
+	}
+	err = sa.Run(func(n *Node) error {
+		buf := make([]byte, n.ChunkBytes(ax))
+		fillPattern(buf, int64(n.Rank())+100)
+		want[n.Rank()] = append([]byte(nil), buf...)
+		if err := n.Bind(ax, buf); err != nil {
+			return err
+		}
+		return n.WriteArray(ax)
+	})
+	if err != nil {
+		t.Fatalf("session A write: %v", err)
+	}
+	if err := sa.Close(); err != nil {
+		t.Fatalf("close A: %v", err)
+	}
+
+	// Client B: open by name (no schema re-declaration), read, verify.
+	sb, err := Dial(SessionConfig{Addr: d.Addr(), Nodes: nodes, Tenant: "bob"})
+	if err != nil {
+		t.Fatalf("Dial B: %v", err)
+	}
+	bx, err := sb.Open("X")
+	if err != nil {
+		t.Fatalf("Open X: %v", err)
+	}
+	var mu sync.Mutex
+	got := make(map[int][]byte)
+	err = sb.Run(func(n *Node) error {
+		buf := make([]byte, n.ChunkBytes(bx))
+		if err := n.Bind(bx, buf); err != nil {
+			return err
+		}
+		if err := n.ReadArray(bx); err != nil {
+			return err
+		}
+		mu.Lock()
+		got[n.Rank()] = append([]byte(nil), buf...)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("session B read: %v", err)
+	}
+	for r, w := range want {
+		if !bytes.Equal(got[r], w) {
+			t.Fatalf("chunk %d: read differs from written", r)
+		}
+	}
+	if info, err := sb.Info(); err != nil || info.Arrays != 1 {
+		t.Fatalf("info: %+v, %v", info, err)
+	}
+	if err := sb.Close(); err != nil {
+		t.Fatalf("close B: %v", err)
+	}
+
+	if err := d.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// fsck-grade check on the daemon's data directories.
+	disks := make([]storage.Disk, 2)
+	for i := range disks {
+		dsk, err := storage.NewOSDisk(fmt.Sprintf("%s/ion%d", dir, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		disks[i] = dsk
+	}
+	rep, err := storage.Scrub(disks, false)
+	if err != nil {
+		t.Fatalf("scrub: %v", err)
+	}
+	if !rep.OK() {
+		t.Fatalf("post-drain scrub unhealthy: %+v", rep.Issues)
+	}
+}
+
+// TestDaemonSchemaMismatch: re-creating a catalogued array under a
+// different decomposition is refused with the typed sentinel.
+func TestDaemonSchemaMismatch(t *testing.T) {
+	d := startTestDaemon(t, t.TempDir(), Tuning{})
+	defer d.Drain() //nolint:errcheck
+
+	s1, err := Dial(SessionConfig{Addr: d.Addr(), Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1 := sessionArray(t, "Y", 2)
+	if err := s1.Create(a1); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	// Same name and size, different disk decomposition.
+	a2, err := NewArray("Y", []int{32, 8}, 4,
+		NewLayout("mem", []int{2}), []Distribution{BLOCK, NONE},
+		NewLayout("disk", []int{2}), []Distribution{NONE, BLOCK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Create(a2); !errors.Is(err, ErrSchemaMismatch) {
+		t.Fatalf("want ErrSchemaMismatch, got %v", err)
+	}
+	// Idempotent create under the identical schema is fine.
+	if err := s1.Create(a1); err != nil {
+		t.Fatalf("re-create identical: %v", err)
+	}
+	if _, err := s1.Open("Z"); !errors.Is(err, ErrUnknownArray) {
+		t.Fatalf("want ErrUnknownArray, got %v", err)
+	}
+	s1.Close() //nolint:errcheck
+}
+
+// TestDaemonReloadUnderLoad: a live tuning reload (weights, pipeline)
+// lands with zero failed in-flight operations, and the new weights are
+// observable through Info alongside per-tenant metrics.
+func TestDaemonReloadUnderLoad(t *testing.T) {
+	d := startTestDaemon(t, t.TempDir(), Tuning{MaxInflight: 2})
+	defer d.Drain() //nolint:errcheck
+
+	s, err := Dial(SessionConfig{Addr: d.Addr(), Nodes: 1, Tenant: "load"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close() //nolint:errcheck
+	a := sessionArray(t, "W", 1)
+	if err := s.Create(a); err != nil {
+		t.Fatal(err)
+	}
+
+	// Writer loop: timesteps while the tuning changes under it.
+	done := make(chan error, 1)
+	go func() {
+		done <- s.Run(func(n *Node) error {
+			buf := make([]byte, n.ChunkBytes(a))
+			if err := n.Bind(a, buf); err != nil {
+				return err
+			}
+			g := NewGroup("w")
+			g.Include(a)
+			for i := 0; i < 30; i++ {
+				fillPattern(buf, int64(i))
+				if err := n.Timestep(g); err != nil {
+					return fmt.Errorf("timestep %d: %w", i, err)
+				}
+			}
+			return nil
+		})
+	}()
+	time.Sleep(50 * time.Millisecond)
+	d.Reload(Tuning{MaxInflight: 4, Weights: map[string]int{"load": 7}, Pipeline: 2})
+	if err := <-done; err != nil {
+		t.Fatalf("writes failed across reload: %v", err)
+	}
+
+	info, err := s.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Weights["load"] != 7 || info.MaxInflight != 4 || info.Pipeline != 2 {
+		t.Fatalf("reload not observable: %+v", info)
+	}
+	// Per-tenant attribution survived the reload.
+	if info.Metrics["tenant_ops_load"] == nil {
+		t.Fatalf("no tenant_ops_load counter in metrics: %v", info.Metrics)
+	}
+	s.Close() //nolint:errcheck
+}
+
+// TestDaemonChaosAttachDetach: sessions attach, write, and detach
+// concurrently while a long-running tenant's collectives proceed
+// unharmed.
+func TestDaemonChaosAttachDetach(t *testing.T) {
+	d := startTestDaemon(t, t.TempDir(), Tuning{MaxInflight: 3})
+
+	// The resident tenant: writes timesteps throughout.
+	s, err := Dial(SessionConfig{Addr: d.Addr(), Nodes: 2, Tenant: "resident"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close() //nolint:errcheck
+	a := sessionArray(t, "R", 2)
+	if err := s.Create(a); err != nil {
+		t.Fatal(err)
+	}
+	resident := make(chan error, 1)
+	go func() {
+		resident <- s.Run(func(n *Node) error {
+			buf := make([]byte, n.ChunkBytes(a))
+			if err := n.Bind(a, buf); err != nil {
+				return err
+			}
+			g := NewGroup("r")
+			g.Include(a)
+			for i := 0; i < 20; i++ {
+				fillPattern(buf, int64(i))
+				if err := n.Timestep(g); err != nil {
+					return fmt.Errorf("resident timestep %d: %w", i, err)
+				}
+			}
+			return nil
+		})
+	}()
+
+	// The churn: short-lived single-node sessions racing one another.
+	var wg sync.WaitGroup
+	churnErr := make(chan error, 12)
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < 4; k++ {
+				cs, err := Dial(SessionConfig{Addr: d.Addr(), Nodes: 1, Tenant: fmt.Sprintf("churn%d", w)})
+				if err != nil {
+					churnErr <- err
+					return
+				}
+				ca := sessionArray(t, fmt.Sprintf("C%d", w), 1)
+				if err := cs.Create(ca); err != nil {
+					churnErr <- err
+					cs.Close() //nolint:errcheck
+					return
+				}
+				err = cs.Run(func(n *Node) error {
+					buf := make([]byte, n.ChunkBytes(ca))
+					fillPattern(buf, int64(w*100+k))
+					if err := n.Bind(ca, buf); err != nil {
+						return err
+					}
+					return n.WriteArray(ca)
+				})
+				cs.Close() //nolint:errcheck
+				if err != nil {
+					churnErr <- fmt.Errorf("churn %d.%d: %w", w, k, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(churnErr)
+	for err := range churnErr {
+		t.Errorf("churn: %v", err)
+	}
+	if err := <-resident; err != nil {
+		t.Fatalf("resident tenant disturbed: %v", err)
+	}
+	s.Close() //nolint:errcheck
+	if err := d.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestDaemonDrainRefusesAttach: once drained, the daemon is gone — new
+// dials fail and the listener is closed.
+func TestDaemonDrainRefusesAttach(t *testing.T) {
+	d := startTestDaemon(t, t.TempDir(), Tuning{})
+	addr := d.Addr()
+	if err := d.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if _, err := Dial(SessionConfig{Addr: addr, Nodes: 1}); err == nil {
+		t.Fatal("dial succeeded after drain")
+	}
+}

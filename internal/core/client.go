@@ -31,6 +31,20 @@ type Client struct {
 	elapsedNs *int64
 	opSeq     int // collective operations issued so far
 
+	// Session identity. memIndex is the memory-chunk index this client
+	// holds of every array — equal to the communicator rank on fixed-
+	// shape deployments, the position within the session's member list
+	// under a service daemon. ranks, when non-nil, lists the session
+	// members' world ranks in mem-chunk order (ranks[memIndex] is this
+	// client); nil means the legacy identity chunk i == rank i.
+	memIndex int
+	ranks    []int
+	// tenant is the default scheduler tenant for this client's
+	// collectives (sessions attribute their traffic without threading a
+	// tenant through every blocking call). SubmitWrite/SubmitRead's
+	// explicit tenant wins when non-empty.
+	tenant string
+
 	// Scheduler state: opFramed marks a per-op executor copy (see
 	// submit.go), router demultiplexes incoming frames by op when
 	// operations overlap.
@@ -49,15 +63,65 @@ func NewClient(cfg Config, comm mpi.Comm, clk clock.Clock) *Client {
 		met:       newNodeMetrics(cfg.Metrics),
 		stats:     &Stats{},
 		elapsedNs: new(int64),
+		memIndex:  comm.Rank(),
 	}
 }
 
-// Rank returns this client's rank, which is also the memory-chunk
-// index it holds for every array.
-func (c *Client) Rank() int { return c.comm.Rank() }
+// NewSessionClient creates the client endpoint for one member of a
+// dynamic session attached to a resident service: ranks lists every
+// member's world rank in memory-chunk order, memIndex is this member's
+// position in it (member 0 leads the session), and seqBase offsets the
+// operation counter so concurrent sessions' sequence numbers — and
+// with them the per-op message tags — never collide on the shared
+// servers.
+func NewSessionClient(cfg Config, comm mpi.Comm, clk clock.Clock, ranks []int, memIndex, seqBase int) (*Client, error) {
+	if memIndex < 0 || memIndex >= len(ranks) {
+		return nil, fmt.Errorf("core: session member %d of %d", memIndex, len(ranks))
+	}
+	if comm.Rank() != ranks[memIndex] {
+		return nil, fmt.Errorf("core: endpoint rank %d but session assigns rank %d to member %d",
+			comm.Rank(), ranks[memIndex], memIndex)
+	}
+	c := NewClient(cfg, comm, clk)
+	c.memIndex = memIndex
+	c.ranks = append([]int(nil), ranks...)
+	c.opSeq = seqBase
+	return c, nil
+}
 
-// IsMaster reports whether this is the master client.
-func (c *Client) IsMaster() bool { return c.comm.Rank() == c.cfg.MasterClient() }
+// SetTenant sets the default scheduler tenant attributed to this
+// client's collectives.
+func (c *Client) SetTenant(t string) { c.tenant = t }
+
+// Shutdown finishes this client's local machinery — outstanding
+// submissions are awaited and the frame router is joined — without the
+// fixed-shape end-of-application handshake: a session member detaches,
+// the resident service keeps serving everyone else.
+func (c *Client) Shutdown() {
+	c.drainHandles()
+	c.stopRouter()
+}
+
+// Rank returns this client's memory-chunk index: its communicator rank
+// on fixed-shape deployments, its position in the session member list
+// under a service daemon. It is the chunk of every array this client
+// holds.
+func (c *Client) Rank() int { return c.memIndex }
+
+// IsMaster reports whether this client coordinates its group: the
+// master client on fixed deployments, the session leader (member 0)
+// under a service daemon.
+func (c *Client) IsMaster() bool { return c.memIndex == 0 }
+
+// nclients is the size of this client's group: the session member
+// count when attached to a service, the deployment's client count
+// otherwise.
+func (c *Client) nclients() int {
+	if c.ranks != nil {
+		return len(c.ranks)
+	}
+	return c.cfg.NumClients
+}
 
 // Stats returns a race-clean snapshot of the client's traffic
 // counters; safe to call from any goroutine, even mid-operation.
@@ -142,7 +206,7 @@ func (c *Client) collective(op byte, suffix string, specs []ArraySpec, bufs [][]
 // checkCollective validates a collective call's arguments and returns
 // this client's total chunk bytes across the arrays.
 func (c *Client) checkCollective(specs []ArraySpec, bufs [][]byte) (int64, error) {
-	if err := validateSpecs(c.cfg, specs); err != nil {
+	if err := validateSpecsN(c.cfg, c.nclients(), specs); err != nil {
 		return 0, err
 	}
 	if len(bufs) != len(specs) {
@@ -224,7 +288,7 @@ func (c *Client) collectiveSeq(op byte, suffix string, specs []ArraySpec, bufs [
 func (c *Client) runAttempt(op byte, suffix string, specs []ArraySpec, bufs [][]byte, seq int, attempt uint16, seen map[pieceID]bool, gotBytes *int64, chunkBytes int64, tenant string) error {
 	deadline := clientOpDeadline(c.cfg, c.clk)
 	if c.IsMaster() {
-		req := encodeOpRequest(opRequest{Op: op, Seq: uint32(seq), Attempt: attempt, Suffix: suffix, Specs: specs, Tenant: tenant})
+		req := encodeOpRequest(opRequest{Op: op, Seq: uint32(seq), Attempt: attempt, Suffix: suffix, Specs: specs, Tenant: tenant, Ranks: c.ranks})
 		c.tr.Instant(obs.CatCtl, "op request", seq, c.clk.Now(), int64(len(req)))
 		c.send(c.cfg.MasterServer(), tagControl, req)
 	}
@@ -303,12 +367,12 @@ func (c *Client) runAttempt(op byte, suffix string, specs []ArraySpec, bufs [][]
 				return err
 			}
 			if c.IsMaster() {
-				// Relay completion to the other clients — before acting
-				// on the outcome, so a failure reaches every rank.
-				for i := 1; i < c.cfg.NumClients; i++ {
+				// Relay completion to the other group members — before
+				// acting on the outcome, so a failure reaches every rank.
+				for i := 1; i < c.nclients(); i++ {
 					cp := bufpool.GetRaw(len(m.Data))
 					copy(cp, m.Data)
-					c.send(i, tagToClient(seq), cp)
+					c.send(c.peerRank(i), tagToClient(seq), cp)
 				}
 			}
 			bufpool.Put(m.Data) // status decoded and relayed; recycle the frame
@@ -326,6 +390,14 @@ func (c *Client) runAttempt(op byte, suffix string, specs []ArraySpec, bufs [][]
 			return fmt.Errorf("core: client %d: unexpected message type %d", c.Rank(), t)
 		}
 	}
+}
+
+// peerRank maps a group member index to its world rank.
+func (c *Client) peerRank(i int) int {
+	if c.ranks != nil {
+		return c.ranks[i]
+	}
+	return i
 }
 
 // pieceID identifies one piece of one array for duplicate detection. A

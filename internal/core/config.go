@@ -158,6 +158,15 @@ type Config struct {
 	// running. Test-only: unexported.
 	crashHookOp func(server, seq int, point string) error
 
+	// Service marks a resident deployment (a pandad daemon): servers
+	// stay up with no fixed client group, sessions attach and detach at
+	// will, and rank 0 is just the first assignable client slot rather
+	// than a master whose death ends the deployment. Servers therefore
+	// never exit on "master client gone while idle", and shutdown comes
+	// from the service's drain (an injected Shutdown frame) instead of
+	// the master client's handshake.
+	Service bool
+
 	// Sched configures the concurrent operation scheduler. The zero
 	// value (MaxInflight == 0) keeps the legacy one-op-at-a-time path.
 	Sched SchedConfig

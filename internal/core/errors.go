@@ -30,6 +30,23 @@ var ErrCorrupt = errors.New("core: committed data fails verification")
 // caller may retry after draining some of its in-flight operations.
 var ErrBusy = errors.New("core: scheduler admission queue full")
 
+// ErrSchemaMismatch is the typed failure a session gets when it opens
+// a cataloged array under a schema whose fingerprint (element size plus
+// disk and memory decompositions, the same CRC32C the plan cache keys
+// on) disagrees with the schema the catalog recorded at creation.
+// Mismatched shapes would silently scatter bytes into the wrong
+// regions; the catalog refuses instead.
+var ErrSchemaMismatch = errors.New("core: array schema does not match catalog")
+
+// ErrUnknownArray is the typed failure a session gets when it opens an
+// array the catalog has never heard of (and did not ask to create).
+var ErrUnknownArray = errors.New("core: array not in catalog")
+
+// ErrDraining is the typed failure a service returns for work arriving
+// after a graceful drain began: no new sessions or operations are
+// admitted while in-flight work runs to completion.
+var ErrDraining = errors.New("core: service is draining")
+
 // Status codes carried by Done and Complete messages so typed errors
 // survive the wire: a client that receives a Complete with
 // statusTimeout returns an error wrapping ErrTimeout, exactly as if it
@@ -42,6 +59,8 @@ const (
 	statusNoEpoch
 	statusCorrupt
 	statusBusy
+	statusSchemaMismatch
+	statusDraining
 )
 
 // statusCode classifies err for the wire.
@@ -57,6 +76,10 @@ func statusCode(err error) byte {
 		return statusNoEpoch
 	case errors.Is(err, ErrCorrupt):
 		return statusCorrupt
+	case errors.Is(err, ErrSchemaMismatch):
+		return statusSchemaMismatch
+	case errors.Is(err, ErrDraining):
+		return statusDraining
 	case errors.Is(err, ErrBusy):
 		return statusBusy
 	default:
@@ -96,6 +119,16 @@ func statusError(code byte, msg string) error {
 			return ErrBusy
 		}
 		return wrapped{msg: msg, sentinel: ErrBusy}
+	case statusSchemaMismatch:
+		if msg == "" {
+			return ErrSchemaMismatch
+		}
+		return wrapped{msg: msg, sentinel: ErrSchemaMismatch}
+	case statusDraining:
+		if msg == "" {
+			return ErrDraining
+		}
+		return wrapped{msg: msg, sentinel: ErrDraining}
 	default:
 		if msg == "" {
 			msg = "core: collective operation failed"

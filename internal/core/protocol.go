@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"panda/internal/array"
 	"panda/internal/bufpool"
@@ -106,6 +107,12 @@ const (
 	// byte-identical for single-op deployments.
 	msgSubReqOp
 	msgSubDataOp
+	// msgReconfig carries a live reconfiguration of the scheduler and
+	// pipeline knobs to a resident server (service deployments): the
+	// router adopts the new values for subsequently dispatched
+	// operations while in-flight executors keep the snapshot they
+	// started with.
+	msgReconfig
 )
 
 // Operation kinds.
@@ -290,6 +297,12 @@ type opRequest struct {
 	// an optional tail so frames without a tenant stay byte-identical
 	// to the pre-scheduler wire format.
 	Tenant string
+	// Ranks lists the world ranks of the submitting session's members
+	// in memory-chunk order: Ranks[i] holds mem chunk i, Ranks[0] is the
+	// session leader the Complete goes to. Empty for fixed-shape
+	// deployments, where chunk index == client rank. Encoded as a second
+	// optional tail (after Tenant) so legacy frames are unchanged.
+	Ranks []int
 }
 
 func encodeOpRequest(req opRequest) []byte {
@@ -317,8 +330,14 @@ func encodeOpRequest(req opRequest) []byte {
 		}
 		w.u64(epoch)
 	}
-	if req.Tenant != "" {
+	if req.Tenant != "" || len(req.Ranks) > 0 {
 		w.str(req.Tenant)
+	}
+	if len(req.Ranks) > 0 {
+		w.u16(uint16(len(req.Ranks)))
+		for _, rk := range req.Ranks {
+			w.u32(uint32(rk))
+		}
 	}
 	return w.b
 }
@@ -354,10 +373,28 @@ func decodeOpRequest(b []byte) (opRequest, error) {
 	if r.err == nil && r.off < len(r.b) {
 		req.Tenant = r.str()
 	}
+	if r.err == nil && r.off < len(r.b) {
+		if nr := int(r.u16()); nr > 0 {
+			req.Ranks = make([]int, nr)
+			for i := range req.Ranks {
+				req.Ranks[i] = int(r.u32())
+			}
+		}
+	}
 	if r.err != nil {
 		return opRequest{}, r.err
 	}
 	return req, nil
+}
+
+// leader returns the rank the operation's Complete must go to: the
+// session leader when the request names its membership, the fixed
+// master client otherwise.
+func (req opRequest) leader(cfg Config) int {
+	if len(req.Ranks) > 0 {
+		return req.Ranks[0]
+	}
+	return cfg.MasterClient()
 }
 
 // subReq asks one client for the piece of a sub-chunk it holds.
@@ -563,6 +600,100 @@ func decodeStatus(r *rbuf) (statusFrame, error) {
 }
 
 func encodeShutdown() []byte { return []byte{msgShutdown} }
+
+// Reconfig is a live update of the knobs a resident server may change
+// without restarting: the scheduler's shape and the pipeline depths.
+// Values follow SchedConfig/Config zero-value conventions (0 Quantum =
+// 1 MiB, 0 QueueDepth = 16, ...), except MaxInflight, where 0 means
+// "keep the current value" — a reconfig must never silently turn the
+// scheduler off under a running service.
+type Reconfig struct {
+	MaxInflight int
+	QueueDepth  int
+	Quantum     int64
+	Pipeline    int
+	ReadAhead   int
+	Weights     map[string]int
+}
+
+func encodeReconfig(rc Reconfig) []byte {
+	var w wbuf
+	w.u8(msgReconfig)
+	w.u32(uint32(rc.MaxInflight))
+	w.u32(uint32(rc.QueueDepth))
+	w.u64(uint64(rc.Quantum))
+	w.u32(uint32(rc.Pipeline))
+	w.u32(uint32(rc.ReadAhead))
+	names := make([]string, 0, len(rc.Weights))
+	for t := range rc.Weights {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	w.u16(uint16(len(names)))
+	for _, t := range names {
+		w.str(t)
+		w.u32(uint32(rc.Weights[t]))
+	}
+	return w.b
+}
+
+func decodeReconfig(b []byte) (Reconfig, error) {
+	r := rbuf{b: b}
+	if t := r.u8(); t != msgReconfig {
+		return Reconfig{}, fmt.Errorf("core: expected Reconfig, got message type %d", t)
+	}
+	var rc Reconfig
+	rc.MaxInflight = int(r.u32())
+	rc.QueueDepth = int(r.u32())
+	rc.Quantum = int64(r.u64())
+	rc.Pipeline = int(r.u32())
+	rc.ReadAhead = int(r.u32())
+	if n := int(r.u16()); n > 0 {
+		rc.Weights = make(map[string]int, n)
+		for i := 0; i < n; i++ {
+			t := r.str()
+			rc.Weights[t] = int(r.u32())
+		}
+	}
+	if r.err != nil {
+		return Reconfig{}, r.err
+	}
+	return rc, nil
+}
+
+// EncodeSpec serializes an ArraySpec in the wire schema format — the
+// opaque byte form the storage catalog records, so a restarted daemon
+// (or a remote session) reconstructs the exact schema the array was
+// created under.
+func EncodeSpec(s ArraySpec) []byte {
+	var w wbuf
+	w.str(s.Name)
+	w.u32(uint32(s.ElemSize))
+	w.u64(uint64(s.SubchunkBytes))
+	w.schema(s.Mem)
+	w.schema(s.Disk)
+	return w.b
+}
+
+// DecodeSpec is the inverse of EncodeSpec.
+func DecodeSpec(b []byte) (ArraySpec, error) {
+	r := rbuf{b: b}
+	var s ArraySpec
+	s.Name = r.str()
+	s.ElemSize = int(r.u32())
+	s.SubchunkBytes = int64(r.u64())
+	s.Mem = r.schema()
+	s.Disk = r.schema()
+	if r.err != nil {
+		return ArraySpec{}, r.err
+	}
+	return s, nil
+}
+
+// SpecFingerprint is the schema fingerprint sessions are checked
+// against: element size plus both decompositions, the same CRC32C the
+// plan cache keys on.
+func SpecFingerprint(s ArraySpec) uint32 { return planFingerprint(s) }
 
 // encodeAbort builds the master server's abort broadcast: the typed
 // status tells a stuck server why the operation is being abandoned.

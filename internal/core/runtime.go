@@ -102,10 +102,19 @@ func RunWith(cfg Config, comms []mpi.Comm, disks []storage.Disk, app App) ([]err
 	if len(comms) != cfg.WorldSize() {
 		return nil, fmt.Errorf("core: %d endpoints for a world of %d", len(comms), cfg.WorldSize())
 	}
-	if len(disks) != cfg.NumServers {
-		return nil, fmt.Errorf("core: %d disks for %d servers", len(disks), cfg.NumServers)
+	// The fixed-shape runtime is a private resident service living for
+	// exactly one application: the server pool runs under a Service, the
+	// full client group is its only "session", and the legacy shutdown
+	// handshake (master client broadcasting after the app returns) is
+	// the drain.
+	svc, err := NewService(cfg, disks, nil)
+	if err != nil {
+		return nil, err
 	}
 	applyPackWorkers(cfg)
+	// One clock for the whole deployment: clients and servers compute
+	// OpTimeout deadlines relative to this clock's origin, so they must
+	// share it.
 	clk := clock.NewReal()
 
 	errs := make([]error, cfg.WorldSize())
@@ -117,16 +126,12 @@ func RunWith(cfg Config, comms []mpi.Comm, disks []storage.Disk, app App) ([]err
 			errs[r] = clientMain(cfg, comms[r], clk, app)
 		}(r)
 	}
-	for i := 0; i < cfg.NumServers; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			rank := cfg.ServerRank(i)
-			srv := NewServer(cfg, comms[rank], disks[i], clk)
-			errs[rank] = srv.Serve()
-		}(i)
+	if err := svc.Start(comms[cfg.NumClients:], nil, clk); err != nil {
+		return nil, err
 	}
 	wg.Wait()
+	svc.Wait()
+	copy(errs[cfg.NumClients:], svc.ServerErrors())
 	for _, err := range errs {
 		if err != nil {
 			return errs, err

@@ -272,6 +272,15 @@ func (s *Server) serveSched(dom clock.Domain) error {
 			return fmt.Errorf("core: server %d: %w", s.index, r.fatal)
 		}
 		if r.draining && r.inflight == 0 && r.queuedCount() == 0 {
+			if s.cfg.Service && r.core != nil {
+				// Service drain cascade: the shutdown frame reaches only
+				// the master, which forwards it once every distributed
+				// operation has fully retired — a non-master can never be
+				// told to exit while an op it must serve is still coming.
+				for i := 1; i < s.cfg.NumServers; i++ {
+					s.comm.Send(s.cfg.ServerRank(i), tagControl, encodeShutdown())
+				}
+			}
 			return nil
 		}
 		m, err := r.recv()
@@ -312,7 +321,10 @@ func (r *schedRouter) recv() (mpi.Message, error) {
 			return m, nil
 		}
 		if errors.Is(err, mpi.ErrTimeout) {
-			if r.inflight == 0 && r.queuedCount() == 0 {
+			// A resident service idles between sessions by design; only
+			// fixed-shape deployments treat a vanished master client as
+			// the end of the world.
+			if !s.cfg.Service && r.inflight == 0 && r.queuedCount() == 0 {
 				if pc, ok := s.comm.(mpi.PeerChecker); ok && pc.PeerLost(s.cfg.MasterClient()) {
 					return mpi.Message{}, fmt.Errorf("master client gone while idle: %w", ErrPeerLost)
 				}
@@ -347,6 +359,8 @@ func (r *schedRouter) route(m mpi.Message) {
 			bufpool.Put(m.Data)
 		case msgOpRequest:
 			r.handleRequest(m)
+		case msgReconfig:
+			r.applyReconfig(m.Data)
 		default:
 			r.reject(m.Data)
 		}
@@ -395,6 +409,13 @@ func (r *schedRouter) handleRequest(m mpi.Message) {
 		r.reject(m.Data)
 		return
 	}
+	if r.draining && r.core != nil {
+		// A draining service finishes what it admitted and refuses the
+		// rest, so the client gets a typed answer instead of a hang.
+		s.comm.Send(req.leader(s.cfg), tagToClient(seq), encodeStatus(msgComplete, req.Attempt, req.Round, ErrDraining))
+		bufpool.Put(m.Data)
+		return
+	}
 	op := &schedOp{
 		seq:    seq,
 		raw:    m.Data,
@@ -411,12 +432,50 @@ func (r *schedRouter) handleRequest(m mpi.Message) {
 	if !r.core.admit(op) {
 		atomic.AddInt64(&s.stats.SchedBusy, 1)
 		s.met.schedBusy.Add(1)
-		s.comm.Send(s.cfg.MasterClient(), tagToClient(seq), encodeStatus(msgComplete, req.Attempt, req.Round, ErrBusy))
+		s.comm.Send(req.leader(s.cfg), tagToClient(seq), encodeStatus(msgComplete, req.Attempt, req.Round, ErrBusy))
 		bufpool.Put(op.raw)
 		return
 	}
 	r.ops[seq] = op
 	s.met.schedQueue.Set(int64(r.core.queued))
+	r.dispatch()
+}
+
+// applyReconfig installs new scheduler and pipeline tuning broadcast by
+// a service reload. The mutation is race-free by construction: it runs
+// on the router goroutine, and executors snapshot the configuration
+// when they start — in-flight operations keep the knobs they began
+// with, only subsequently dispatched ones see the new ones.
+// MaxInflight == 0 means "keep the current bound" (zero would disable
+// the scheduler mid-run); every other field is installed verbatim, with
+// zero values meaning the deployment defaults as usual.
+func (r *schedRouter) applyReconfig(b []byte) {
+	rc, err := decodeReconfig(b)
+	if err != nil {
+		r.reject(b)
+		return
+	}
+	s := r.s
+	if rc.MaxInflight > 0 {
+		s.cfg.Sched.MaxInflight = rc.MaxInflight
+	}
+	s.cfg.Sched.QueueDepth = rc.QueueDepth
+	s.cfg.Sched.Quantum = rc.Quantum
+	s.cfg.Sched.Weights = rc.Weights
+	s.cfg.Pipeline = rc.Pipeline
+	s.cfg.ReadAhead = rc.ReadAhead
+	if r.core != nil {
+		// The admission core keeps its own SchedConfig copy; re-tune it
+		// in place (the rng and queue state survive the reload).
+		r.core.cfg.QueueDepth = rc.QueueDepth
+		r.core.cfg.Quantum = rc.Quantum
+		r.core.cfg.Weights = rc.Weights
+		if rc.MaxInflight > 0 {
+			r.core.cfg.MaxInflight = rc.MaxInflight
+		}
+	}
+	bufpool.Put(b)
+	// A widened MaxInflight frees executor slots immediately.
 	r.dispatch()
 }
 
@@ -487,6 +546,13 @@ func (r *schedRouter) retire(seq int, fatal bool) {
 		return // duplicate loopback; harmless
 	}
 	delete(r.ops, seq)
+	if len(r.done) >= 1<<17 {
+		// Bound the duplicate-detection window: a resident service
+		// retires ops forever, and session sequence bases are monotonic
+		// (never reused), so forgetting ancient seqs cannot admit a
+		// replay of a live one.
+		r.done = make(map[int]bool)
+	}
 	r.done[seq] = true
 	r.inflight--
 	s := r.s

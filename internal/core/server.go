@@ -40,6 +40,11 @@ type Server struct {
 	tenant   string
 	dsched   *diskSched
 
+	// ranks is the submitting session's membership (world rank per mem
+	// chunk), adopted from the request; nil for fixed-shape deployments
+	// where chunk index == client rank.
+	ranks []int
+
 	// Dedup watermark: the newest (seq, attempt, round) this server has
 	// started executing. A request is accepted only when lexicographically
 	// newer, so duplicate deliveries and rebroadcast copies of replanning
@@ -231,7 +236,33 @@ func (s *Server) acceptReq(req opRequest) bool {
 	s.lastSeq, s.lastAttempt, s.lastRound = seq, att, rnd
 	s.opSeq = seq
 	s.curAttempt, s.curRound = req.Attempt, req.Round
+	s.ranks = req.Ranks
 	return true
+}
+
+// clientRank maps a memory-chunk index (the Client field of planned
+// pieces) to the world rank holding it.
+func (s *Server) clientRank(chunk int) int {
+	if s.ranks != nil {
+		return s.ranks[chunk]
+	}
+	return chunk
+}
+
+// leaderRank is the rank the current operation's Complete goes to.
+func (s *Server) leaderRank() int {
+	if len(s.ranks) > 0 {
+		return s.ranks[0]
+	}
+	return s.cfg.MasterClient()
+}
+
+// nclients is the current operation's client-group size.
+func (s *Server) nclients() int {
+	if s.ranks != nil {
+		return len(s.ranks)
+	}
+	return s.cfg.NumClients
 }
 
 func (s *Server) countRecv(n int) {
@@ -259,8 +290,12 @@ func (s *Server) recvControl() (mpi.Message, error) {
 			return m, nil
 		}
 		if errors.Is(err, mpi.ErrTimeout) {
-			if pc, ok := s.comm.(mpi.PeerChecker); ok && pc.PeerLost(s.cfg.MasterClient()) {
-				return mpi.Message{}, fmt.Errorf("master client gone while idle: %w", ErrPeerLost)
+			// A resident service has no master client whose death could
+			// orphan it; sessions come and go by design.
+			if !s.cfg.Service {
+				if pc, ok := s.comm.(mpi.PeerChecker); ok && pc.PeerLost(s.cfg.MasterClient()) {
+					return mpi.Message{}, fmt.Errorf("master client gone while idle: %w", ErrPeerLost)
+				}
 			}
 			continue // idle waits are unbounded; only failures end them
 		}
@@ -398,7 +433,7 @@ func (s *Server) handleOp(raw []byte, req opRequest, decodeErr error) (fatal err
 	}
 
 	if err == nil {
-		err = validateSpecs(s.cfg, req.Specs)
+		err = validateSpecsN(s.cfg, s.nclients(), req.Specs)
 	}
 
 	// Crash-consistent writes take the two-phase-commit path, which owns
@@ -412,7 +447,7 @@ func (s *Server) handleOp(raw []byte, req opRequest, decodeErr error) (fatal err
 			return fatal
 		}
 		if s.IsMaster() {
-			s.send(s.cfg.MasterClient(), tagToClient(s.opSeq), encodeStatus(msgComplete, s.curAttempt, s.curRound, opErr))
+			s.send(s.leaderRank(), tagToClient(s.opSeq), encodeStatus(msgComplete, s.curAttempt, s.curRound, opErr))
 		}
 		return nil
 	}
@@ -500,7 +535,7 @@ func (s *Server) handleOp(raw []byte, req opRequest, decodeErr error) (fatal err
 		}
 	}
 	finalErr = status
-	s.send(s.cfg.MasterClient(), tagToClient(s.opSeq), encodeStatus(msgComplete, req.Attempt, req.Round, status))
+	s.send(s.leaderRank(), tagToClient(s.opSeq), encodeStatus(msgComplete, req.Attempt, req.Round, status))
 	return nil
 }
 
@@ -768,7 +803,7 @@ func (s *Server) pullSubchunks(spec ArraySpec, subs []subchunkJob, deadline time
 			ring[(head+live)%window] = id
 			live++
 			for _, pc := range sj.Pieces {
-				s.send(pc.Client, tagToClient(s.opSeq), s.encodeSubReqFrame(subReq{ArrayIdx: sj.ArrayIdx, ReqID: id, Region: pc.Region}))
+				s.send(s.clientRank(pc.Client), tagToClient(s.opSeq), s.encodeSubReqFrame(subReq{ArrayIdx: sj.ArrayIdx, ReqID: id, Region: pc.Region}))
 			}
 		}
 
@@ -783,7 +818,7 @@ func (s *Server) pullSubchunks(spec ArraySpec, subs []subchunkJob, deadline time
 						if !pend.got[pieceKey(pend.job.ArrayIdx, pc.Region)] {
 							atomic.AddInt64(&s.stats.Retries, 1)
 							s.met.retries.Add(1)
-							s.send(pc.Client, tagToClient(s.opSeq), s.encodeSubReqFrame(subReq{ArrayIdx: pend.job.ArrayIdx, ReqID: id, Region: pc.Region}))
+							s.send(s.clientRank(pc.Client), tagToClient(s.opSeq), s.encodeSubReqFrame(subReq{ArrayIdx: pend.job.ArrayIdx, ReqID: id, Region: pc.Region}))
 						}
 					}
 				}
@@ -1015,7 +1050,7 @@ func (s *Server) scatterSubchunks(spec ArraySpec, subs []subchunkJob, deadline t
 			// payload travels as a borrowed segment — no flattening copy
 			// on transports with a vector path.
 			hdr := s.encodeSubDataFrameHeader(subData{ArrayIdx: sj.ArrayIdx, Region: pc.Region})
-			s.sendVec(pc.Client, tagToClient(s.opSeq), hdr, payload)
+			s.sendVec(s.clientRank(pc.Client), tagToClient(s.opSeq), hdr, payload)
 			if tmp != nil {
 				bufpool.Put(tmp) // sendVec is done with it; recycle the scratch
 			}

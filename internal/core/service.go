@@ -1,0 +1,363 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"panda/internal/clock"
+	"panda/internal/mpi"
+	"panda/internal/storage"
+)
+
+// The resident half of a Panda deployment.
+//
+// Historically a deployment's lifecycle was monolithic: a fixed client
+// group and the server pool started together, ran one application, and
+// the master client's shutdown handshake tore everything down. Service
+// splits that into a resident service — the I/O servers, the operation
+// scheduler, and the array catalog, living as long as the daemon — and
+// ephemeral sessions: client groups that attach, run collectives as a
+// scheduler tenant, and detach without disturbing anyone else.
+//
+// The fixed-shape API still exists unchanged (RunWith now builds a
+// private in-process Service for the duration of the call), and a
+// pandad daemon builds a Service over a dynamic TCP hub.
+
+// sessionSeqBits sizes each session's operation-sequence window: a
+// session may run up to 1<<sessionSeqBits collectives. Sequence bases
+// are monotonic and never reused, so a retired session's late frames
+// can never alias a live operation.
+const sessionSeqBits = 13
+
+// maxSessionID bounds session IDs so the largest possible sequence
+// number still fits the wire tag encoding (tag = 11+16*seq as u32).
+const maxSessionID = 1<<15 - 1
+
+// SessionInfo describes one attached client session.
+type SessionInfo struct {
+	// ID is the session's identifier, monotonic per service, never
+	// reused.
+	ID int
+	// Ranks are the world ranks assigned to the session's members, in
+	// memory-chunk order: member i holds memory chunk i of every array
+	// the session operates on.
+	Ranks []int
+	// SeqBase is the first operation sequence number the session's
+	// clients use (ID << sessionSeqBits).
+	SeqBase int
+	// Tenant is the scheduler tenant the session's operations are
+	// attributed to.
+	Tenant string
+}
+
+// Leader is the world rank of the session's coordinating member.
+func (si SessionInfo) Leader() int { return si.Ranks[0] }
+
+// Service is a resident Panda deployment: the server pool plus the
+// array catalog, accepting client sessions until drained.
+type Service struct {
+	cfg   Config
+	disks []storage.Disk
+	cat   *storage.Catalog
+	send  func(to, tag int, data []byte)
+
+	mu       sync.Mutex
+	draining bool
+	nextSID  int
+	slots    []int // client rank -> owning session ID, 0 = free
+	sessions map[int]SessionInfo
+
+	wg   sync.WaitGroup
+	errs []error
+}
+
+// NewService validates cfg and builds a service over the given server
+// disks. cat may be nil for catalog-less deployments (the fixed-shape
+// wrapper); with a catalog, Open gates sessions' schemas against it.
+func NewService(cfg Config, disks []storage.Disk, cat *storage.Catalog) (*Service, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(disks) != cfg.NumServers {
+		return nil, fmt.Errorf("core: %d disks for %d servers", len(disks), cfg.NumServers)
+	}
+	return &Service{
+		cfg:      cfg,
+		disks:    disks,
+		cat:      cat,
+		nextSID:  1, // 0 marks a free slot, and seq base 0 belongs to the fixed-shape path
+		slots:    make([]int, cfg.NumClients),
+		sessions: make(map[int]SessionInfo),
+	}, nil
+}
+
+// Config returns the service's current deployment configuration
+// (reloads mutate the scheduler and pipeline fields).
+func (s *Service) Config() Config {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg
+}
+
+// Catalog returns the service's catalog (nil when catalog-less).
+func (s *Service) Catalog() *storage.Catalog { return s.cat }
+
+// Recover brings the on-disk state to a serving baseline after a
+// restart: scrub every disk with repair (roll prepared-but-undecided
+// epochs back, committed ones forward, exactly as pandafsck would),
+// then refresh each catalog entry's committed epoch from the commit
+// decision records.
+func (s *Service) Recover() (*storage.ScrubReport, error) {
+	rep, err := storage.Scrub(s.disks, true)
+	if err != nil {
+		return rep, err
+	}
+	if s.cat != nil {
+		for _, e := range s.cat.Entries() {
+			if _, err := s.refreshEpoch(e); err != nil {
+				return rep, err
+			}
+		}
+	}
+	return rep, nil
+}
+
+// Start spawns the server pool: comms[i] is server i's endpoint (world
+// rank cfg.ServerRank(i)). send, when non-nil, is how the service
+// injects control frames at server ranks from outside the rank mesh —
+// a hub's Inject for TCP deployments, a spare bound endpoint for
+// in-process ones. Reconfigure and Drain require it. clk is the
+// servers' clock; pass the deployment's shared clock when clients run
+// in the same process — OpTimeout deadlines are relative to a clock's
+// origin, so every rank of one deployment must measure against the
+// same one. nil means a fresh real-time clock (fine for a daemon,
+// whose clients live in other processes and carry their own clocks).
+func (s *Service) Start(comms []mpi.Comm, send func(to, tag int, data []byte), clk clock.Clock) error {
+	if len(comms) != s.cfg.NumServers {
+		return fmt.Errorf("core: %d endpoints for %d servers", len(comms), s.cfg.NumServers)
+	}
+	applyPackWorkers(s.cfg)
+	s.send = send
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	s.errs = make([]error, s.cfg.NumServers)
+	for i := range comms {
+		s.wg.Add(1)
+		go func(i int) {
+			defer s.wg.Done()
+			s.errs[i] = NewServer(s.cfg, comms[i], s.disks[i], clk).Serve()
+		}(i)
+	}
+	return nil
+}
+
+// Attach admits a client session of the given member count, assigning
+// it world ranks, a sequence-number window, and a scheduler tenant. It
+// fails with ErrDraining once a drain began and ErrBusy when too few
+// client slots are free.
+func (s *Service) Attach(nodes int, tenant string) (SessionInfo, error) {
+	if nodes <= 0 {
+		return SessionInfo{}, fmt.Errorf("core: session with %d nodes", nodes)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return SessionInfo{}, fmt.Errorf("core: attach refused: %w", ErrDraining)
+	}
+	if s.nextSID > maxSessionID {
+		return SessionInfo{}, fmt.Errorf("core: session ID space exhausted (%d sessions served)", maxSessionID)
+	}
+	var ranks []int
+	for r := 0; r < s.cfg.NumClients && len(ranks) < nodes; r++ {
+		if s.slots[r] == 0 {
+			ranks = append(ranks, r)
+		}
+	}
+	if len(ranks) < nodes {
+		return SessionInfo{}, fmt.Errorf("core: %d of %d client slots free, session needs %d: %w",
+			len(ranks), s.cfg.NumClients, nodes, ErrBusy)
+	}
+	sid := s.nextSID
+	s.nextSID++
+	for _, r := range ranks {
+		s.slots[r] = sid
+	}
+	info := SessionInfo{ID: sid, Ranks: ranks, SeqBase: sid << sessionSeqBits, Tenant: tenant}
+	s.sessions[sid] = info
+	return info, nil
+}
+
+// Detach releases a session's client slots. Idempotent.
+func (s *Service) Detach(id int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, ok := s.sessions[id]
+	if !ok {
+		return
+	}
+	delete(s.sessions, id)
+	for _, r := range info.Ranks {
+		if s.slots[r] == id {
+			s.slots[r] = 0
+		}
+	}
+}
+
+// Sessions lists the currently attached sessions.
+func (s *Service) Sessions() []SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SessionInfo, 0, len(s.sessions))
+	for _, info := range s.sessions {
+		out = append(out, info)
+	}
+	return out
+}
+
+// Open resolves a session's array declaration against the catalog. A
+// new name with create set is catalogued; an existing name must match
+// the stored schema fingerprint exactly or the open fails with
+// ErrSchemaMismatch — mismatched decompositions would silently scatter
+// bytes into the wrong regions. It returns the last committed epoch.
+// Catalog-less services accept everything (legacy semantics).
+func (s *Service) Open(spec ArraySpec, create bool) (uint64, error) {
+	if s.cat == nil {
+		return 0, nil
+	}
+	fp := SpecFingerprint(spec)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.cat.Get(spec.Name)
+	if !ok {
+		if !create {
+			return 0, fmt.Errorf("core: array %q: %w", spec.Name, ErrUnknownArray)
+		}
+		e = storage.CatalogEntry{
+			Name:        spec.Name,
+			ElemSize:    spec.ElemSize,
+			Fingerprint: fp,
+			Spec:        EncodeSpec(spec),
+		}
+		if err := s.cat.Put(e); err != nil {
+			return 0, fmt.Errorf("core: catalog: %w", err)
+		}
+		return 0, nil
+	}
+	if e.Fingerprint != fp {
+		return 0, fmt.Errorf("core: array %q: session fingerprint %#x, catalog %#x: %w",
+			spec.Name, fp, e.Fingerprint, ErrSchemaMismatch)
+	}
+	return s.refreshEpoch(e)
+}
+
+// OpenName resolves an existing array by name alone, returning the
+// schema recorded at creation — how a session reads an array it did
+// not create without re-declaring (and risking mis-declaring) its
+// decomposition.
+func (s *Service) OpenName(name string) (ArraySpec, uint64, error) {
+	if s.cat == nil {
+		return ArraySpec{}, 0, fmt.Errorf("core: array %q: service has no catalog: %w", name, ErrUnknownArray)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.cat.Get(name)
+	if !ok {
+		return ArraySpec{}, 0, fmt.Errorf("core: array %q: %w", name, ErrUnknownArray)
+	}
+	spec, err := DecodeSpec(e.Spec)
+	if err != nil {
+		return ArraySpec{}, 0, fmt.Errorf("core: catalog entry %q: %w", name, err)
+	}
+	epoch, err := s.refreshEpoch(e)
+	if err != nil {
+		return ArraySpec{}, 0, err
+	}
+	return spec, epoch, nil
+}
+
+// refreshEpoch reconciles an entry's committed epoch with the commit
+// decision records on the master server's disk (the authority PR 4's
+// two-phase commit writes). Called under s.mu.
+func (s *Service) refreshEpoch(e storage.CatalogEntry) (uint64, error) {
+	ep, ok, err := storage.ReadDecision(s.disks[0], e.Name)
+	if err != nil || !ok || ep == e.Epoch {
+		return e.Epoch, err
+	}
+	if err := s.cat.SetEpoch(e.Name, ep); err != nil {
+		return e.Epoch, fmt.Errorf("core: catalog: %w", err)
+	}
+	return ep, nil
+}
+
+// Reconfigure installs new scheduler and pipeline tuning across the
+// live service: the service's own view mutates immediately, and every
+// server receives a reconfig frame its router applies between
+// operations — in-flight operations keep the knobs they started with.
+// Reconfig.MaxInflight == 0 keeps the current concurrency bound.
+func (s *Service) Reconfigure(rc Reconfig) {
+	s.mu.Lock()
+	if rc.MaxInflight > 0 {
+		s.cfg.Sched.MaxInflight = rc.MaxInflight
+	}
+	s.cfg.Sched.QueueDepth = rc.QueueDepth
+	s.cfg.Sched.Quantum = rc.Quantum
+	s.cfg.Sched.Weights = rc.Weights
+	s.cfg.Pipeline = rc.Pipeline
+	s.cfg.ReadAhead = rc.ReadAhead
+	send := s.send
+	s.mu.Unlock()
+	if send == nil {
+		return
+	}
+	frame := encodeReconfig(rc)
+	for i := 0; i < s.cfg.NumServers; i++ {
+		// Every router frees its frame to the buffer pool, so each
+		// server must own a private copy.
+		send(s.cfg.ServerRank(i), tagControl, append([]byte(nil), frame...))
+	}
+}
+
+// Drain shuts the service down gracefully: new sessions and operations
+// are refused, in-flight and queued operations run to completion and
+// commit, then the servers exit. Drain blocks until the pool is down
+// and returns the first server error.
+//
+// Under the scheduler in service mode the shutdown frame goes to the
+// master only; the master forwards it to the other servers once its
+// last operation retires (see serveSched), so no server is told to
+// exit while work it must serve is still arriving. On the legacy path
+// the frame is broadcast, matching the fixed-shape handshake.
+func (s *Service) Drain() error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	send := s.send
+	s.mu.Unlock()
+	if !already && send != nil {
+		if s.cfg.Sched.enabled() && s.cfg.Service {
+			send(s.cfg.MasterServer(), tagControl, encodeShutdown())
+		} else {
+			for i := 0; i < s.cfg.NumServers; i++ {
+				send(s.cfg.ServerRank(i), tagControl, encodeShutdown())
+			}
+		}
+	}
+	return s.Wait()
+}
+
+// Wait blocks until every server goroutine exits and returns the first
+// error any reported.
+func (s *Service) Wait() error {
+	s.wg.Wait()
+	for _, err := range s.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ServerErrors returns each server's outcome, indexed by server. Valid
+// after Wait.
+func (s *Service) ServerErrors() []error { return s.errs }

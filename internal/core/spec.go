@@ -26,7 +26,12 @@ type ArraySpec struct {
 }
 
 // Validate checks the spec against a deployment configuration.
-func (a ArraySpec) Validate(cfg Config) error {
+func (a ArraySpec) Validate(cfg Config) error { return a.validateN(cfg, cfg.NumClients) }
+
+// validateN is Validate against an explicit client-group size: service
+// deployments check a spec against the submitting session's member
+// count, not the deployment's client-rank capacity.
+func (a ArraySpec) validateN(cfg Config, nclients int) error {
 	if a.Name == "" {
 		return fmt.Errorf("core: array with empty name")
 	}
@@ -47,9 +52,9 @@ func (a ArraySpec) Validate(cfg Config) error {
 			return fmt.Errorf("core: array %s: memory shape %v != disk shape %v", a.Name, a.Mem.Shape, a.Disk.Shape)
 		}
 	}
-	if a.Mem.NumChunks() != cfg.NumClients {
+	if a.Mem.NumChunks() != nclients {
 		return fmt.Errorf("core: array %s: memory schema has %d chunks for %d clients",
-			a.Name, a.Mem.NumChunks(), cfg.NumClients)
+			a.Name, a.Mem.NumChunks(), nclients)
 	}
 	if a.SubchunkBytes < 0 {
 		return fmt.Errorf("core: array %s: negative SubchunkBytes", a.Name)
@@ -93,12 +98,18 @@ func (a ArraySpec) FileName(suffix string, server int) string {
 }
 
 func validateSpecs(cfg Config, specs []ArraySpec) error {
+	return validateSpecsN(cfg, cfg.NumClients, specs)
+}
+
+// validateSpecsN validates specs against an explicit client-group size
+// (the session's member count under a service deployment).
+func validateSpecsN(cfg Config, nclients int, specs []ArraySpec) error {
 	if len(specs) == 0 {
 		return fmt.Errorf("core: collective operation with no arrays")
 	}
 	seen := make(map[string]bool, len(specs))
 	for _, s := range specs {
-		if err := s.Validate(cfg); err != nil {
+		if err := s.validateN(cfg, nclients); err != nil {
 			return err
 		}
 		if seen[s.Name] {

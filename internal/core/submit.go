@@ -75,6 +75,9 @@ func (c *Client) submit(op byte, suffix string, specs []ArraySpec, bufs [][]byte
 	if !ok {
 		return nil, errors.New("core: scheduler requires a clock.Domain (Real or Virtual)")
 	}
+	if tenant == "" {
+		tenant = c.tenant
+	}
 	chunkBytes, err := c.checkCollective(specs, bufs)
 	if err != nil {
 		return nil, err
@@ -103,6 +106,8 @@ func (c *Client) submit(op byte, suffix string, specs []ArraySpec, bufs [][]byte
 			stats:     &Stats{},
 			elapsedNs: c.elapsedNs,
 			opSeq:     seq + 1,
+			memIndex:  c.memIndex,
+			ranks:     c.ranks,
 			opFramed:  true,
 		}
 		t0 := clk.Now()

@@ -26,17 +26,38 @@ import (
 //	data:   u32 to    | u32 source | u32 tag+1 | u32 len | payload
 //
 // A wire tag of zero (impossible for data, whose tags are stored +1)
-// marks a control frame. The only control frame is peer death: when a
-// rank's connection drops, the hub broadcasts `u32 to | u32 deadRank |
-// u32 0 | u32 0` to every surviving rank, whose endpoint records the
-// death so bounded receives can fail fast with ErrPeerLost instead of
-// waiting out their timeout.
+// marks a control frame. When a rank's connection drops, the hub
+// broadcasts `u32 to | u32 deadRank | u32 0 | u32 0` (no payload) to
+// every surviving rank, whose endpoint records the death so bounded
+// receives can fail fast with ErrPeerLost instead of waiting out their
+// timeout. A control frame with a one-byte payload of 1 is the inverse
+// — a revival: a dynamic hub (ServeDynamic) broadcasts it when a freed
+// rank is re-registered by a new connection, clearing the stale death
+// mark on every surviving endpoint. Endpoints read control payloads by
+// the length field, so the two frames coexist with old hubs that only
+// ever send the zero-length death form.
 //
 // The hub validates that every hello agrees on the world size and that
 // ranks are unique. Sends are reliable and ordered per (source,
 // destination) pair, matching the in-process transports.
 
 const tcpMagic = 0x50414e44 // "PAND"
+
+// sessionMagic opens a session-control connection on a dynamic hub: a
+// non-rank conn carrying an out-of-band dialog (the pandad attach/open
+// protocol) instead of mesh frames. Hello layout matches the rank
+// hello: u32 magic | u32 version | u32 reserved.
+const sessionMagic = 0x50534553 // "PSES"
+
+// SessionHello writes the session-control hello on conn, marking it as
+// an out-of-band dialog connection rather than a mesh rank.
+func SessionHello(conn net.Conn) error {
+	var hello [12]byte
+	binary.BigEndian.PutUint32(hello[0:], sessionMagic)
+	binary.BigEndian.PutUint32(hello[4:], 1) // version
+	_, err := conn.Write(hello[:])
+	return err
+}
 
 // tagControlWire is the on-wire tag value (tag field zero) reserved for
 // hub control frames.
@@ -45,12 +66,14 @@ const tagControlWire = 0
 // Hub routes messages among the ranks of one TCP world. Create with
 // ListenHub, then call Serve.
 type Hub struct {
-	ln    net.Listener
-	size  int
-	mu    sync.Mutex
-	conns map[int]net.Conn
-	dead  map[int]bool
-	wmu   []sync.Mutex // per-rank write locks
+	ln      net.Listener
+	size    int
+	mu      sync.Mutex
+	conns   map[int]net.Conn
+	dead    map[int]bool
+	wmu     []sync.Mutex // per-rank write locks
+	dynamic bool         // ServeDynamic mode: ranks come and go
+	closed  bool         // Close was called; accept-loop exit is orderly
 }
 
 // ListenHub starts a hub for a world of the given size on addr (e.g.
@@ -116,6 +139,189 @@ func (h *Hub) Serve() error {
 		}
 	}
 	return nil
+}
+
+// ServeDynamic runs the hub in service mode: instead of waiting for
+// exactly size ranks and tearing down when they disconnect, the hub
+// accepts connections forever (until Close). Rank connections join and
+// leave the mesh at will — a departing rank is announced dead as usual,
+// but its slot can be re-registered by a later connection, which
+// broadcasts a revival clearing the stale death mark. Frames addressed
+// to an absent rank are dropped, not fatal. Connections opening with
+// the session magic are handed to onSession (one goroutine each) for
+// out-of-band dialog; the callback owns the conn. ServeDynamic returns
+// nil after Close, or the accept error otherwise.
+func (h *Hub) ServeDynamic(onSession func(net.Conn)) error {
+	h.mu.Lock()
+	h.dynamic = true
+	h.mu.Unlock()
+	var wg sync.WaitGroup
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			wg.Wait()
+			h.mu.Lock()
+			closed := h.closed
+			h.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			h.serveDynConn(conn, onSession)
+		}(conn)
+	}
+}
+
+// serveDynConn handshakes and runs one dynamic-mode connection.
+func (h *Hub) serveDynConn(conn net.Conn, onSession func(net.Conn)) {
+	var buf [12]byte
+	if _, err := io.ReadFull(conn, buf[:]); err != nil {
+		conn.Close()
+		return
+	}
+	switch binary.BigEndian.Uint32(buf[0:]) {
+	case sessionMagic:
+		if onSession == nil {
+			conn.Close()
+			return
+		}
+		onSession(conn)
+		return
+	case tcpMagic:
+		// fall through to rank registration
+	default:
+		conn.Close()
+		return
+	}
+	rank := int(binary.BigEndian.Uint32(buf[4:]))
+	size := int(binary.BigEndian.Uint32(buf[8:]))
+	if size != h.size || rank < 0 || rank >= h.size {
+		conn.Close()
+		return
+	}
+	// Register, waiting briefly for a live predecessor on the same rank
+	// to finish disconnecting (a freed rank can be re-issued while its
+	// old connection's FIN is still in flight).
+	revived := false
+	for attempt := 0; ; attempt++ {
+		h.mu.Lock()
+		if h.closed {
+			h.mu.Unlock()
+			conn.Close()
+			return
+		}
+		if _, live := h.conns[rank]; !live {
+			revived = h.dead[rank]
+			delete(h.dead, rank)
+			h.conns[rank] = conn
+			h.mu.Unlock()
+			break
+		}
+		h.mu.Unlock()
+		if attempt > 100 { // ~2 s: the predecessor is wedged, refuse
+			conn.Close()
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if revived {
+		h.announceRevival(rank)
+	}
+	h.route(rank, conn) //nolint:errcheck // a broken dynamic conn only kills itself
+	h.announceDeath(rank)
+	h.mu.Lock()
+	if h.conns[rank] == conn {
+		delete(h.conns, rank)
+	}
+	h.mu.Unlock()
+	conn.Close()
+}
+
+// announceRevival broadcasts a control frame with payload {1}: rank is
+// back, clear its death mark.
+func (h *Hub) announceRevival(rank int) {
+	h.mu.Lock()
+	type target struct {
+		rank int
+		conn net.Conn
+	}
+	var targets []target
+	for r, c := range h.conns {
+		if r != rank && !h.dead[r] {
+			targets = append(targets, target{r, c})
+		}
+	}
+	h.mu.Unlock()
+
+	var frame [17]byte
+	binary.BigEndian.PutUint32(frame[4:], uint32(rank))
+	binary.BigEndian.PutUint32(frame[8:], tagControlWire)
+	binary.BigEndian.PutUint32(frame[12:], 1)
+	frame[16] = 1
+	for _, t := range targets {
+		binary.BigEndian.PutUint32(frame[0:], uint32(t.rank))
+		h.wmu[t.rank].Lock()
+		t.conn.Write(frame[:]) //nolint:errcheck // best effort
+		h.wmu[t.rank].Unlock()
+	}
+}
+
+// Registered reports whether rank currently has a live mesh
+// connection. Registration happens asynchronously after a dial, so a
+// service injecting control frames at its own ranks must see them
+// registered first.
+func (h *Hub) Registered(rank int) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.conns[rank] != nil && !h.dead[rank]
+}
+
+// Inject delivers a frame to rank `to` as if sent by `to` itself — the
+// service daemon's control path for shutdown and reconfigure frames,
+// which by protocol are loopback-safe (the receiver only looks at the
+// payload). Returns false when the rank is not connected.
+func (h *Hub) Inject(to, tag int, data []byte) bool {
+	if to < 0 || to >= h.size {
+		return false
+	}
+	h.mu.Lock()
+	dst := h.conns[to]
+	gone := h.dead[to]
+	h.mu.Unlock()
+	if dst == nil || gone {
+		return false
+	}
+	var hdr [16]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(to))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(to))
+	binary.BigEndian.PutUint32(hdr[8:], uint32(tag)+1)
+	binary.BigEndian.PutUint32(hdr[12:], uint32(len(data)))
+	h.wmu[to].Lock()
+	defer h.wmu[to].Unlock()
+	bufs := net.Buffers{hdr[:], data}
+	_, err := bufs.WriteTo(dst)
+	return err == nil
+}
+
+// Close shuts the hub down: the listener closes (ending ServeDynamic's
+// accept loop) and every connection is torn down.
+func (h *Hub) Close() error {
+	h.mu.Lock()
+	h.closed = true
+	conns := make([]net.Conn, 0, len(h.conns))
+	for _, c := range h.conns {
+		conns = append(conns, c)
+	}
+	h.mu.Unlock()
+	err := h.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
 }
 
 func (h *Hub) handshake(conn net.Conn) (int, error) {
@@ -191,9 +397,13 @@ func (h *Hub) route(source int, conn net.Conn) error {
 		h.mu.Lock()
 		dst := h.conns[to]
 		gone := h.dead[to]
+		dynamic := h.dynamic
 		h.mu.Unlock()
 		if dst == nil {
 			bufpool.Put(payload)
+			if dynamic {
+				continue // destination not (or no longer) attached; drop
+			}
 			return fmt.Errorf("mpi: frame from %d for unknown rank %d", source, to)
 		}
 		if gone {
@@ -272,9 +482,26 @@ func (c *tcpComm) reader() {
 		wireTag := binary.BigEndian.Uint32(hdr[8:])
 		n := int(binary.BigEndian.Uint32(hdr[12:]))
 		if wireTag == tagControlWire {
-			// Peer-death notification from the hub.
+			// Hub control frame: no payload (or payload 0) marks the peer
+			// dead; payload {1} revives it (a dynamic hub re-issued the
+			// rank to a new connection).
+			revive := false
+			if n > 0 {
+				ctl := bufpool.GetRaw(n)
+				if _, err := io.ReadFull(r, ctl); err != nil {
+					bufpool.Put(ctl)
+					c.failReads(err)
+					return
+				}
+				revive = ctl[0] == 1
+				bufpool.Put(ctl)
+			}
 			c.box.mu.Lock()
-			c.peerDead[source] = true
+			if revive {
+				delete(c.peerDead, source)
+			} else {
+				c.peerDead[source] = true
+			}
 			c.box.mu.Unlock()
 			c.box.cond.Broadcast()
 			continue

@@ -1,0 +1,292 @@
+package panda
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"panda/internal/clock"
+	"panda/internal/core"
+	"panda/internal/mpi"
+)
+
+// ErrSchemaMismatch reports an array opened under a schema whose
+// fingerprint disagrees with the one the daemon's catalog recorded at
+// creation. Match with errors.Is.
+var ErrSchemaMismatch = core.ErrSchemaMismatch
+
+// ErrUnknownArray reports an Open of an array the catalog has never
+// heard of.
+var ErrUnknownArray = core.ErrUnknownArray
+
+// ErrDraining reports work refused because the daemon is shutting
+// down gracefully.
+var ErrDraining = core.ErrDraining
+
+// ErrBusy reports scheduler admission backpressure (or a session
+// refused because too few client slots are free).
+var ErrBusy = core.ErrBusy
+
+// SessionConfig describes a client session to Dial.
+type SessionConfig struct {
+	// Addr is the daemon's address.
+	Addr string
+	// Nodes is the number of compute nodes this session contributes
+	// (0 = 1). Every array the session operates on must have this many
+	// memory chunks.
+	Nodes int
+	// Tenant names the scheduler tenant the session's operations are
+	// attributed to; "" is the default tenant.
+	Tenant string
+}
+
+// Session is a live attachment to a Panda service daemon: a group of
+// compute nodes with assigned ranks, running collectives through the
+// daemon's scheduler. Sessions come and go freely; the daemon, its
+// catalog, and other tenants' sessions are undisturbed.
+type Session struct {
+	cfg     SessionConfig
+	ccfg    core.Config
+	id      int
+	ranks   []int
+	seqBase int
+
+	mu      sync.Mutex
+	ctrl    net.Conn
+	dec     *json.Decoder
+	enc     *json.Encoder
+	members []*sessionMember
+	closed  bool
+}
+
+// sessionMember is one compute node of the session, persistent across
+// Run calls so bound buffers and operation sequencing carry over.
+type sessionMember struct {
+	comm mpi.Comm
+	cl   *core.Client
+	node *Node
+}
+
+// Dial connects to a daemon and attaches a session.
+func Dial(cfg SessionConfig) (*Session, error) {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 1
+	}
+	conn, err := net.Dial("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := mpi.SessionHello(conn); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	s := &Session{
+		cfg:  cfg,
+		ctrl: conn,
+		dec:  json.NewDecoder(conn),
+		enc:  json.NewEncoder(conn),
+	}
+	rep, err := s.rpc(ctlRequest{Cmd: "attach", Nodes: cfg.Nodes, Tenant: cfg.Tenant})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	s.id = rep.Session
+	s.ranks = rep.Ranks
+	s.seqBase = rep.SeqBase
+	// Reconstruct the deployment view a member needs: the world shape
+	// (rank arithmetic and tags), the transfer tuning, and a scheduler-
+	// enabled flag so collectives take the submit path the service
+	// requires.
+	s.ccfg = core.Config{
+		NumClients:    rep.Clients,
+		NumServers:    rep.Servers,
+		SubchunkBytes: rep.Subchunk,
+		OpTimeout:     time.Duration(rep.OpTimeoutNs),
+		PullRetries:   rep.PullRetries,
+		Service:       true,
+		Sched:         core.SchedConfig{MaxInflight: rep.MaxInflight},
+	}
+	return s, nil
+}
+
+// rpc runs one control request/reply exchange under s.mu.
+func (s *Session) rpc(req ctlRequest) (ctlReply, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ctlReply{}, fmt.Errorf("panda: session closed")
+	}
+	if err := s.enc.Encode(req); err != nil {
+		return ctlReply{}, fmt.Errorf("panda: session control: %w", err)
+	}
+	var rep ctlReply
+	if err := s.dec.Decode(&rep); err != nil {
+		return ctlReply{}, fmt.Errorf("panda: session control: %w", err)
+	}
+	if !rep.OK {
+		return rep, errFromCode(rep.Code, rep.Error)
+	}
+	return rep, nil
+}
+
+// ID returns the daemon-assigned session identifier.
+func (s *Session) ID() int { return s.id }
+
+// Ranks returns the world ranks assigned to the session's nodes.
+func (s *Session) Ranks() []int { return append([]int(nil), s.ranks...) }
+
+// Create registers a (or validates, if the name already exists) in the
+// daemon's catalog under a's schema. Creating an existing array with a
+// different schema fails with ErrSchemaMismatch.
+func (s *Session) Create(a *Array) error {
+	_, err := s.rpc(ctlRequest{Cmd: "open", Name: a.name, Spec: core.EncodeSpec(a.spec), Create: true})
+	return err
+}
+
+// Open resolves an existing array by name, returning a declaration
+// carrying the exact schema recorded at creation — a session can read
+// an array created by a long-gone session without re-declaring its
+// decomposition. Fails with ErrUnknownArray for uncatalogued names.
+func (s *Session) Open(name string) (*Array, error) {
+	rep, err := s.rpc(ctlRequest{Cmd: "open", Name: name})
+	if err != nil {
+		return nil, err
+	}
+	spec, err := core.DecodeSpec(rep.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("panda: open %s: %w", name, err)
+	}
+	return &Array{name: spec.Name, spec: spec}, nil
+}
+
+// ServiceInfo is a daemon status snapshot.
+type ServiceInfo struct {
+	// MaxInflight, QueueDepth, Weights, Pipeline and ReadAhead mirror
+	// the daemon's current (possibly reloaded) tuning.
+	MaxInflight int
+	QueueDepth  int
+	Weights     map[string]int
+	Pipeline    int
+	ReadAhead   int
+	// Sessions is the number of currently attached sessions; Arrays
+	// the catalog size.
+	Sessions int
+	Arrays   int
+	// Metrics is the daemon's metrics registry as generic JSON
+	// (counters include the per-tenant tenant_ops_* / tenant_bytes_*
+	// attribution).
+	Metrics map[string]any
+}
+
+// Info fetches the daemon's current tuning and metrics.
+func (s *Session) Info() (ServiceInfo, error) {
+	rep, err := s.rpc(ctlRequest{Cmd: "info"})
+	if err != nil {
+		return ServiceInfo{}, err
+	}
+	info := ServiceInfo{
+		MaxInflight: rep.MaxInflight,
+		QueueDepth:  rep.QueueDepth,
+		Weights:     rep.Weights,
+		Pipeline:    rep.Pipeline,
+		ReadAhead:   rep.ReadAhead,
+		Sessions:    rep.Sessions,
+		Arrays:      rep.Arrays,
+	}
+	if len(rep.Metrics) > 0 {
+		_ = json.Unmarshal(rep.Metrics, &info.Metrics)
+	}
+	return info, nil
+}
+
+// dialMembers joins the session's nodes to the daemon's rank mesh.
+// Called once, lazily, under s.mu.
+func (s *Session) dialMembers() error {
+	clk := clock.NewReal()
+	for i, rank := range s.ranks {
+		comm, err := mpi.DialComm(s.cfg.Addr, rank, s.ccfg.WorldSize())
+		if err != nil {
+			return fmt.Errorf("panda: session node %d: %w", i, err)
+		}
+		cl, err := core.NewSessionClient(s.ccfg, comm, clk, s.ranks, i, s.seqBase)
+		if err != nil {
+			mpi.CloseComm(comm) //nolint:errcheck
+			return err
+		}
+		cl.SetTenant(s.cfg.Tenant)
+		s.members = append(s.members, &sessionMember{
+			comm: comm,
+			cl:   cl,
+			node: &Node{cl: cl, data: make(map[*Array][]byte), steps: make(map[*Group]int)},
+		})
+	}
+	return nil
+}
+
+// Run executes app once on every node of the session, exactly like
+// Cluster.Run but against the shared daemon: node i holds memory chunk
+// i of every array. Nodes persist across Run calls — buffers stay
+// bound, timestep counters advance — and the daemon keeps serving
+// other sessions throughout. app must follow the SPMD rules.
+func (s *Session) Run(app func(n *Node) error) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("panda: session closed")
+	}
+	if s.members == nil {
+		if err := s.dialMembers(); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
+	members := s.members
+	s.mu.Unlock()
+
+	errs := make([]error, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m *sessionMember) {
+			defer wg.Done()
+			errs[i] = app(m.node)
+		}(i, m)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close detaches the session: outstanding work is finished, the nodes
+// leave the rank mesh, and the daemon frees the session's client
+// slots. The daemon and other sessions keep running.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	members := s.members
+	s.members = nil
+	enc := s.enc
+	s.mu.Unlock()
+
+	for _, m := range members {
+		m.cl.Shutdown()
+	}
+	for _, m := range members {
+		mpi.CloseComm(m.comm) //nolint:errcheck
+	}
+	// Best-effort explicit detach; closing the control connection
+	// detaches implicitly anyway.
+	_ = enc.Encode(ctlRequest{Cmd: "detach"})
+	return s.ctrl.Close()
+}
