@@ -7,13 +7,19 @@
 //	pandad -connect 127.0.0.1:7800 -smoke write -array X -nodes 2
 //	pandad -connect 127.0.0.1:7800 -smoke read  -array X -nodes 2
 //	kill -HUP  $DAEMON_PID   # re-read -config, apply tuning live
+//	kill -USR1 $DAEMON_PID   # dump the flight recorder to the data dir
 //	kill -TERM $DAEMON_PID   # graceful drain: finish in-flight, flush,
 //	                         # commit, exit 0
 //
 // The -config file is JSON matching the Tuning knobs:
 //
 //	{"max_inflight": 4, "queue_depth": 16, "quantum": 1048576,
-//	 "weights": {"viz": 1, "sim": 4}, "pipeline": 2, "read_ahead": 1}
+//	 "weights": {"viz": 1, "sim": 4}, "pipeline": 2, "read_ahead": 1,
+//	 "slo_ms": {"viz": 50}, "slo_default_ms": 500, "slo_stuck_mult": 4}
+//
+// -http serves the telemetry plane (/metrics, /healthz, /readyz,
+// /sessions, /slo, /dump, /status, /debug/pprof); cmd/pandastat is the
+// matching CLI.
 //
 // It is read once at startup and again on every SIGHUP; in-flight
 // operations finish under the tuning they started with, queued and
@@ -48,6 +54,8 @@ func main() {
 	opTimeout := flag.Duration("optimeout", 30*time.Second, "per-operation deadline (0 = block forever)")
 	configPath := flag.String("config", "", "JSON tuning file, read at startup and on SIGHUP")
 	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	httpAddr := flag.String("http", "", "serve the telemetry plane on this address (e.g. 127.0.0.1:7801)")
+	httpAddrFile := flag.String("http-addr-file", "", "write the bound telemetry address to this file once listening")
 
 	connect := flag.String("connect", "", "client mode: attach to the daemon at this address instead of serving")
 	smoke := flag.String("smoke", "", "client mode operation: write, read or info")
@@ -75,28 +83,45 @@ func main() {
 		IONodes:     *ions,
 		OpTimeout:   *opTimeout,
 		Tuning:      tuning,
+		HTTPAddr:    *httpAddr,
 		Logf:        log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("serving on %s (slots=%d ions=%d dir=%q)", d.Addr(), *slots, *ions, *dir)
+	// The resolved configuration goes out as one structured line — the
+	// same shape as the startup event in the data dir's events.jsonl —
+	// so scripts parse it instead of scraping prose.
+	if startup, err := json.Marshal(d.StartupInfo()); err == nil {
+		log.Printf("startup %s", startup)
+	}
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(d.Addr()), 0o644); err != nil {
 			log.Fatal(err)
 		}
 	}
+	if *httpAddrFile != "" {
+		if err := os.WriteFile(*httpAddrFile, []byte(d.HTTPAddr()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	sigs := make(chan os.Signal, 4)
-	signal.Notify(sigs, syscall.SIGHUP, syscall.SIGINT, syscall.SIGTERM)
+	signal.Notify(sigs, syscall.SIGHUP, syscall.SIGUSR1, syscall.SIGINT, syscall.SIGTERM)
 	for sig := range sigs {
-		if sig == syscall.SIGHUP {
+		switch sig {
+		case syscall.SIGHUP:
 			t, err := readTuning(*configPath)
 			if err != nil {
 				log.Printf("reload skipped: %v", err)
 				continue
 			}
 			d.Reload(t)
+			continue
+		case syscall.SIGUSR1:
+			if _, err := d.DumpTrace("sigusr1"); err != nil {
+				log.Printf("dump skipped: %v", err)
+			}
 			continue
 		}
 		log.Printf("%v: draining", sig)

@@ -95,7 +95,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("pandanode: http listener: %v", err)
 		}
-		httpSrv = &http.Server{Handler: obs.Handler(reg, rec, ops.dump)}
+		httpSrv = &http.Server{Handler: obs.Handler(reg, rec, ops.dump, nil)}
 		go func() {
 			if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 				log.Printf("pandanode: http listener: %v", err)

@@ -1,0 +1,293 @@
+// pandastat is the operator's view of a running pandad: it polls the
+// daemon's telemetry plane (-http on pandad) and renders the live
+// session table, per-tenant throughput, scheduler state and SLO status.
+//
+//	pandastat -addr 127.0.0.1:7801            # one-shot snapshot
+//	pandastat -addr 127.0.0.1:7801 -watch     # live view, 1s refresh
+//	pandastat -addr 127.0.0.1:7801 -json      # machine-readable snapshot
+//	pandastat -addr 127.0.0.1:7801 -check     # CI probe: exit 0 iff
+//	                                          # healthy, ready, scraping
+//
+// Watch mode derives per-tenant MB/s from successive tenant_bytes_*
+// counter samples, so throughput is live rather than lifetime-average.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7801", "pandad telemetry address (-http)")
+	watch := flag.Bool("watch", false, "refresh continuously instead of one-shot")
+	interval := flag.Duration("interval", time.Second, "watch refresh interval")
+	asJSON := flag.Bool("json", false, "emit one combined JSON snapshot for scripting")
+	check := flag.Bool("check", false, "health probe: exit 0 iff the daemon is healthy, ready and scrapeable")
+	flag.Parse()
+
+	c := &client{base: "http://" + *addr, http: &http.Client{Timeout: 5 * time.Second}}
+
+	if *check {
+		os.Exit(runCheck(c))
+	}
+	if *asJSON {
+		snap, err := c.snapshot()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pandastat: %v\n", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap) //nolint:errcheck
+		return
+	}
+	if !*watch {
+		snap, err := c.snapshot()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pandastat: %v\n", err)
+			os.Exit(1)
+		}
+		render(os.Stdout, *addr, snap, nil, 0)
+		return
+	}
+
+	var prev *snapshot
+	for {
+		snap, err := c.snapshot()
+		fmt.Print("\033[H\033[2J") // home + clear: a poor man's top(1)
+		if err != nil {
+			fmt.Printf("pandastat: %v (retrying every %v)\n", err, *interval)
+		} else {
+			render(os.Stdout, *addr, snap, prev, *interval)
+			prev = snap
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// runCheck is the CI probe: every answer the daemon must give, it must
+// give now. Prints one line per failure and returns the exit code.
+func runCheck(c *client) int {
+	fails := 0
+	if body, err := c.text("/healthz"); err != nil || strings.TrimSpace(body) != "ok" {
+		fmt.Printf("FAIL /healthz: body=%q err=%v\n", strings.TrimSpace(body), err)
+		fails++
+	}
+	if _, err := c.text("/readyz"); err != nil {
+		fmt.Printf("FAIL /readyz: %v\n", err)
+		fails++
+	}
+	var metrics map[string]json.RawMessage
+	if err := c.getJSON("/metrics", &metrics); err != nil || len(metrics) == 0 {
+		fmt.Printf("FAIL /metrics: entries=%d err=%v\n", len(metrics), err)
+		fails++
+	}
+	var sess sessionsReply
+	if err := c.getJSON("/sessions", &sess); err != nil {
+		fmt.Printf("FAIL /sessions: %v\n", err)
+		fails++
+	}
+	var slo sloStatus
+	if err := c.getJSON("/slo", &slo); err != nil {
+		fmt.Printf("FAIL /slo: %v\n", err)
+		fails++
+	}
+	if fails == 0 {
+		fmt.Printf("ok: healthy, ready, %d metrics, %d sessions, %d slo violations\n",
+			len(metrics), len(sess.Sessions), slo.Violations)
+		return 0
+	}
+	return 1
+}
+
+// The wire types mirror the daemon's /sessions and /slo payloads; they
+// are redeclared here because pandastat speaks only HTTP — it must work
+// against any pandad, not just one linked at the same commit.
+
+type sessionRow struct {
+	SID         int    `json:"sid"`
+	Tenant      string `json:"tenant"`
+	Nodes       int    `json:"nodes"`
+	Inflight    int    `json:"inflight"`
+	Ops         int64  `json:"ops"`
+	FailedOps   int64  `json:"failed_ops"`
+	Bytes       int64  `json:"bytes"`
+	AttachAgeMs int64  `json:"attach_age_ms"`
+}
+
+type sessionsReply struct {
+	Sessions []sessionRow `json:"sessions"`
+}
+
+type sloViolation struct {
+	Time        time.Time `json:"ts"`
+	Kind        string    `json:"kind"`
+	SID         int       `json:"sid"`
+	Tenant      string    `json:"tenant"`
+	Seq         int       `json:"seq"`
+	Op          string    `json:"op"`
+	ElapsedMs   int64     `json:"elapsed_ms"`
+	ObjectiveMs int64     `json:"objective_ms"`
+}
+
+type sloStatus struct {
+	DefaultMs  int64            `json:"default_ms"`
+	StuckMult  int              `json:"stuck_mult"`
+	TenantMs   map[string]int64 `json:"tenant_ms"`
+	Violations int64            `json:"violations"`
+	Recent     []sloViolation   `json:"recent"`
+}
+
+type snapshot struct {
+	Ready    bool                       `json:"ready"`
+	Sessions []sessionRow               `json:"sessions"`
+	SLO      sloStatus                  `json:"slo"`
+	Metrics  map[string]json.RawMessage `json:"metrics"`
+}
+
+type client struct {
+	base string
+	http *http.Client
+}
+
+func (c *client) text(path string) (string, error) {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	return string(b), err
+}
+
+func (c *client) getJSON(path string, v any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func (c *client) snapshot() (*snapshot, error) {
+	s := &snapshot{}
+	ready, err := c.text("/readyz")
+	if err != nil {
+		return nil, err
+	}
+	s.Ready = strings.TrimSpace(ready) == "ready"
+	var sr sessionsReply
+	if err := c.getJSON("/sessions", &sr); err != nil {
+		return nil, err
+	}
+	s.Sessions = sr.Sessions
+	if err := c.getJSON("/slo", &s.SLO); err != nil {
+		return nil, err
+	}
+	if err := c.getJSON("/metrics", &s.Metrics); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// metric pulls one numeric instrument out of the scrape (0 if absent
+// or non-numeric, e.g. a histogram).
+func (s *snapshot) metric(name string) int64 {
+	raw, ok := s.Metrics[name]
+	if !ok {
+		return 0
+	}
+	var v int64
+	if json.Unmarshal(raw, &v) != nil {
+		return 0
+	}
+	return v
+}
+
+// tenantCounters collects tenant names from tenant_<kind>_* metrics.
+func (s *snapshot) tenants() []string {
+	seen := map[string]bool{}
+	for name := range s.Metrics {
+		if t, ok := strings.CutPrefix(name, "tenant_bytes_"); ok {
+			seen[t] = true
+		}
+		if t, ok := strings.CutPrefix(name, "tenant_ops_"); ok {
+			seen[t] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// render prints the human view. With a previous snapshot, tenant
+// throughput is the delta over the interval; otherwise it is omitted.
+func render(w io.Writer, addr string, s, prev *snapshot, interval time.Duration) {
+	state := "ready"
+	if !s.Ready {
+		state = "DRAINING"
+	}
+	fmt.Fprintf(w, "pandad %s  %s  sessions=%d  queued=%d inflight=%d  slo_violations=%d\n",
+		addr, state, len(s.Sessions), s.metric("sched_queue_depth"), s.metric("sched_inflight_ops"),
+		s.SLO.Violations)
+
+	fmt.Fprintf(w, "\n%-5s %-12s %-6s %-9s %-8s %-7s %-12s %s\n",
+		"SID", "TENANT", "NODES", "INFLIGHT", "OPS", "FAILED", "BYTES", "AGE")
+	for _, r := range s.Sessions {
+		tenant := r.Tenant
+		if tenant == "" {
+			tenant = "-"
+		}
+		fmt.Fprintf(w, "%-5d %-12s %-6d %-9d %-8d %-7d %-12d %s\n",
+			r.SID, tenant, r.Nodes, r.Inflight, r.Ops, r.FailedOps, r.Bytes,
+			(time.Duration(r.AttachAgeMs) * time.Millisecond).Round(time.Second))
+	}
+	if len(s.Sessions) == 0 {
+		fmt.Fprintln(w, "(no sessions attached)")
+	}
+
+	if tenants := s.tenants(); len(tenants) > 0 {
+		fmt.Fprintf(w, "\n%-12s %-8s %-14s %s\n", "TENANT", "OPS", "BYTES", "THROUGHPUT")
+		for _, t := range tenants {
+			rate := ""
+			if prev != nil && interval > 0 {
+				delta := s.metric("tenant_bytes_"+t) - prev.metric("tenant_bytes_"+t)
+				rate = fmt.Sprintf("%.2f MB/s", float64(delta)/interval.Seconds()/1e6)
+			}
+			fmt.Fprintf(w, "%-12s %-8d %-14d %s\n", t, s.metric("tenant_ops_"+t), s.metric("tenant_bytes_"+t), rate)
+		}
+	}
+
+	fmt.Fprintf(w, "\nslo: default=%dms stuck_mult=%d", s.SLO.DefaultMs, s.SLO.StuckMult)
+	if len(s.SLO.TenantMs) > 0 {
+		keys := make([]string, 0, len(s.SLO.TenantMs))
+		for k := range s.SLO.TenantMs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = fmt.Sprintf("%s=%dms", k, s.SLO.TenantMs[k])
+		}
+		fmt.Fprintf(w, " tenants[%s]", strings.Join(parts, " "))
+	}
+	fmt.Fprintf(w, " violations=%d\n", s.SLO.Violations)
+	for i := len(s.SLO.Recent) - 1; i >= 0 && i >= len(s.SLO.Recent)-5; i-- {
+		v := s.SLO.Recent[i]
+		fmt.Fprintf(w, "  %s %-14s sid=%d tenant=%q seq=%d op=%s %dms > %dms\n",
+			v.Time.Format("15:04:05"), v.Kind, v.SID, v.Tenant, v.Seq, v.Op, v.ElapsedMs, v.ObjectiveMs)
+	}
+}

@@ -2,12 +2,15 @@ package panda
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"panda/internal/core"
@@ -49,6 +52,20 @@ type Tuning struct {
 	Pipeline int `json:"pipeline"`
 	// ReadAhead is the read prefetch depth (0 = serial).
 	ReadAhead int `json:"read_ahead"`
+
+	// SLOms maps tenant name to a per-operation completion-latency
+	// objective in milliseconds. An operation that completes past its
+	// tenant's objective counts as an SLO violation; one still in
+	// flight past SLOStuckMult times it is flagged stuck. Violations
+	// increment slo_violations, log a structured event, and trigger a
+	// flight-recorder dump.
+	SLOms map[string]int64 `json:"slo_ms"`
+	// SLODefaultMs is the objective for tenants not listed in SLOms
+	// (0 = no objective; those tenants are not watched).
+	SLODefaultMs int64 `json:"slo_default_ms"`
+	// SLOStuckMult is the in-flight multiple of the objective past
+	// which the watchdog flags an operation stuck (0 = 4).
+	SLOStuckMult int `json:"slo_stuck_mult"`
 }
 
 func (t Tuning) reconfig() core.Reconfig {
@@ -85,6 +102,14 @@ type DaemonConfig struct {
 	PullRetries int
 	// Tuning is the initial scheduler and pipeline tuning.
 	Tuning Tuning
+	// HTTPAddr, when non-empty, serves the telemetry plane on this
+	// address: /metrics, /healthz, /readyz, /sessions, /slo, /dump,
+	// /status and /debug/pprof. Use Daemon.HTTPAddr for the bound
+	// address (handy with ":0").
+	HTTPAddr string
+	// TraceCapacity sizes the always-on flight-recorder ring in events
+	// (0 = the obs default).
+	TraceCapacity int
 	// Logf, when non-nil, receives one line per notable daemon event.
 	Logf func(format string, args ...any)
 }
@@ -96,8 +121,29 @@ type Daemon struct {
 	hub     *mpi.Hub
 	disks   []storage.Disk
 	reg     *obs.Registry
+	rec     *obs.Recorder
+	tel     *telemetry
+	events  *obs.EventLog
+	httpSrv *http.Server
+	httpLn  net.Listener
+	info    DaemonInfo
 	logf    func(string, ...any)
 	hubDone chan error
+
+	drainOnce sync.Once
+	drainErr  error
+}
+
+// DaemonInfo is the daemon's resolved configuration, emitted as the
+// startup event and available to wrappers (cmd/pandad logs it).
+type DaemonInfo struct {
+	Addr        string `json:"addr"`
+	HTTPAddr    string `json:"http_addr,omitempty"`
+	Dir         string `json:"dir,omitempty"`
+	ClientSlots int    `json:"slots"`
+	IONodes     int    `json:"ions"`
+	OpTimeoutMs int64  `json:"op_timeout_ms,omitempty"`
+	Tuning      Tuning `json:"tuning"`
 }
 
 // crashPoint kills the process when the PANDAD_CRASH_POINT environment
@@ -131,6 +177,23 @@ func StartDaemon(cfg DaemonConfig) (*Daemon, error) {
 	}
 
 	reg := obs.NewRegistry()
+	// The flight recorder is always on: recording a span is one mutexed
+	// slot store into a pre-allocated ring, so the daemon can afford to
+	// never fly blind. Dumps snapshot the ring on demand.
+	rec := obs.NewRecorder(cfg.TraceCapacity)
+	var events *obs.EventLog
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o777); err != nil {
+			return nil, fmt.Errorf("panda: daemon: %w", err)
+		}
+		ev, err := obs.OpenEventLog(filepath.Join(cfg.Dir, "events.jsonl"))
+		if err != nil {
+			return nil, fmt.Errorf("panda: daemon: %w", err)
+		}
+		events = ev
+	}
+	tel := newTelemetry(reg, rec, events, cfg.Dir, logf)
+	tel.setSLO(cfg.Tuning.sloPolicy())
 	ccfg := core.Config{
 		NumClients:    cfg.ClientSlots,
 		NumServers:    cfg.IONodes,
@@ -140,6 +203,7 @@ func StartDaemon(cfg DaemonConfig) (*Daemon, error) {
 		OpTimeout:     cfg.OpTimeout,
 		PullRetries:   cfg.PullRetries,
 		Metrics:       reg,
+		Trace:         rec,
 		Service:       true,
 		Sched: core.SchedConfig{
 			MaxInflight: cfg.Tuning.MaxInflight,
@@ -147,7 +211,9 @@ func StartDaemon(cfg DaemonConfig) (*Daemon, error) {
 			Quantum:     cfg.Tuning.Quantum,
 			Weights:     cfg.Tuning.Weights,
 		},
+		OpStart: tel.opStart,
 		OpLog: func(sum core.OpSummary) {
+			tel.opDone(sum)
 			if sum.Err == nil {
 				logf("op seq=%d server=%d %s %d bytes tenant=%q in %v",
 					sum.Seq, sum.Server, sum.Op, sum.Bytes, sum.Tenant, sum.Elapsed)
@@ -197,6 +263,9 @@ func StartDaemon(cfg DaemonConfig) (*Daemon, error) {
 		hub:     hub,
 		disks:   disks,
 		reg:     reg,
+		rec:     rec,
+		tel:     tel,
+		events:  events,
 		logf:    logf,
 		hubDone: make(chan error, 1),
 	}
@@ -230,12 +299,66 @@ func StartDaemon(cfg DaemonConfig) (*Daemon, error) {
 		hub.Close()
 		return nil, err
 	}
+
+	if cfg.HTTPAddr != "" {
+		ln, err := net.Listen("tcp", cfg.HTTPAddr)
+		if err != nil {
+			hub.Close()
+			return nil, fmt.Errorf("panda: daemon http: %w", err)
+		}
+		d.httpLn = ln
+		d.httpSrv = &http.Server{Handler: d.telemetryHandler()}
+		go func() {
+			if err := d.httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				logf("http plane: %v", err)
+			}
+		}()
+	}
+	tel.startWatchdog()
+
+	d.info = DaemonInfo{
+		Addr:        hub.Addr(),
+		HTTPAddr:    d.HTTPAddr(),
+		Dir:         cfg.Dir,
+		ClientSlots: cfg.ClientSlots,
+		IONodes:     cfg.IONodes,
+		OpTimeoutMs: cfg.OpTimeout.Milliseconds(),
+		Tuning:      cfg.Tuning,
+	}
+	events.Emit("startup", structFields(d.info))
 	logf("serving on %s: %d client slots, %d I/O nodes", hub.Addr(), cfg.ClientSlots, cfg.IONodes)
 	return d, nil
 }
 
+// structFields flattens a struct's JSON representation into the event
+// field map.
+func structFields(v any) map[string]any {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil
+	}
+	var m map[string]any
+	if json.Unmarshal(b, &m) != nil {
+		return nil
+	}
+	return m
+}
+
 // Addr returns the daemon's bound listen address.
 func (d *Daemon) Addr() string { return d.hub.Addr() }
+
+// HTTPAddr returns the telemetry plane's bound address, or "" when the
+// daemon was started without one.
+func (d *Daemon) HTTPAddr() string {
+	if d.httpLn == nil {
+		return ""
+	}
+	return d.httpLn.Addr().String()
+}
+
+// StartupInfo returns the daemon's resolved configuration — the same
+// fields the startup event carries.
+func (d *Daemon) StartupInfo() DaemonInfo { return d.info }
 
 // Service exposes the underlying core service (tests and cmd/pandad).
 func (d *Daemon) Service() *core.Service { return d.svc }
@@ -245,9 +368,12 @@ func (d *Daemon) Service() *core.Service { return d.svc }
 // the old tuning, subsequent dispatches use the new one.
 func (d *Daemon) Reload(t Tuning) {
 	d.svc.Reconfigure(t.reconfig())
+	d.tel.setSLO(t.sloPolicy())
 	cfg := d.svc.Config()
-	d.logf("reloaded tuning: max_inflight=%d queue_depth=%d quantum=%d weights=%v pipeline=%d read_ahead=%d",
-		cfg.Sched.MaxInflight, cfg.Sched.QueueDepth, cfg.Sched.Quantum, cfg.Sched.Weights, cfg.Pipeline, cfg.ReadAhead)
+	d.events.Emit("reconfigure", structFields(t))
+	d.logf("reloaded tuning: max_inflight=%d queue_depth=%d quantum=%d weights=%v pipeline=%d read_ahead=%d slo_ms=%v slo_default_ms=%d slo_stuck_mult=%d",
+		cfg.Sched.MaxInflight, cfg.Sched.QueueDepth, cfg.Sched.Quantum, cfg.Sched.Weights, cfg.Pipeline, cfg.ReadAhead,
+		t.SLOms, t.SLODefaultMs, t.SLOStuckMult)
 }
 
 // Drain shuts the daemon down gracefully: new sessions and operations
@@ -255,15 +381,36 @@ func (d *Daemon) Reload(t Tuning) {
 // commits, the I/O nodes flush and exit, and the listener closes. It
 // returns the first server error (nil on a clean drain).
 func (d *Daemon) Drain() error {
-	d.logf("draining")
-	err := d.svc.Drain()
-	for _, disk := range d.disks {
-		disk.FlushCache()
+	d.drainOnce.Do(func() {
+		d.logf("draining")
+		d.events.Emit("drain", map[string]any{"sessions": len(d.svc.Sessions())})
+		err := d.svc.Drain()
+		for _, disk := range d.disks {
+			disk.FlushCache()
+		}
+		d.hub.Close()
+		<-d.hubDone
+		d.tel.stopWatchdog()
+		if d.httpSrv != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			if d.httpSrv.Shutdown(ctx) != nil {
+				d.httpSrv.Close() //nolint:errcheck
+			}
+			cancel()
+		}
+		d.events.Emit("drained", map[string]any{"error": errString(err)})
+		d.events.Close() //nolint:errcheck
+		d.logf("drained: %v", err)
+		d.drainErr = err
+	})
+	return d.drainErr
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
 	}
-	d.hub.Close()
-	<-d.hubDone
-	d.logf("drained: %v", err)
-	return err
+	return err.Error()
 }
 
 // The session control protocol: newline-delimited JSON request/reply
@@ -357,6 +504,7 @@ func (d *Daemon) handleSession(conn net.Conn) {
 	defer func() {
 		if sid != 0 {
 			d.svc.Detach(sid)
+			d.tel.detach(sid)
 			d.logf("session %d detached", sid)
 		}
 		conn.Close()
@@ -379,6 +527,7 @@ func (d *Daemon) handleSession(conn net.Conn) {
 				break
 			}
 			sid = info.ID
+			d.tel.attach(info, req.Nodes)
 			cfg := d.svc.Config()
 			rep = ctlReply{
 				OK:          true,
@@ -395,7 +544,7 @@ func (d *Daemon) handleSession(conn net.Conn) {
 			d.logf("session %d attached: %d nodes at ranks %v, tenant %q", info.ID, req.Nodes, info.Ranks, req.Tenant)
 			crashPoint("post-attach")
 		case "open":
-			rep = d.handleOpen(req)
+			rep = d.handleOpen(sid, req)
 			crashPoint("post-open")
 		case "info":
 			cfg := d.svc.Config()
@@ -419,6 +568,7 @@ func (d *Daemon) handleSession(conn net.Conn) {
 		case "detach":
 			if sid != 0 {
 				d.svc.Detach(sid)
+				d.tel.detach(sid)
 				d.logf("session %d detached", sid)
 				sid = 0
 			}
@@ -433,12 +583,13 @@ func (d *Daemon) handleSession(conn net.Conn) {
 }
 
 // handleOpen resolves one open/create request against the catalog.
-func (d *Daemon) handleOpen(req ctlRequest) ctlReply {
+func (d *Daemon) handleOpen(sid int, req ctlRequest) ctlReply {
 	if req.Name == "" && len(req.Spec) == 0 {
 		return fail(errors.New("panda: open without a name"))
 	}
 	if len(req.Spec) == 0 {
 		spec, epoch, err := d.svc.OpenName(req.Name)
+		d.tel.opened(sid, req.Name, false, err)
 		if err != nil {
 			return fail(err)
 		}
@@ -449,6 +600,7 @@ func (d *Daemon) handleOpen(req ctlRequest) ctlReply {
 		return fail(err)
 	}
 	epoch, err := d.svc.Open(spec, req.Create)
+	d.tel.opened(sid, spec.Name, req.Create, err)
 	if err != nil {
 		return fail(err)
 	}

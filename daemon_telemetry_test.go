@@ -1,0 +1,401 @@
+package panda
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"panda/internal/obs"
+)
+
+// startTelemetryDaemon runs a daemon with the HTTP plane bound to an
+// ephemeral port.
+func startTelemetryDaemon(t *testing.T, dir string, tuning Tuning) *Daemon {
+	t.Helper()
+	d, err := StartDaemon(DaemonConfig{
+		Dir:         dir,
+		ClientSlots: 8,
+		IONodes:     2,
+		OpTimeout:   30 * time.Second,
+		Tuning:      tuning,
+		HTTPAddr:    "127.0.0.1:0",
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("StartDaemon: %v", err)
+	}
+	return d
+}
+
+func httpGet(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, b
+}
+
+// eventsOf filters the daemon's event log by type.
+func eventsOf(t *testing.T, dir, typ string) []map[string]any {
+	t.Helper()
+	all, err := obs.ReadEventLog(filepath.Join(dir, "events.jsonl"))
+	if err != nil {
+		t.Fatalf("ReadEventLog: %v", err)
+	}
+	var out []map[string]any
+	for _, e := range all {
+		if e["event"] == typ {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestDaemonSLOReloadUnderLoad is the PR's acceptance scenario: a
+// tenant writes timesteps with no objective set, the operator SIGHUPs
+// in a 1ms objective mid-load, and every completion thereafter is a
+// violation — counted, logged with the right sid and tenant, visible
+// over /metrics, and answered with a flight-recorder dump — while the
+// workload itself never fails an operation.
+func TestDaemonSLOReloadUnderLoad(t *testing.T) {
+	dir := t.TempDir()
+	d := startTelemetryDaemon(t, dir, Tuning{MaxInflight: 2})
+	defer d.Drain() //nolint:errcheck
+
+	s, err := Dial(SessionConfig{Addr: d.Addr(), Nodes: 1, Tenant: "sim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close() //nolint:errcheck
+	sid := s.ID()
+	a := sessionArray(t, "SLO", 1)
+	if err := s.Create(a); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		done <- s.Run(func(n *Node) error {
+			buf := make([]byte, n.ChunkBytes(a))
+			if err := n.Bind(a, buf); err != nil {
+				return err
+			}
+			g := NewGroup("w")
+			g.Include(a)
+			for i := 0; i < 30; i++ {
+				fillPattern(buf, int64(i))
+				if err := n.Timestep(g); err != nil {
+					return fmt.Errorf("timestep %d: %w", i, err)
+				}
+			}
+			return nil
+		})
+	}()
+	time.Sleep(50 * time.Millisecond)
+	// The reload that tightens the screw: a 1ms objective that a real
+	// disk write cannot meet.
+	d.Reload(Tuning{MaxInflight: 2, SLOms: map[string]int64{"sim": 1}})
+	if err := <-done; err != nil {
+		t.Fatalf("writes failed across SLO reload: %v", err)
+	}
+
+	// The workload itself stayed healthy: violations are observations,
+	// not failures.
+	var row *SessionStat
+	for _, r := range d.Sessions() {
+		if r.SID == sid {
+			row = &r
+			break
+		}
+	}
+	if row == nil {
+		t.Fatalf("session %d missing from live table: %+v", sid, d.Sessions())
+	}
+	if row.FailedOps != 0 {
+		t.Fatalf("SLO violations must not fail ops: %d failed", row.FailedOps)
+	}
+	if row.Ops == 0 || row.Bytes == 0 {
+		t.Fatalf("session table did not account the workload: %+v", *row)
+	}
+
+	st := d.SLOStatus()
+	if st.Violations == 0 {
+		t.Fatal("no SLO violations counted after tightening the objective to 1ms under load")
+	}
+	if len(st.Recent) == 0 {
+		t.Fatal("no recent violations recorded")
+	}
+	for _, v := range st.Recent {
+		if v.Tenant != "sim" || v.SID != sid {
+			t.Fatalf("violation misattributed: %+v (want tenant=sim sid=%d)", v, sid)
+		}
+		if v.ObjectiveMs != 1 || v.ElapsedMs < 1 {
+			t.Fatalf("violation timings wrong: %+v", v)
+		}
+	}
+
+	// The structured event log carries the same finding.
+	evs := eventsOf(t, dir, "slo_violation")
+	if len(evs) == 0 {
+		t.Fatal("no slo_violation event in events.jsonl")
+	}
+	if got := evs[0]["tenant"]; got != "sim" {
+		t.Fatalf("violation event tenant = %v, want sim", got)
+	}
+	if got := evs[0]["sid"]; got != float64(sid) {
+		t.Fatalf("violation event sid = %v, want %d", got, sid)
+	}
+
+	// The counter is scrapeable over the HTTP plane.
+	code, body := httpGet(t, "http://"+d.HTTPAddr()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	var metrics map[string]json.RawMessage
+	if err := json.Unmarshal(body, &metrics); err != nil {
+		t.Fatalf("/metrics not JSON: %v", err)
+	}
+	var violations int64
+	if err := json.Unmarshal(metrics["slo_violations"], &violations); err != nil || violations == 0 {
+		t.Fatalf("slo_violations not scrapeable: %s (err %v)", metrics["slo_violations"], err)
+	}
+
+	// The violation triggered a flight-recorder dump, and the dump is a
+	// valid Chrome trace. The dump runs asynchronously; wait it out.
+	var dumps []string
+	for wait := 0; wait < 100; wait++ {
+		dumps, _ = filepath.Glob(filepath.Join(dir, "trace-*.json"))
+		if len(dumps) > 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if len(dumps) == 0 {
+		t.Fatal("violation did not dump the flight recorder")
+	}
+	raw, err := os.ReadFile(dumps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := obs.ParseChromeTrace(raw)
+	if err != nil {
+		t.Fatalf("dumped trace invalid: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("dumped trace is empty")
+	}
+}
+
+// TestDaemonHTTPPlane walks every telemetry endpoint against a live
+// daemon with one attached session.
+func TestDaemonHTTPPlane(t *testing.T) {
+	dir := t.TempDir()
+	d := startTelemetryDaemon(t, dir, Tuning{MaxInflight: 2, SLODefaultMs: 30_000})
+	base := "http://" + d.HTTPAddr()
+
+	s, err := Dial(SessionConfig{Addr: d.Addr(), Nodes: 2, Tenant: "viz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sessionArray(t, "H", 2)
+	if err := s.Create(a); err != nil {
+		t.Fatal(err)
+	}
+	err = s.Run(func(n *Node) error {
+		buf := make([]byte, n.ChunkBytes(a))
+		fillPattern(buf, int64(n.Rank()))
+		if err := n.Bind(a, buf); err != nil {
+			return err
+		}
+		return n.WriteArray(a)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if code, body := httpGet(t, base+"/healthz"); code != 200 || string(body) != "ok\n" {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+	if code, body := httpGet(t, base+"/readyz"); code != 200 || string(body) != "ready\n" {
+		t.Fatalf("/readyz: %d %q", code, body)
+	}
+
+	var sessions struct {
+		Sessions []SessionStat `json:"sessions"`
+	}
+	code, body := httpGet(t, base+"/sessions")
+	if code != 200 {
+		t.Fatalf("/sessions: status %d", code)
+	}
+	if err := json.Unmarshal(body, &sessions); err != nil {
+		t.Fatalf("/sessions not JSON: %v", err)
+	}
+	if len(sessions.Sessions) != 1 {
+		t.Fatalf("/sessions rows = %d, want 1: %s", len(sessions.Sessions), body)
+	}
+	row := sessions.Sessions[0]
+	if row.SID != s.ID() || row.Tenant != "viz" || row.Nodes != 2 || row.Ops == 0 || row.Bytes == 0 {
+		t.Fatalf("/sessions row wrong: %+v", row)
+	}
+
+	var slo SLOStatus
+	code, body = httpGet(t, base+"/slo")
+	if code != 200 {
+		t.Fatalf("/slo: status %d", code)
+	}
+	if err := json.Unmarshal(body, &slo); err != nil {
+		t.Fatalf("/slo not JSON: %v", err)
+	}
+	if slo.DefaultMs != 30_000 || slo.Violations != 0 {
+		t.Fatalf("/slo wrong: %+v", slo)
+	}
+
+	var metrics map[string]json.RawMessage
+	code, body = httpGet(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	if err := json.Unmarshal(body, &metrics); err != nil {
+		t.Fatalf("/metrics not JSON: %v", err)
+	}
+	var attached int64
+	if err := json.Unmarshal(metrics["sessions_attached"], &attached); err != nil || attached != 1 {
+		t.Fatalf("sessions_attached = %s, want 1 (err %v)", metrics["sessions_attached"], err)
+	}
+	name := obs.LabelName("session_inflight", "sid", fmt.Sprint(s.ID()))
+	if _, ok := metrics[name]; !ok {
+		t.Fatalf("per-session gauge %q missing from /metrics", name)
+	}
+
+	// /status (the obs page) shows serving state and scheduler line.
+	code, body = httpGet(t, base+"/status")
+	if code != 200 {
+		t.Fatalf("/status: status %d", code)
+	}
+	for _, want := range []string{"state: serving", "scheduler:", "sessions (1):"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/status missing %q:\n%s", want, body)
+		}
+	}
+
+	// Detach retires the session's row and gauge. Close's detach is
+	// asynchronous (closing the control connection detaches), so poll.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	retired := false
+	for wait := 0; wait < 100 && !retired; wait++ {
+		_, body = httpGet(t, base+"/sessions")
+		if err := json.Unmarshal(body, &sessions); err != nil {
+			t.Fatal(err)
+		}
+		retired = len(sessions.Sessions) == 0
+		if !retired {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if !retired {
+		t.Fatalf("sessions not retired after close: %s", body)
+	}
+	_, body = httpGet(t, base+"/metrics")
+	metrics = nil // Unmarshal merges into a non-empty map; start fresh
+	if err := json.Unmarshal(body, &metrics); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := metrics[name]; ok {
+		t.Fatalf("per-session gauge %q survived detach", name)
+	}
+
+	if err := d.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// Lifecycle events all landed, in order of first occurrence.
+	for _, typ := range []string{"startup", "attach", "open", "detach", "drain", "drained"} {
+		if len(eventsOf(t, dir, typ)) == 0 {
+			t.Fatalf("no %q event in events.jsonl", typ)
+		}
+	}
+	att := eventsOf(t, dir, "attach")[0]
+	if att["tenant"] != "viz" || att["sid"] != float64(s.ID()) {
+		t.Fatalf("attach event wrong: %v", att)
+	}
+	op := eventsOf(t, dir, "open")[0]
+	if op["array"] != "H" || op["create"] != true {
+		t.Fatalf("open event wrong: %v", op)
+	}
+	st := eventsOf(t, dir, "startup")[0]
+	if st["addr"] != d.Addr() || st["http_addr"] != d.HTTPAddr() {
+		t.Fatalf("startup event wrong: %v", st)
+	}
+}
+
+// TestDaemonDumpEndpoint exercises operator-requested dumps: /dump
+// writes a valid trace and logs a dump event; repeated requests are
+// not rate-limited.
+func TestDaemonDumpEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	d := startTelemetryDaemon(t, dir, Tuning{})
+	defer d.Drain() //nolint:errcheck
+	base := "http://" + d.HTTPAddr()
+
+	// Before any spans exist a dump is refused, not written empty.
+	if code, _ := httpGet(t, base+"/dump"); code == http.StatusOK {
+		t.Fatal("/dump succeeded with an empty flight recorder")
+	}
+
+	s, err := Dial(SessionConfig{Addr: d.Addr(), Nodes: 1, Tenant: "ops"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close() //nolint:errcheck
+	a := sessionArray(t, "D", 1)
+	if err := s.Create(a); err != nil {
+		t.Fatal(err)
+	}
+	err = s.Run(func(n *Node) error {
+		buf := make([]byte, n.ChunkBytes(a))
+		if err := n.Bind(a, buf); err != nil {
+			return err
+		}
+		return n.WriteArray(a)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 2; i++ {
+		code, body := httpGet(t, base+"/dump")
+		if code != http.StatusOK {
+			t.Fatalf("/dump #%d: status %d: %s", i, code, body)
+		}
+		var rep struct {
+			Path string `json:"path"`
+		}
+		if err := json.Unmarshal(body, &rep); err != nil || rep.Path == "" {
+			t.Fatalf("/dump reply bad: %s (err %v)", body, err)
+		}
+		raw, err := os.ReadFile(rep.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := obs.ParseChromeTrace(raw); err != nil {
+			t.Fatalf("dump #%d invalid: %v", i, err)
+		}
+	}
+	if evs := eventsOf(t, dir, "dump"); len(evs) != 2 {
+		t.Fatalf("dump events = %d, want 2", len(evs))
+	}
+}

@@ -55,6 +55,7 @@ func TestDaemonCrossSessionReadback(t *testing.T) {
 	d := startTestDaemon(t, dir, Tuning{})
 
 	const nodes = 2
+	var wantMu sync.Mutex // session members run concurrently
 	want := make(map[int][]byte)
 
 	// Client A: create, write, disconnect.
@@ -69,7 +70,9 @@ func TestDaemonCrossSessionReadback(t *testing.T) {
 	err = sa.Run(func(n *Node) error {
 		buf := make([]byte, n.ChunkBytes(ax))
 		fillPattern(buf, int64(n.Rank())+100)
+		wantMu.Lock()
 		want[n.Rank()] = append([]byte(nil), buf...)
+		wantMu.Unlock()
 		if err := n.Bind(ax, buf); err != nil {
 			return err
 		}

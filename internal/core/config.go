@@ -146,6 +146,16 @@ type Config struct {
 	// server's own goroutine. pandanode uses it for per-operation log
 	// lines; keep the callback cheap.
 	OpLog func(OpSummary)
+	// OpStart, when non-nil, is called as a server dispatches a
+	// collective operation under the scheduler — after any admission
+	// queueing, just before the executor spawns. Together with OpLog it
+	// brackets every operation's in-flight window, which is what the
+	// daemon's SLO watchdog needs to spot ops that are stuck rather
+	// than merely slow. Called from the router goroutine; keep it
+	// cheap. Every server reports (master and forwarded dispatches
+	// alike); consumers wanting one call per operation filter on
+	// server == 0.
+	OpStart func(server, seq int, tenant, op string)
 	// crashHook, when non-nil, is consulted by servers at named points
 	// of a collective write (plan, pull, sync, prepare, commit); a
 	// non-nil return makes the server die at that point exactly as an

@@ -242,7 +242,7 @@ func (sc *schedCore) flush() []*schedOp {
 type schedRouter struct {
 	s        *Server
 	dom      clock.Domain
-	core     *schedCore     // master server only; nil elsewhere
+	core     *schedCore       // master server only; nil elsewhere
 	ops      map[int]*schedOp // admitted (queued or in flight), by seq
 	done     map[int]bool
 	inflight int
@@ -499,6 +499,9 @@ func (r *schedRouter) dispatch() {
 // a rebound disk for metadata, and a routedComm fed by the op mailbox.
 func (r *schedRouter) start(op *schedOp) {
 	s := r.s
+	if s.cfg.OpStart != nil {
+		s.cfg.OpStart(s.index, op.seq, op.tenant, opName(op.req.Op))
+	}
 	op.box = newMbox[mpi.Message](s.clk)
 	for _, sm := range op.stash {
 		op.box.put(sm)

@@ -33,6 +33,11 @@ const sessionSeqBits = 13
 // number still fits the wire tag encoding (tag = 11+16*seq as u32).
 const maxSessionID = 1<<15 - 1
 
+// SessionIDOfSeq recovers the owning session's ID from an operation
+// sequence number (the inverse of SessionInfo.SeqBase). Fixed-shape
+// deployments run in the sid-0 window.
+func SessionIDOfSeq(seq int) int { return seq >> sessionSeqBits }
+
 // SessionInfo describes one attached client session.
 type SessionInfo struct {
 	// ID is the session's identifier, monotonic per service, never
@@ -202,6 +207,15 @@ func (s *Service) Detach(id int) {
 			s.slots[r] = 0
 		}
 	}
+}
+
+// Draining reports whether a graceful drain has begun (new sessions
+// and operations are being refused). The daemon's /readyz endpoint
+// turns this into a load-balancer answer.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 // Sessions lists the currently attached sessions.

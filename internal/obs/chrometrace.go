@@ -47,11 +47,16 @@ func splitTrack(name string) (process, thread string) {
 
 // ChromeTraceFrom converts the recorder's events into the trace-event
 // object form, including process/thread naming metadata. Deterministic
-// given deterministic events.
+// given deterministic events. Safe against concurrent recording: the
+// tracks and events are captured as one consistent snapshot.
 func ChromeTraceFrom(r *Recorder) *ChromeTrace {
-	tracks := r.TrackNames()
-	events := r.Events()
+	tracks, events, _ := r.Snapshot()
+	return ChromeTraceFromSnapshot(tracks, events)
+}
 
+// ChromeTraceFromSnapshot converts an already-captured (tracks, events)
+// pair — from Recorder.Snapshot — into the trace-event object form.
+func ChromeTraceFromSnapshot(tracks []string, events []Event) *ChromeTrace {
 	pids := map[string]int{}
 	tids := make([]int, len(tracks))
 	trackPid := make([]int, len(tracks))

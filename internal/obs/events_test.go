@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEventLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	ev, err := OpenEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Emit("startup", map[string]any{"addr": "127.0.0.1:7800", "slots": 8})
+	ev.Emit("attach", map[string]any{"sid": 1, "tenant": "viz", "ranks": []int{0, 1}})
+	ev.Emit("slo_violation", map[string]any{"sid": 1, "elapsed_ms": 12})
+	if err := ev.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("events = %d, want 3", len(got))
+	}
+	for i, typ := range []string{"startup", "attach", "slo_violation"} {
+		if got[i]["event"] != typ {
+			t.Errorf("event %d = %v, want %s", i, got[i]["event"], typ)
+		}
+		ts, ok := got[i]["ts"].(string)
+		if !ok {
+			t.Fatalf("event %d has no ts: %v", i, got[i])
+		}
+		if _, err := time.Parse(time.RFC3339Nano, ts); err != nil {
+			t.Errorf("event %d ts unparseable: %v", i, err)
+		}
+	}
+	if got[1]["tenant"] != "viz" || got[1]["sid"] != float64(1) {
+		t.Errorf("attach fields lost: %v", got[1])
+	}
+
+	// Append semantics: reopening adds, never truncates.
+	ev2, err := OpenEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev2.Emit("drain", nil)
+	ev2.Close() //nolint:errcheck
+	got, err = ReadEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[3]["event"] != "drain" {
+		t.Fatalf("reopen lost history: %d events, last %v", len(got), got[len(got)-1])
+	}
+}
+
+func TestEventLogNilSafe(t *testing.T) {
+	var ev *EventLog
+	ev.Emit("anything", map[string]any{"k": "v"}) // must not panic
+	if err := ev.Close(); err != nil {
+		t.Fatalf("nil Close: %v", err)
+	}
+}
+
+func TestLabelName(t *testing.T) {
+	if got := LabelName("session_inflight", "sid", "3"); got != "session_inflight{sid=3}" {
+		t.Errorf("LabelName = %q", got)
+	}
+	if got := LabelName("x", "a", "1", "b", "2"); got != "x{a=1,b=2}" {
+		t.Errorf("LabelName = %q", got)
+	}
+	if got := LabelName("bare"); got != "bare" {
+		t.Errorf("LabelName = %q", got)
+	}
+}
+
+func TestRegistryUnregister(t *testing.T) {
+	reg := NewRegistry()
+	name := LabelName("session_inflight", "sid", "7")
+	reg.Func(name, func() int64 { return 5 })
+	reg.Counter("keep").Add(1)
+
+	var buf strings.Builder
+	_ = reg.WriteJSON(&buf)
+	if !strings.Contains(buf.String(), name) {
+		t.Fatalf("gauge not exported: %s", buf.String())
+	}
+
+	reg.Unregister(name)
+	buf.Reset()
+	_ = reg.WriteJSON(&buf)
+	if strings.Contains(buf.String(), "session_inflight") {
+		t.Fatalf("gauge survived Unregister: %s", buf.String())
+	}
+	if !strings.Contains(buf.String(), `"keep": 1`) {
+		t.Fatalf("Unregister removed an unrelated instrument: %s", buf.String())
+	}
+
+	// Unknown names and nil registries are no-ops.
+	reg.Unregister("never_registered")
+	var nilReg *Registry
+	nilReg.Unregister("x")
+
+	// The name is reusable after Unregister.
+	reg.Func(name, func() int64 { return 9 })
+	buf.Reset()
+	_ = reg.WriteJSON(&buf)
+	if !strings.Contains(buf.String(), name) {
+		t.Fatalf("name not reusable after Unregister: %s", buf.String())
+	}
+}
+
+func TestRecorderSnapshot(t *testing.T) {
+	r := NewRecorder(4)
+	tr := r.Track("ion0")
+	for i := 0; i < 6; i++ { // wraps: capacity 4, drops the oldest 2
+		start := time.Duration(i) * time.Millisecond
+		tr.Span(CatDisk, "write", i, start, start+time.Millisecond, 1)
+	}
+	tracks, events, dropped := r.Snapshot()
+	if len(tracks) != 1 || tracks[0] != "ion0" {
+		t.Fatalf("tracks = %v", tracks)
+	}
+	if len(events) != 4 {
+		t.Fatalf("events = %d, want 4", len(events))
+	}
+	if dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Start < events[i-1].Start {
+			t.Fatalf("snapshot not in record order at %d", i)
+		}
+	}
+	// Snapshot of a nil recorder is empty, not a panic.
+	var nilRec *Recorder
+	if tracks, events, dropped := nilRec.Snapshot(); tracks != nil || events != nil || dropped != 0 {
+		t.Fatal("nil Snapshot not empty")
+	}
+}
+
+// TestSpanZeroAllocSteadyState pins the flight-recorder invariant the
+// daemon relies on: with the ring warm (the always-on steady state),
+// recording a span allocates nothing.
+func TestSpanZeroAllocSteadyState(t *testing.T) {
+	r := NewRecorder(64)
+	tr := r.Track("hot")
+	for i := 0; i < 128; i++ { // fill past capacity: every later record overwrites
+		tr.Span(CatNet, "pull", i, 0, time.Millisecond, 4096)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Span(CatNet, "pull", 1, 0, time.Millisecond, 4096)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state span = %v allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkSpanFlightRecorder is the always-on daemon configuration:
+// the ring is full and every span overwrites the oldest slot. Compare
+// with BenchmarkSpanDisabled for the cost of never flying blind.
+func BenchmarkSpanFlightRecorder(b *testing.B) {
+	r := NewRecorder(1 << 12)
+	tr := r.Track("hot")
+	for i := 0; i < (1<<12)+1; i++ {
+		tr.Span(CatNet, "pull", 0, 0, time.Millisecond, 4096)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Span(CatNet, "pull", 0, 0, time.Millisecond, 4096)
+	}
+}

@@ -11,14 +11,19 @@ import (
 // Handler serves a node's live observability surface:
 //
 //	/metrics      the registry as expvar-style JSON
-//	/status       a plain-text live status page: caller-supplied header
-//	              (e.g. per-op summaries), registry dump, recent trace
-//	              events
+//	/status       a plain-text live status page: serving/draining state,
+//	              scheduler admission-queue depth and in-flight window,
+//	              caller-supplied header (e.g. per-op summaries),
+//	              registry dump, recent trace events
 //	/debug/pprof  the standard Go profiler endpoints
 //
 // reg and rec may be nil (their sections render as disabled); status
-// may be nil. pandanode mounts this behind its -http flag.
-func Handler(reg *Registry, rec *Recorder, status func(w io.Writer)) http.Handler {
+// may be nil. draining, when non-nil, reports whether the deployment
+// is refusing new work — a resident daemon passes its drain flag so
+// /status stops claiming "serving" while a drain runs; fixed-shape
+// nodes pass nil. pandanode mounts this behind its -http flag, and
+// pandad mounts it under the daemon telemetry plane.
+func Handler(reg *Registry, rec *Recorder, status func(w io.Writer), draining func() bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -27,6 +32,16 @@ func Handler(reg *Registry, rec *Recorder, status func(w io.Writer)) http.Handle
 	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "panda node status — %s\n\n", time.Now().Format(time.RFC3339))
+		state := "serving"
+		if draining != nil && draining() {
+			state = "draining"
+		}
+		fmt.Fprintf(w, "state: %s\n", state)
+		if reg != nil {
+			fmt.Fprintf(w, "scheduler: queued=%d inflight=%d\n",
+				reg.Gauge("sched_queue_depth").Value(), reg.Gauge("sched_inflight_ops").Value())
+		}
+		fmt.Fprintln(w)
 		if status != nil {
 			status(w)
 			fmt.Fprintln(w)
@@ -34,15 +49,14 @@ func Handler(reg *Registry, rec *Recorder, status func(w io.Writer)) http.Handle
 		fmt.Fprintln(w, "metrics:")
 		_ = reg.WriteJSON(w)
 		if rec != nil {
-			events := rec.Events()
+			names, events, dropped := rec.Snapshot()
 			const tail = 40
 			lo := 0
 			if len(events) > tail {
 				lo = len(events) - tail
 			}
-			names := rec.TrackNames()
 			fmt.Fprintf(w, "\nlast %d trace events (%d recorded, %d overwritten):\n",
-				len(events)-lo, len(events), rec.Dropped())
+				len(events)-lo, len(events), dropped)
 			for _, e := range events[lo:] {
 				kind := "span"
 				if e.Instant {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -107,6 +108,55 @@ func (r *Registry) Func(name string, fn func() int64) {
 	}
 	r.funcs[name] = fn
 	r.intern(name, fn)
+}
+
+// Unregister removes the named instrument from the registry, so a
+// dynamic entity (a client session, say) can retire its gauges when it
+// goes away instead of leaking a registry entry per lifetime. No-op
+// when the name is unknown or the registry is nil.
+func (r *Registry) Unregister(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.vars[name]; !ok {
+		return
+	}
+	delete(r.vars, name)
+	delete(r.funcs, name)
+	delete(r.hists, name)
+	delete(r.counts, name)
+	delete(r.gauges, name)
+	for i, n := range r.names {
+		if n == name {
+			r.names = append(r.names[:i], r.names[i+1:]...)
+			break
+		}
+	}
+}
+
+// LabelName renders an instrument name with key=value labels in the
+// conventional brace form: LabelName("session_inflight", "sid", "3")
+// is `session_inflight{sid=3}`. The registry treats the result as an
+// ordinary (interned, sortable) name; pairs render in argument order.
+func LabelName(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteByte('=')
+		b.WriteString(kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 // Counter is a monotonically increasing atomic counter.

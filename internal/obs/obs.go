@@ -231,6 +231,30 @@ func (r *Recorder) Events() []Event {
 	return out
 }
 
+// Snapshot returns the interned track names, the recorded events
+// (oldest first) and the overwrite count as one consistent triple,
+// taken under a single lock. Events() followed by TrackNames() can
+// observe an event whose track was interned between the two calls;
+// dump paths that index tracks by event (the flight recorder, the
+// /status page) must use Snapshot instead.
+func (r *Recorder) Snapshot() (tracks []string, events []Event, dropped int64) {
+	if r == nil {
+		return nil, nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tracks = make([]string, len(r.tracks))
+	copy(tracks, r.tracks)
+	events = make([]Event, 0, len(r.buf))
+	if r.full {
+		events = append(events, r.buf[r.next:]...)
+		events = append(events, r.buf[:r.next]...)
+	} else {
+		events = append(events, r.buf...)
+	}
+	return tracks, events, r.dropped
+}
+
 // Dropped reports how many events were overwritten by ring wraparound.
 func (r *Recorder) Dropped() int64 {
 	if r == nil {

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # daemon_smoke.sh — black-box smoke of the pandad service daemon:
-# start it over a fresh catalog directory, write an array from one
-# client process, read it back bit-exact from a second, reload the
+# start it over a fresh catalog directory with the telemetry plane up,
+# write an array from one client process, read it back bit-exact from
+# a second, probe every telemetry endpoint (/healthz, /metrics,
+# /sessions, /slo, /dump) plus pandastat -check mid-run, reload the
 # tuning via SIGHUP, drain via SIGTERM, and fsck the directory.
-# Gates on every exit status plus the fsck verdict. Artifacts (daemon
-# log + catalog/data directory) land in $DAEMON_SMOKE_OUT (default
-# ./daemon-artifacts) for CI upload.
+# Gates on every exit status plus the fsck verdict and the validity of
+# the dumped flight-recorder trace. Artifacts (daemon log, catalog/data
+# directory, structured event log, dumped trace) land in
+# $DAEMON_SMOKE_OUT (default ./daemon-artifacts) for CI upload.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,28 +19,60 @@ DATA="$OUT/data"
 LOG="$OUT/pandad.log"
 CFG="$OUT/tuning.json"
 ADDRFILE="$OUT/addr"
+HTTPADDRFILE="$OUT/http-addr"
 
 go build -o "$OUT/pandad" ./cmd/pandad
 go build -o "$OUT/pandafsck" ./cmd/pandafsck
+go build -o "$OUT/pandastat" ./cmd/pandastat
+go build -o "$OUT/pandatrace" ./cmd/pandatrace
 
-echo '{"max_inflight": 2, "pipeline": 2}' >"$CFG"
-"$OUT/pandad" -addr 127.0.0.1:0 -dir "$DATA" -config "$CFG" -addr-file "$ADDRFILE" >"$LOG" 2>&1 &
+echo '{"max_inflight": 2, "pipeline": 2, "slo_default_ms": 30000}' >"$CFG"
+"$OUT/pandad" -addr 127.0.0.1:0 -dir "$DATA" -config "$CFG" -addr-file "$ADDRFILE" \
+  -http 127.0.0.1:0 -http-addr-file "$HTTPADDRFILE" >"$LOG" 2>&1 &
 PID=$!
 trap 'kill -9 "$PID" 2>/dev/null || true' EXIT
 
-for _ in $(seq 100); do [ -s "$ADDRFILE" ] && break; sleep 0.1; done
+for _ in $(seq 100); do [ -s "$ADDRFILE" ] && [ -s "$HTTPADDRFILE" ] && break; sleep 0.1; done
 [ -s "$ADDRFILE" ] || { echo "daemon never published its address"; cat "$LOG"; exit 1; }
+[ -s "$HTTPADDRFILE" ] || { echo "daemon never published its telemetry address"; cat "$LOG"; exit 1; }
 ADDR=$(cat "$ADDRFILE")
-echo "daemon on $ADDR (pid $PID)"
+HTTP=$(cat "$HTTPADDRFILE")
+echo "daemon on $ADDR, telemetry on $HTTP (pid $PID)"
+
+# The startup line is structured JSON, not prose.
+grep -q 'startup {"addr"' "$LOG" || { echo "no structured startup line"; cat "$LOG"; exit 1; }
 
 # Client A writes; a separate client process B reads it back bit-exact
 # knowing only the array's name — the catalog supplies the schema.
 "$OUT/pandad" -connect "$ADDR" -smoke write -array smoke -nodes 2 -tenant a
 "$OUT/pandad" -connect "$ADDR" -smoke read -array smoke -nodes 2 -tenant b
 
+# Telemetry plane, mid-run: health, readiness, metrics, sessions, SLO.
+curl -fsS "http://$HTTP/healthz" | grep -q ok || { echo "/healthz not ok"; exit 1; }
+curl -fsS "http://$HTTP/readyz" | grep -q ready || { echo "/readyz not ready"; exit 1; }
+curl -fsS "http://$HTTP/metrics" | grep -q '"sessions_attached"' \
+  || { echo "/metrics missing sessions_attached"; exit 1; }
+curl -fsS "http://$HTTP/metrics" | grep -q '"tenant_ops_a"' \
+  || { echo "/metrics missing tenant attribution"; exit 1; }
+curl -fsS "http://$HTTP/sessions" | grep -q '"sessions"' || { echo "/sessions malformed"; exit 1; }
+curl -fsS "http://$HTTP/slo" | grep -q '"default_ms": 30000' \
+  || { echo "/slo missing the configured objective"; curl -fsS "http://$HTTP/slo"; exit 1; }
+echo "telemetry endpoints OK"
+
+# Operator-requested flight-recorder dump; the trace must validate.
+DUMP=$(curl -fsS "http://$HTTP/dump" | sed -n 's/.*"path": "\(.*\)".*/\1/p')
+[ -s "$DUMP" ] || { echo "/dump produced no trace"; cat "$LOG"; exit 1; }
+"$OUT/pandatrace" -check "$DUMP"
+cp "$DUMP" "$OUT/trace-dump.json"
+echo "flight-recorder dump OK ($DUMP)"
+
+# The CLI agrees the daemon is healthy.
+"$OUT/pandastat" -addr "$HTTP" -check
+"$OUT/pandastat" -addr "$HTTP" >"$OUT/pandastat.txt"
+
 # Live reload: rewrite the config, SIGHUP, and require the new knobs
 # to become observable through info.
-echo '{"max_inflight": 4, "weights": {"a": 7}, "pipeline": 1}' >"$CFG"
+echo '{"max_inflight": 4, "weights": {"a": 7}, "pipeline": 1, "slo_default_ms": 30000}' >"$CFG"
 kill -HUP "$PID"
 INFO=""
 for _ in $(seq 100); do
@@ -61,4 +96,14 @@ trap - EXIT
 # fsck gate over what the daemon left behind.
 "$OUT/pandafsck" -v "$DATA"
 grep -q "drained" "$LOG" || { echo "daemon did not report a drain"; cat "$LOG"; exit 1; }
+
+# The structured event log must carry the full lifecycle.
+EVENTS="$DATA/events.jsonl"
+[ -s "$EVENTS" ] || { echo "no events.jsonl"; exit 1; }
+for ev in startup attach open detach reconfigure dump drain drained; do
+  grep -q "\"event\":\"$ev\"" "$EVENTS" \
+    || { echo "event log missing $ev"; cat "$EVENTS"; exit 1; }
+done
+cp "$EVENTS" "$OUT/events.jsonl"
+echo "event log OK ($(wc -l <"$EVENTS") events)"
 echo "daemon smoke OK"
