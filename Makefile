@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet staticcheck check fuzz bench-baseline bench-check bench-sched sched-check bench-pack trace-smoke recovery-smoke daemon-smoke ci clean
+.PHONY: all build test race vet staticcheck check fuzz bench-baseline bench-check bench-sched sched-check bench-pack trace-smoke recovery-smoke daemon-smoke churn-smoke ci clean
 
 all: build
 
@@ -101,6 +101,14 @@ recovery-smoke:
 # daemon-artifacts/ for inspection.
 daemon-smoke:
 	DAEMON_SMOKE_OUT=$(CURDIR)/daemon-artifacts bash scripts/daemon_smoke.sh
+
+# churn-smoke drives the elastic server pool from separate processes:
+# two pandanode joiners against a live daemon, one SIGKILLed and
+# declared lost by its lease, arrays rewritten around the corpse, the
+# survivor drained with migration, bit-exact readback at every step,
+# and a pandafsck gate over every directory — the CI membership gate.
+churn-smoke:
+	CHURN_SMOKE_OUT=$(CURDIR)/churn-artifacts bash scripts/churn_smoke.sh
 
 ci: check race
 

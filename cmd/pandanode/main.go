@@ -32,10 +32,13 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
+	"panda"
 	"panda/internal/array"
 	"panda/internal/bufpool"
 	"panda/internal/clock"
@@ -63,7 +66,13 @@ func main() {
 	httpAddr := flag.String("http", "", "serve /metrics, /status and /debug/pprof on this address (e.g. :8080)")
 	packWorkers := flag.Int("packworkers", 0, "goroutines for large strided pack copies (0 = serial)")
 	planCache := flag.Int("plancache", 0, "per-server plan cache entries (0 = default 64, negative = off)")
+	joinAddr := flag.String("join", "", "join a running pandad at this address as a new I/O node (elastic pool; -dir names the node's storage, all other flags ignored)")
 	flag.Parse()
+
+	if *joinAddr != "" {
+		runJoiner(*joinAddr, *dir)
+		return
+	}
 
 	cfg := core.Config{NumClients: *clients, NumServers: *servers, OpTimeout: *opTimeout, PullRetries: *retries, Pipeline: *pipeline, ReadAhead: *readahead, PackWorkers: *packWorkers, PlanCacheSize: *planCache}
 	if err := cfg.Validate(); err != nil {
@@ -181,6 +190,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pandanode: -role must be hub, server or client")
 		os.Exit(2)
 	}
+}
+
+// runJoiner attaches this process to a running daemon as an elastic
+// I/O node: it serves collectives until the operator drains the slot
+// out (pandastat drain-server) — a clean exit — or the process is
+// signalled, which severs the node and lets the daemon's lease expiry
+// declare it lost.
+func runJoiner(addr, dir string) {
+	n, err := panda.JoinIONode(panda.IONodeConfig{Addr: addr, Dir: dir, Logf: log.Printf})
+	if err != nil {
+		log.Fatalf("pandanode: join %s: %v", addr, err)
+	}
+	fmt.Printf("i/o node: joined %s as pool slot %d\n", addr, n.Slot())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("i/o node: signalled; severing (daemon will expire the lease)")
+		n.Kill()
+	}()
+	if err := n.Wait(); err != nil {
+		log.Fatalf("pandanode: joined node exited: %v", err)
+	}
+	fmt.Printf("i/o node: slot %d drained; exiting\n", n.Slot())
 }
 
 // summaryLine renders one completed collective operation the way an

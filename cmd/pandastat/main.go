@@ -7,6 +7,9 @@
 //	pandastat -addr 127.0.0.1:7801 -json      # machine-readable snapshot
 //	pandastat -addr 127.0.0.1:7801 -check     # CI probe: exit 0 iff
 //	                                          # healthy, ready, scraping
+//	pandastat -addr 127.0.0.1:7801 servers    # I/O-node pool membership
+//	pandastat -addr 127.0.0.1:7801 drain-server 2   # gracefully remove
+//	                                                # pool slot 2
 //
 // Watch mode derives per-tenant MB/s from successive tenant_bytes_*
 // counter samples, so throughput is live rather than lifetime-average.
@@ -33,6 +36,33 @@ func main() {
 	flag.Parse()
 
 	c := &client{base: "http://" + *addr, http: &http.Client{Timeout: 5 * time.Second}}
+
+	switch flag.Arg(0) {
+	case "servers":
+		var sv serversReply
+		if err := c.getJSON("/servers", &sv); err != nil {
+			fmt.Fprintf(os.Stderr, "pandastat: %v\n", err)
+			os.Exit(1)
+		}
+		renderServers(os.Stdout, &sv)
+		return
+	case "drain-server":
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "pandastat: usage: pandastat drain-server SLOT")
+			os.Exit(2)
+		}
+		// A drain migrates every committed array, so allow it minutes,
+		// not the snapshot client's seconds.
+		drainer := &client{base: c.base, http: &http.Client{Timeout: 10 * time.Minute}}
+		var sv serversReply
+		if err := drainer.postJSON("/drain-server?slot="+flag.Arg(1), &sv); err != nil {
+			fmt.Fprintf(os.Stderr, "pandastat: drain-server %s: %v\n", flag.Arg(1), err)
+			os.Exit(1)
+		}
+		fmt.Printf("slot %s drained\n", flag.Arg(1))
+		renderServers(os.Stdout, &sv)
+		return
+	}
 
 	if *check {
 		os.Exit(runCheck(c))
@@ -145,9 +175,25 @@ type sloStatus struct {
 	Recent     []sloViolation   `json:"recent"`
 }
 
+type serverRow struct {
+	Slot    int    `json:"slot"`
+	State   string `json:"state"`
+	Local   bool   `json:"local"`
+	Addr    string `json:"addr"`
+	Epoch   uint32 `json:"epoch"`
+	LeaseMs int64  `json:"lease_ms"`
+}
+
+type serversReply struct {
+	Epoch   uint32      `json:"epoch"`
+	Active  int         `json:"active"`
+	Servers []serverRow `json:"servers"`
+}
+
 type snapshot struct {
 	Ready    bool                       `json:"ready"`
 	Sessions []sessionRow               `json:"sessions"`
+	Servers  *serversReply              `json:"servers,omitempty"`
 	SLO      sloStatus                  `json:"slo"`
 	Metrics  map[string]json.RawMessage `json:"metrics"`
 }
@@ -179,6 +225,19 @@ func (c *client) getJSON(path string, v any) error {
 	return json.NewDecoder(resp.Body).Decode(v)
 }
 
+func (c *client) postJSON(path string, v any) error {
+	resp, err := c.http.Post(c.base+path, "application/json", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s: %s: %s", path, resp.Status, strings.TrimSpace(string(b)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
 func (c *client) snapshot() (*snapshot, error) {
 	s := &snapshot{}
 	ready, err := c.text("/readyz")
@@ -191,6 +250,12 @@ func (c *client) snapshot() (*snapshot, error) {
 		return nil, err
 	}
 	s.Sessions = sr.Sessions
+	// Best effort: an older daemon without an elastic pool has no
+	// /servers endpoint, and the rest of the snapshot still renders.
+	var sv serversReply
+	if err := c.getJSON("/servers", &sv); err == nil {
+		s.Servers = &sv
+	}
 	if err := c.getJSON("/slo", &s.SLO); err != nil {
 		return nil, err
 	}
@@ -233,6 +298,23 @@ func (s *snapshot) tenants() []string {
 	return out
 }
 
+// renderServers prints the I/O-node pool membership table.
+func renderServers(w io.Writer, sv *serversReply) {
+	fmt.Fprintf(w, "i/o node pool: epoch=%d active=%d/%d\n", sv.Epoch, sv.Active, len(sv.Servers))
+	fmt.Fprintf(w, "%-5s %-9s %-6s %-8s %-7s %s\n", "SLOT", "STATE", "LOCAL", "EPOCH", "LEASE", "ADDR")
+	for _, r := range sv.Servers {
+		lease := "-"
+		if r.LeaseMs >= 0 {
+			lease = (time.Duration(r.LeaseMs) * time.Millisecond).Round(time.Millisecond).String()
+		}
+		addr := r.Addr
+		if addr == "" {
+			addr = "-"
+		}
+		fmt.Fprintf(w, "%-5d %-9s %-6v %-8d %-7s %s\n", r.Slot, r.State, r.Local, r.Epoch, lease, addr)
+	}
+}
+
 // render prints the human view. With a previous snapshot, tenant
 // throughput is the delta over the interval; otherwise it is omitted.
 func render(w io.Writer, addr string, s, prev *snapshot, interval time.Duration) {
@@ -257,6 +339,11 @@ func render(w io.Writer, addr string, s, prev *snapshot, interval time.Duration)
 	}
 	if len(s.Sessions) == 0 {
 		fmt.Fprintln(w, "(no sessions attached)")
+	}
+
+	if s.Servers != nil {
+		fmt.Fprintln(w)
+		renderServers(w, s.Servers)
 	}
 
 	if tenants := s.tenants(); len(tenants) > 0 {

@@ -91,8 +91,24 @@ type DaemonConfig struct {
 	// ClientSlots is the number of client ranks available to attached
 	// sessions in aggregate (0 = 8).
 	ClientSlots int
-	// IONodes is the number of I/O nodes (0 = 2).
+	// IONodes is the number of I/O nodes the daemon itself runs at
+	// startup (0 = 2).
 	IONodes int
+	// MaxIONodes is the server pool's capacity: the most I/O nodes the
+	// deployment can ever hold, counting runtime joiners (pandanode
+	// -join). Capacity fixes the communicator shape, so it cannot grow
+	// without a restart; slots above IONodes start vacant. 0 (or less
+	// than IONodes) means capacity == IONodes.
+	MaxIONodes int
+	// LeaseTTL is how long a joined I/O node may miss heartbeats before
+	// it is declared lost and its chunks are replanned (0 = 10s).
+	LeaseTTL time.Duration
+	// HeartbeatEvery is the joiners' heartbeat (and the lease watchdog's
+	// sweep) cadence (0 = LeaseTTL/4). Must be shorter than LeaseTTL.
+	HeartbeatEvery time.Duration
+	// MigrateParallel bounds how many arrays a membership rebalance
+	// migrates concurrently (0 = 2).
+	MigrateParallel int
 	// SubchunkBytes bounds the transfer/IO unit (0 = 1 MB).
 	SubchunkBytes int64
 	// OpTimeout bounds every collective operation; 0 disables.
@@ -120,6 +136,7 @@ type Daemon struct {
 	svc     *core.Service
 	hub     *mpi.Hub
 	disks   []storage.Disk
+	members *core.Membership
 	reg     *obs.Registry
 	rec     *obs.Recorder
 	tel     *telemetry
@@ -130,8 +147,12 @@ type Daemon struct {
 	logf    func(string, ...any)
 	hubDone chan error
 
+	rebalMu   sync.Mutex // serializes membership rebalances
 	drainOnce sync.Once
 	drainErr  error
+
+	ctlMu    sync.Mutex // guards ctlConns
+	ctlConns map[net.Conn]struct{}
 }
 
 // DaemonInfo is the daemon's resolved configuration, emitted as the
@@ -142,6 +163,7 @@ type DaemonInfo struct {
 	Dir         string `json:"dir,omitempty"`
 	ClientSlots int    `json:"slots"`
 	IONodes     int    `json:"ions"`
+	MaxIONodes  int    `json:"max_ions,omitempty"`
 	OpTimeoutMs int64  `json:"op_timeout_ms,omitempty"`
 	Tuning      Tuning `json:"tuning"`
 }
@@ -164,6 +186,9 @@ func StartDaemon(cfg DaemonConfig) (*Daemon, error) {
 	}
 	if cfg.IONodes == 0 {
 		cfg.IONodes = 2
+	}
+	if cfg.MaxIONodes < cfg.IONodes {
+		cfg.MaxIONodes = cfg.IONodes
 	}
 	if cfg.Addr == "" {
 		cfg.Addr = "127.0.0.1:0"
@@ -194,17 +219,25 @@ func StartDaemon(cfg DaemonConfig) (*Daemon, error) {
 	}
 	tel := newTelemetry(reg, rec, events, cfg.Dir, logf)
 	tel.setSLO(cfg.Tuning.sloPolicy())
+	// The server pool is sized to its capacity; the daemon's own I/O
+	// nodes occupy the first IONodes slots and the rest stay vacant for
+	// runtime joiners. Membership tracks which slots are live.
+	members := core.NewMembership(cfg.MaxIONodes, cfg.IONodes, cfg.LeaseTTL)
 	ccfg := core.Config{
-		NumClients:    cfg.ClientSlots,
-		NumServers:    cfg.IONodes,
-		SubchunkBytes: cfg.SubchunkBytes,
-		Pipeline:      cfg.Tuning.Pipeline,
-		ReadAhead:     cfg.Tuning.ReadAhead,
-		OpTimeout:     cfg.OpTimeout,
-		PullRetries:   cfg.PullRetries,
-		Metrics:       reg,
-		Trace:         rec,
-		Service:       true,
+		NumClients:      cfg.ClientSlots,
+		NumServers:      cfg.MaxIONodes,
+		SubchunkBytes:   cfg.SubchunkBytes,
+		Pipeline:        cfg.Tuning.Pipeline,
+		ReadAhead:       cfg.Tuning.ReadAhead,
+		OpTimeout:       cfg.OpTimeout,
+		PullRetries:     cfg.PullRetries,
+		Metrics:         reg,
+		Trace:           rec,
+		Service:         true,
+		Members:         members,
+		LeaseTTL:        cfg.LeaseTTL,
+		HeartbeatEvery:  cfg.HeartbeatEvery,
+		MigrateParallel: cfg.MigrateParallel,
 		Sched: core.SchedConfig{
 			MaxInflight: cfg.Tuning.MaxInflight,
 			QueueDepth:  cfg.Tuning.QueueDepth,
@@ -226,8 +259,11 @@ func StartDaemon(cfg DaemonConfig) (*Daemon, error) {
 		},
 	}
 
-	disks := make([]storage.Disk, cfg.IONodes)
-	for i := range disks {
+	// One disk per launch-time I/O node; vacant pool slots stay nil —
+	// runtime joiners serve from their own processes with their own
+	// disks, which the daemon never touches.
+	disks := make([]storage.Disk, cfg.MaxIONodes)
+	for i := 0; i < cfg.IONodes; i++ {
 		if cfg.Dir == "" {
 			disks[i] = storage.NewMemDisk()
 			continue
@@ -258,24 +294,29 @@ func StartDaemon(cfg DaemonConfig) (*Daemon, error) {
 		return nil, err
 	}
 	d := &Daemon{
-		ccfg:    ccfg,
-		svc:     svc,
-		hub:     hub,
-		disks:   disks,
-		reg:     reg,
-		rec:     rec,
-		tel:     tel,
-		events:  events,
-		logf:    logf,
-		hubDone: make(chan error, 1),
+		ccfg:     ccfg,
+		svc:      svc,
+		hub:      hub,
+		disks:    disks,
+		members:  members,
+		reg:      reg,
+		rec:      rec,
+		tel:      tel,
+		events:   events,
+		logf:     logf,
+		hubDone:  make(chan error, 1),
+		ctlConns: make(map[net.Conn]struct{}),
 	}
+	members.SetNotify(d.onMemberEvent)
+	reg.Func("servers_active", func() int64 { return int64(members.ActiveCount()) })
+	reg.Func("member_epoch", func() int64 { return int64(members.Epoch()) })
 	go func() { d.hubDone <- hub.ServeDynamic(d.handleSession) }()
 
 	// The daemon's own I/O-node goroutines join the mesh through the
 	// hub like any other rank, so remote session members reach them
-	// with no special casing.
-	comms := make([]mpi.Comm, cfg.IONodes)
-	for i := range comms {
+	// with no special casing. Vacant pool slots get no endpoint.
+	comms := make([]mpi.Comm, cfg.MaxIONodes)
+	for i := 0; i < cfg.IONodes; i++ {
 		comms[i], err = mpi.DialComm(hub.Addr(), ccfg.ServerRank(i), ccfg.WorldSize())
 		if err != nil {
 			hub.Close()
@@ -322,6 +363,7 @@ func StartDaemon(cfg DaemonConfig) (*Daemon, error) {
 		Dir:         cfg.Dir,
 		ClientSlots: cfg.ClientSlots,
 		IONodes:     cfg.IONodes,
+		MaxIONodes:  cfg.MaxIONodes,
 		OpTimeoutMs: cfg.OpTimeout.Milliseconds(),
 		Tuning:      cfg.Tuning,
 	}
@@ -386,8 +428,18 @@ func (d *Daemon) Drain() error {
 		d.events.Emit("drain", map[string]any{"sessions": len(d.svc.Sessions())})
 		err := d.svc.Drain()
 		for _, disk := range d.disks {
-			disk.FlushCache()
+			if disk != nil { // vacant pool slots carry no disk
+				disk.FlushCache()
+			}
 		}
+		// Sever any control connections still open (a crashed client or a
+		// departed joiner's leftover): the hub's accept loop waits for
+		// their handlers, and a wedged peer must not hold up the exit.
+		d.ctlMu.Lock()
+		for conn := range d.ctlConns {
+			conn.Close() //nolint:errcheck
+		}
+		d.ctlMu.Unlock()
 		d.hub.Close()
 		<-d.hubDone
 		d.tel.stopWatchdog()
@@ -425,6 +477,10 @@ type ctlRequest struct {
 	Name   string `json:"name,omitempty"`
 	Spec   []byte `json:"spec,omitempty"`
 	Create bool   `json:"create,omitempty"`
+	// Addr is the joiner's self-description on a server-join request
+	// (diagnostic only; the mesh reaches the joiner over its own dialed
+	// connections).
+	Addr string `json:"addr,omitempty"`
 }
 
 type ctlReply struct {
@@ -446,6 +502,11 @@ type ctlReply struct {
 	// open
 	Epoch uint64 `json:"epoch,omitempty"`
 	Spec  []byte `json:"spec,omitempty"`
+
+	// server-join
+	Slot        int   `json:"slot,omitempty"`
+	HeartbeatNs int64 `json:"heartbeat_ns,omitempty"`
+	LeaseNs     int64 `json:"lease_ns,omitempty"`
 
 	// info
 	Weights    map[string]int  `json:"weights,omitempty"`
@@ -498,6 +559,9 @@ func fail(err error) ctlReply {
 // handleSession runs one control connection: requests in, replies out,
 // detach on disconnect. Runs on the hub's per-connection goroutine.
 func (d *Daemon) handleSession(conn net.Conn) {
+	d.ctlMu.Lock()
+	d.ctlConns[conn] = struct{}{}
+	d.ctlMu.Unlock()
 	dec := json.NewDecoder(conn)
 	enc := json.NewEncoder(conn)
 	sid := 0
@@ -508,6 +572,9 @@ func (d *Daemon) handleSession(conn net.Conn) {
 			d.logf("session %d detached", sid)
 		}
 		conn.Close()
+		d.ctlMu.Lock()
+		delete(d.ctlConns, conn)
+		d.ctlMu.Unlock()
 	}()
 	for {
 		var req ctlRequest
@@ -565,6 +632,31 @@ func (d *Daemon) handleSession(conn net.Conn) {
 				Arrays:      arrays,
 				Metrics:     json.RawMessage(buf.Bytes()),
 			}
+		case "server-join":
+			// An I/O-node joiner asks for a pool slot. The reply carries
+			// the deployment shape it must dial the mesh with; admission
+			// happens when its ServerHello reaches the master server.
+			slot, err := d.members.Reserve(req.Addr, d.svc.Clock().Now())
+			if err != nil {
+				rep = fail(err)
+				break
+			}
+			cfg := d.svc.Config()
+			rep = ctlReply{
+				OK:          true,
+				Slot:        slot,
+				Clients:     cfg.NumClients,
+				Servers:     cfg.NumServers,
+				Subchunk:    cfg.SubchunkBytes,
+				OpTimeoutNs: int64(cfg.OpTimeout),
+				PullRetries: cfg.PullRetries,
+				MaxInflight: cfg.Sched.MaxInflight,
+				Pipeline:    cfg.Pipeline,
+				ReadAhead:   cfg.ReadAhead,
+				HeartbeatNs: int64(cfg.HeartbeatInterval()),
+				LeaseNs:     int64(cfg.EffectiveLeaseTTL()),
+			}
+			d.logf("server joiner %q reserved slot %d", req.Addr, slot)
 		case "detach":
 			if sid != 0 {
 				d.svc.Detach(sid)

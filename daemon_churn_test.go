@@ -1,0 +1,396 @@
+package panda
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"panda/internal/core"
+	"panda/internal/storage"
+)
+
+// startElasticDaemon runs a daemon with spare pool capacity and the
+// telemetry plane bound, so tests can join and drain I/O nodes.
+func startElasticDaemon(t *testing.T, dir string, maxIons int, lease, heartbeat time.Duration) *Daemon {
+	t.Helper()
+	d, err := StartDaemon(DaemonConfig{
+		Dir:             dir,
+		ClientSlots:     8,
+		IONodes:         2,
+		MaxIONodes:      maxIons,
+		LeaseTTL:        lease,
+		HeartbeatEvery:  heartbeat,
+		MigrateParallel: 2,
+		OpTimeout:       20 * time.Second,
+		HTTPAddr:        "127.0.0.1:0",
+		Logf:            t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("StartDaemon: %v", err)
+	}
+	return d
+}
+
+// waitMemberState polls the membership table until a slot reaches the
+// wanted state; admission and lease expiry are asynchronous.
+func waitMemberState(t *testing.T, d *Daemon, slot int, want core.MemberState, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if got := d.members.State(slot); got == want {
+			return
+		} else if time.Now().After(deadline) {
+			t.Fatalf("slot %d stuck in %s, want %s", slot, got, want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// churnWrite (re)writes every named array with a seed-derived pattern
+// through a fresh session.
+func churnWrite(t *testing.T, addr string, names []string, nodes int, seed int64) {
+	t.Helper()
+	s, err := Dial(SessionConfig{Addr: addr, Nodes: nodes, Tenant: "churn"})
+	if err != nil {
+		t.Fatalf("dial for write: %v", err)
+	}
+	defer s.Close() //nolint:errcheck
+	arrs := make([]*Array, len(names))
+	for i, name := range names {
+		arrs[i] = sessionArray(t, name, nodes)
+		if err := s.Create(arrs[i]); err != nil {
+			t.Fatalf("create %s: %v", name, err)
+		}
+	}
+	err = s.Run(func(n *Node) error {
+		for i, a := range arrs {
+			buf := make([]byte, n.ChunkBytes(a))
+			fillPattern(buf, seed+int64(i*64+n.Rank()))
+			if err := n.Bind(a, buf); err != nil {
+				return err
+			}
+			if err := n.WriteArray(a); err != nil {
+				return fmt.Errorf("write %s: %w", names[i], err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("churn write (seed %d): %v", seed, err)
+	}
+}
+
+// churnVerify reads every named array back and checks it bit-exact
+// against the seed-derived pattern churnWrite used.
+func churnVerify(t *testing.T, addr string, names []string, nodes int, seed int64) {
+	t.Helper()
+	s, err := Dial(SessionConfig{Addr: addr, Nodes: nodes, Tenant: "churn"})
+	if err != nil {
+		t.Fatalf("dial for verify: %v", err)
+	}
+	defer s.Close() //nolint:errcheck
+	arrs := make([]*Array, len(names))
+	for i, name := range names {
+		if arrs[i], err = s.Open(name); err != nil {
+			t.Fatalf("open %s: %v", name, err)
+		}
+	}
+	err = s.Run(func(n *Node) error {
+		for i, a := range arrs {
+			buf := make([]byte, n.ChunkBytes(a))
+			if err := n.Bind(a, buf); err != nil {
+				return err
+			}
+			if err := n.ReadArray(a); err != nil {
+				return fmt.Errorf("read %s: %w", names[i], err)
+			}
+			want := make([]byte, len(buf))
+			fillPattern(want, seed+int64(i*64+n.Rank()))
+			if !bytes.Equal(buf, want) {
+				return fmt.Errorf("%s chunk %d: read differs from written", names[i], n.Rank())
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("churn verify (seed %d): %v", seed, err)
+	}
+}
+
+// TestDaemonElasticJoinDrain is the membership acceptance walk: data
+// written before a join is readable after it, the /servers endpoint
+// tracks the pool, an HTTP-driven drain migrates the data off and the
+// node exits clean, and the whole story lands in the event log.
+func TestDaemonElasticJoinDrain(t *testing.T) {
+	dir := t.TempDir()
+	d := startElasticDaemon(t, dir, 4, 0, 0) // default 10s lease: no losses here
+	names := []string{"E0", "E1"}
+	churnWrite(t, d.Addr(), names, 2, 700)
+
+	joinDir := filepath.Join(dir, "join-a")
+	n, err := JoinIONode(IONodeConfig{Addr: d.Addr(), Dir: joinDir, Name: "node-a", Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("JoinIONode: %v", err)
+	}
+	if n.Slot() != 2 {
+		t.Fatalf("joiner got slot %d, want 2 (lowest vacant)", n.Slot())
+	}
+	waitMemberState(t, d, 2, core.MemberActive, 5*time.Second)
+	// Serialize behind the join-triggered rebalance so the readback sees
+	// a settled placement.
+	if err := d.Rebalance("test settle"); err != nil {
+		t.Fatalf("rebalance after join: %v", err)
+	}
+	churnVerify(t, d.Addr(), names, 2, 700)
+
+	// The membership table over HTTP.
+	var pool struct {
+		Epoch   uint32 `json:"epoch"`
+		Active  int    `json:"active"`
+		Servers []struct {
+			Slot  int    `json:"slot"`
+			State string `json:"state"`
+			Local bool   `json:"local"`
+			Addr  string `json:"addr"`
+		} `json:"servers"`
+	}
+	code, body := httpGet(t, "http://"+d.HTTPAddr()+"/servers")
+	if code != http.StatusOK {
+		t.Fatalf("/servers: %d %s", code, body)
+	}
+	if err := json.Unmarshal(body, &pool); err != nil {
+		t.Fatalf("/servers payload: %v in %s", err, body)
+	}
+	if pool.Active != 3 || len(pool.Servers) != 4 || pool.Epoch < 2 {
+		t.Fatalf("/servers after join = %+v", pool)
+	}
+	if s := pool.Servers[2]; s.State != "active" || s.Local || s.Addr != "node-a" {
+		t.Fatalf("joined slot row = %+v", s)
+	}
+
+	// Drain over HTTP — the same path pandastat drain-server takes.
+	resp, err := http.Post("http://"+d.HTTPAddr()+"/drain-server?slot=2", "application/json", nil)
+	if err != nil {
+		t.Fatalf("POST /drain-server: %v", err)
+	}
+	resp.Body.Close() //nolint:errcheck
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /drain-server: %d", resp.StatusCode)
+	}
+	if err := n.Wait(); err != nil {
+		t.Fatalf("drained node exited dirty: %v", err)
+	}
+	if st := d.members.State(2); st != core.MemberAbsent {
+		t.Fatalf("slot 2 after drain = %s, want absent", st)
+	}
+	churnVerify(t, d.Addr(), names, 2, 700)
+
+	if err := d.Drain(); err != nil {
+		t.Fatalf("daemon drain: %v", err)
+	}
+	for _, kind := range []string{"server_join", "server_drain", "server_left", "rebalance_start", "rebalance_done"} {
+		if len(eventsOf(t, dir, kind)) == 0 {
+			t.Errorf("no %q event in events.jsonl", kind)
+		}
+	}
+	disks := make([]storage.Disk, 0, 3)
+	for _, p := range []string{dir + "/ion0", dir + "/ion1", joinDir} {
+		dsk, err := storage.NewOSDisk(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		disks = append(disks, dsk)
+	}
+	rep, err := storage.Scrub(disks, false)
+	if err != nil {
+		t.Fatalf("scrub: %v", err)
+	}
+	if !rep.OK() {
+		t.Fatalf("post-drain scrub unhealthy: %+v", rep.Issues)
+	}
+}
+
+// TestDaemonElasticChurn is the fixed-seed chaos battery the elastic
+// pool must survive: joins, a kill racing a live migration, lease-based
+// loss detection, drains, and a slot reused after loss — with every
+// array bit-exact at each checkpoint, the final directory set clean
+// under scrub, and zero leaked leases.
+func TestDaemonElasticChurn(t *testing.T) {
+	dir := t.TempDir()
+	// Short leases so a kill is detected in ~1.5s instead of 10s.
+	d := startElasticDaemon(t, dir, 5, 1200*time.Millisecond, 300*time.Millisecond)
+	names := []string{"CH0", "CH1", "CH2"}
+	churnWrite(t, d.Addr(), names, 2, 1000)
+	churnVerify(t, d.Addr(), names, 2, 1000)
+
+	// Round 1: a node joins; pre-join data must survive the rebalance.
+	dir1 := filepath.Join(dir, "join1")
+	n1, err := JoinIONode(IONodeConfig{Addr: d.Addr(), Dir: dir1, Name: "j1", Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("join 1: %v", err)
+	}
+	waitMemberState(t, d, n1.Slot(), core.MemberActive, 5*time.Second)
+	if err := d.Rebalance("round 1 settle"); err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+	churnVerify(t, d.Addr(), names, 2, 1000)
+
+	// Round 2: a second node joins and is killed while a rebalance is
+	// running. The migration must replan around the corpse, the lease
+	// must declare it lost, and a full rewrite afterwards must land
+	// cleanly on the survivors.
+	dir2 := filepath.Join(dir, "join2")
+	n2, err := JoinIONode(IONodeConfig{Addr: d.Addr(), Dir: dir2, Name: "j2", Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("join 2: %v", err)
+	}
+	lostSlot := n2.Slot()
+	waitMemberState(t, d, lostSlot, core.MemberActive, 5*time.Second)
+	chaos := make(chan error, 1)
+	go func() { chaos <- d.Rebalance("round 2 chaos") }()
+	time.Sleep(25 * time.Millisecond)
+	n2.Kill()
+	if err := <-chaos; err != nil {
+		t.Logf("rebalance raced the kill (tolerated): %v", err)
+	}
+	waitMemberState(t, d, lostSlot, core.MemberLost, 15*time.Second)
+	churnWrite(t, d.Addr(), names, 2, 2000)
+	churnVerify(t, d.Addr(), names, 2, 2000)
+
+	// Round 3: drain the first joiner; its chunks migrate off and it
+	// exits clean.
+	if err := d.DrainServer(n1.Slot()); err != nil {
+		t.Fatalf("drain slot %d: %v", n1.Slot(), err)
+	}
+	if err := n1.Wait(); err != nil {
+		t.Fatalf("drained node 1 exited dirty: %v", err)
+	}
+	churnVerify(t, d.Addr(), names, 2, 2000)
+
+	// Round 4: a fresh node reuses the drained slot (lowest vacancy
+	// first — the lost slot stays behind it in line).
+	dir3 := filepath.Join(dir, "join3")
+	n3, err := JoinIONode(IONodeConfig{Addr: d.Addr(), Dir: dir3, Name: "j3", Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("join 3: %v", err)
+	}
+	if n3.Slot() != n1.Slot() {
+		t.Fatalf("rejoin got slot %d, want the drained slot %d", n3.Slot(), n1.Slot())
+	}
+	waitMemberState(t, d, n3.Slot(), core.MemberActive, 5*time.Second)
+	if err := d.Rebalance("round 4 settle"); err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+	churnWrite(t, d.Addr(), names, 2, 3000)
+	churnVerify(t, d.Addr(), names, 2, 3000)
+
+	// Round 5: drain it back out; the pool returns to its resident two.
+	if err := d.DrainServer(n3.Slot()); err != nil {
+		t.Fatalf("drain slot %d: %v", n3.Slot(), err)
+	}
+	if err := n3.Wait(); err != nil {
+		t.Fatalf("drained node 3 exited dirty: %v", err)
+	}
+	churnVerify(t, d.Addr(), names, 2, 3000)
+
+	if leases := d.members.Leases(); leases != 0 {
+		t.Fatalf("leaked leases after churn: %d", leases)
+	}
+	if active := d.members.ActiveCount(); active != 2 {
+		t.Fatalf("active members after churn = %d, want the 2 residents", active)
+	}
+	if err := d.Drain(); err != nil {
+		t.Fatalf("daemon drain: %v", err)
+	}
+
+	for _, kind := range []string{"server_join", "server_drain", "server_left", "server_lost", "rebalance_start", "rebalance_done"} {
+		if len(eventsOf(t, dir, kind)) == 0 {
+			t.Errorf("no %q event in events.jsonl", kind)
+		}
+	}
+	// fsck-grade sweep over every surviving directory, including the
+	// killed node's: a kill mid-commit may leave warn-level debris there
+	// but never a broken committed promise.
+	disks := make([]storage.Disk, 0, 5)
+	for _, p := range []string{dir + "/ion0", dir + "/ion1", dir1, dir2, dir3} {
+		dsk, err := storage.NewOSDisk(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		disks = append(disks, dsk)
+	}
+	rep, err := storage.Scrub(disks, false)
+	if err != nil {
+		t.Fatalf("scrub: %v", err)
+	}
+	if !rep.OK() {
+		t.Fatalf("post-churn scrub unhealthy: %+v", rep.Issues)
+	}
+}
+
+// TestDaemonJoinPoolFull: a pool with no vacancy refuses a joiner with
+// the typed busy error.
+func TestDaemonJoinPoolFull(t *testing.T) {
+	d := startTestDaemon(t, t.TempDir(), Tuning{}) // MaxIONodes = IONodes
+	defer d.Drain()                                //nolint:errcheck
+	if _, err := JoinIONode(IONodeConfig{Addr: d.Addr()}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("full-pool join error = %v, want ErrBusy", err)
+	}
+}
+
+// TestDialRetryUnavailable: a dial against a dead address burns its
+// budget retrying, then fails with the typed sentinel.
+func TestDialRetryUnavailable(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() //nolint:errcheck
+
+	start := time.Now()
+	_, err = Dial(SessionConfig{Addr: addr, Nodes: 1, DialBudget: 300 * time.Millisecond})
+	if !errors.Is(err, ErrDaemonUnavailable) {
+		t.Fatalf("dead-address dial error = %v, want ErrDaemonUnavailable", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("budgeted dial ran %v, want well under the 5s default", elapsed)
+	}
+}
+
+// TestDialRetryEventualListener: the dial keeps retrying with backoff
+// and succeeds once something starts listening.
+func TestDialRetryEventualListener(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() //nolint:errcheck
+
+	lnCh := make(chan net.Listener, 1)
+	go func() {
+		time.Sleep(250 * time.Millisecond)
+		ln2, err := net.Listen("tcp", addr)
+		if err != nil {
+			t.Errorf("relisten on %s: %v", addr, err)
+			lnCh <- nil
+			return
+		}
+		lnCh <- ln2
+	}()
+	conn, err := dialRetry(addr, 5*time.Second)
+	if err != nil {
+		t.Fatalf("dialRetry never reached the late listener: %v", err)
+	}
+	conn.Close() //nolint:errcheck
+	if ln2 := <-lnCh; ln2 != nil {
+		ln2.Close() //nolint:errcheck
+	}
+}

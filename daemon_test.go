@@ -327,7 +327,7 @@ func TestDaemonDrainRefusesAttach(t *testing.T) {
 	if err := d.Drain(); err != nil {
 		t.Fatalf("drain: %v", err)
 	}
-	if _, err := Dial(SessionConfig{Addr: addr, Nodes: 1}); err == nil {
+	if _, err := Dial(SessionConfig{Addr: addr, Nodes: 1, DialBudget: -1}); err == nil {
 		t.Fatal("dial succeeded after drain")
 	}
 }

@@ -303,16 +303,21 @@ func (s *Server) masterCommit(req opRequest, prepared []preparedArray, ownErr er
 	status := ownErr
 	var newDeads []int
 
-	// A participant the transport already reports dead will never
-	// prepare; spot it immediately (and re-check while waiting) instead
-	// of burning the whole collection budget before failing over.
+	// A participant the transport already reports dead — or whose lease
+	// the membership layer has expired — will never prepare; spot it
+	// immediately (and re-check while waiting) instead of burning the
+	// whole collection budget before failing over.
 	checkDead := func() {
-		pc, ok := s.comm.(mpi.PeerChecker)
-		if !ok {
+		pc, pok := s.comm.(mpi.PeerChecker)
+		mem := s.cfg.Members
+		if !pok && mem == nil {
 			return
 		}
 		for _, i := range participants {
-			if !got[i] && pc.PeerLost(s.cfg.ServerRank(i)) {
+			if got[i] {
+				continue
+			}
+			if (pok && pc.PeerLost(s.cfg.ServerRank(i))) || (mem != nil && mem.Gone(i)) {
 				newDeads = append(newDeads, i)
 			}
 		}

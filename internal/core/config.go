@@ -180,6 +180,54 @@ type Config struct {
 	// Sched configures the concurrent operation scheduler. The zero
 	// value (MaxInflight == 0) keeps the legacy one-op-at-a-time path.
 	Sched SchedConfig
+
+	// Members, when non-nil, makes server membership elastic: NumServers
+	// becomes the pool's *capacity*, with Members tracking which slots
+	// are live. The master's scheduler stamps every operation with the
+	// slots currently down (as its Deads list) and the membership epoch
+	// it dispatched under. nil — the default — is the fixed membership
+	// of the paper. Requires Service mode and the scheduler.
+	Members *Membership
+	// LeaseTTL bounds how long a remote (joined) server may go without a
+	// heartbeat before its lease expires and it is declared lost; 0
+	// means DefaultLeaseTTL. Local (in-daemon) servers carry no lease.
+	LeaseTTL time.Duration
+	// HeartbeatEvery is the interval a joined server renews its lease at
+	// (0 = LeaseTTL/4). It must comfortably undercut LeaseTTL.
+	HeartbeatEvery time.Duration
+	// MigrateParallel bounds how many arrays a membership rebalance
+	// rewrites concurrently (0 = 2). Consumed by the daemon's migration
+	// engine, carried here so one knob set configures the deployment.
+	MigrateParallel int
+}
+
+// DefaultLeaseTTL is the lease bound when LeaseTTL is zero.
+const DefaultLeaseTTL = 10 * time.Second
+
+// EffectiveLeaseTTL returns the lease bound with the default applied.
+func (c Config) EffectiveLeaseTTL() time.Duration {
+	if c.LeaseTTL <= 0 {
+		return DefaultLeaseTTL
+	}
+	return c.LeaseTTL
+}
+
+// HeartbeatInterval returns the effective lease-renewal interval — the
+// cadence joined servers beat at and the watchdog sweeps at.
+func (c Config) HeartbeatInterval() time.Duration {
+	if c.HeartbeatEvery > 0 {
+		return c.HeartbeatEvery
+	}
+	return c.EffectiveLeaseTTL() / 4
+}
+
+// MigrateConcurrency returns the effective rebalance concurrency (the
+// daemon's migration engine consumes it).
+func (c Config) MigrateConcurrency() int {
+	if c.MigrateParallel <= 0 {
+		return 2
+	}
+	return c.MigrateParallel
 }
 
 // SchedConfig tunes the server-side operation scheduler that admits
@@ -351,6 +399,26 @@ func (c Config) Validate() error {
 	for t, w := range c.Sched.Weights {
 		if w <= 0 {
 			return fmt.Errorf("core: Sched.Weights[%q] = %d, must be positive", t, w)
+		}
+	}
+	if c.LeaseTTL < 0 {
+		return fmt.Errorf("core: negative LeaseTTL")
+	}
+	if c.HeartbeatEvery < 0 {
+		return fmt.Errorf("core: negative HeartbeatEvery")
+	}
+	if c.HeartbeatEvery > 0 && c.HeartbeatEvery >= c.EffectiveLeaseTTL() {
+		return fmt.Errorf("core: HeartbeatEvery %v must undercut LeaseTTL %v", c.HeartbeatEvery, c.EffectiveLeaseTTL())
+	}
+	if c.MigrateParallel < 0 {
+		return fmt.Errorf("core: negative MigrateParallel")
+	}
+	if c.Members != nil {
+		if !c.Service || !c.Sched.enabled() {
+			return fmt.Errorf("core: elastic membership requires Service mode and the scheduler")
+		}
+		if c.Members.Capacity() != c.NumServers {
+			return fmt.Errorf("core: membership capacity %d != NumServers %d", c.Members.Capacity(), c.NumServers)
 		}
 	}
 	return nil

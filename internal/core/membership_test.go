@@ -1,0 +1,291 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestMembershipLifecycle walks one slot through the full elastic
+// journey — reserve, admit, drain, release — checking the epoch
+// advances on every transition and the planner-facing views
+// (DownForWrite, DownForRead, Gone) say the right thing at each stop.
+func TestMembershipLifecycle(t *testing.T) {
+	m := NewMembership(4, 2, time.Second)
+	var events []MemberEvent
+	m.SetNotify(func(ev MemberEvent) { events = append(events, ev) })
+
+	if got := m.Epoch(); got != 1 {
+		t.Fatalf("fresh epoch = %d, want 1", got)
+	}
+	if m.ActiveCount() != 2 || m.Capacity() != 4 {
+		t.Fatalf("active=%d capacity=%d, want 2/4", m.ActiveCount(), m.Capacity())
+	}
+	if got := m.DownForWrite(); !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Fatalf("vacant slots not fenced: DownForWrite=%v", got)
+	}
+
+	// Reserve: lowest free slot above 0, provisionally leased.
+	slot, err := m.Reserve("host9:/scratch", 0)
+	if err != nil || slot != 2 {
+		t.Fatalf("Reserve = %d, %v; want 2", slot, err)
+	}
+	if st := m.State(2); st != MemberJoining {
+		t.Fatalf("state after reserve = %s", st)
+	}
+	if !m.Gone(2) {
+		t.Fatal("a Joining slot must still be Gone for planning purposes")
+	}
+	if m.Leases() != 1 {
+		t.Fatalf("leases = %d, want 1 (provisional)", m.Leases())
+	}
+
+	// Admit: serving, fenced-in, join event.
+	if err := m.Admit(2, 0); err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if st := m.State(2); st != MemberActive {
+		t.Fatalf("state after admit = %s", st)
+	}
+	if got := m.DownForWrite(); !reflect.DeepEqual(got, []int{3}) {
+		t.Fatalf("DownForWrite after admit = %v, want [3]", got)
+	}
+	if len(events) != 1 || events[0].Kind != "server_join" || events[0].Slot != 2 {
+		t.Fatalf("join event = %+v", events)
+	}
+	if err := m.Admit(2, 0); err == nil {
+		t.Fatal("double Admit accepted")
+	}
+
+	// Drain: fenced from writes, still readable, not Gone.
+	fence, err := m.StartDrain(2)
+	if err != nil {
+		t.Fatalf("StartDrain: %v", err)
+	}
+	if fence != m.Epoch() {
+		t.Fatalf("fence %d != epoch %d", fence, m.Epoch())
+	}
+	if got := m.DownForWrite(); !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Fatalf("DownForWrite while draining = %v", got)
+	}
+	if got := m.DownForRead(); !reflect.DeepEqual(got, []int{3}) {
+		t.Fatalf("DownForRead while draining = %v (draining members serve reads)", got)
+	}
+	if m.Gone(2) {
+		t.Fatal("a Draining member is not Gone: pre-drain ops still complete on it")
+	}
+
+	if err := m.FinishDrain(2); err != nil {
+		t.Fatalf("FinishDrain: %v", err)
+	}
+	if st := m.State(2); st != MemberAbsent {
+		t.Fatalf("state after release = %s", st)
+	}
+	if m.Leases() != 0 {
+		t.Fatalf("leases after release = %d, want 0", m.Leases())
+	}
+	kinds := []string{}
+	for _, ev := range events {
+		kinds = append(kinds, ev.Kind)
+	}
+	if !reflect.DeepEqual(kinds, []string{"server_join", "server_drain", "server_left"}) {
+		t.Fatalf("event stream = %v", kinds)
+	}
+
+	// Guard rails: the master slot never drains, locals are never lost.
+	if _, err := m.StartDrain(0); err == nil {
+		t.Fatal("drained the master server")
+	}
+	if m.MarkLost(1) {
+		t.Fatal("marked a pinned local member lost")
+	}
+	if m.MarkLost(0) {
+		t.Fatal("marked the master lost")
+	}
+}
+
+// TestMembershipPoolFull: a pool with every slot occupied refuses
+// further joiners with the typed busy error.
+func TestMembershipPoolFull(t *testing.T) {
+	m := NewMembership(2, 2, time.Second)
+	if _, err := m.Reserve("x", 0); !errors.Is(err, ErrBusy) {
+		t.Fatalf("full pool Reserve error = %v, want ErrBusy", err)
+	}
+}
+
+// TestMembershipLeaseExpiry drives the lease clock by hand: a reserved
+// slot whose joiner never says hello is silently reclaimed; an admitted
+// member that stops heartbeating is declared lost; one that keeps
+// heartbeating survives sweep after sweep.
+func TestMembershipLeaseExpiry(t *testing.T) {
+	const ttl = time.Second
+	m := NewMembership(4, 1, ttl)
+	var events []MemberEvent
+	m.SetNotify(func(ev MemberEvent) { events = append(events, ev) })
+
+	// Ghost joiner: reserved, never admitted.
+	ghost, err := m.Reserve("ghost", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Live member: admitted and heartbeating.
+	live, err := m.Reserve("live", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Admit(live, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Before any lease lapses, a sweep is a no-op.
+	if lost := m.ExpireLeases(ttl / 2); len(lost) != 0 {
+		t.Fatalf("premature expiry: %v", lost)
+	}
+	// The live member heartbeats; the ghost doesn't. Jitter extends a
+	// lease by at most ttl/8, so 2*ttl is safely past both originals.
+	m.Heartbeat(live, ttl)
+	lost := m.ExpireLeases(2 * ttl)
+	if len(lost) != 0 {
+		t.Fatalf("heartbeating member lost: %v", lost)
+	}
+	if st := m.State(ghost); st != MemberAbsent {
+		t.Fatalf("ghost reclaimed to %s, want absent", st)
+	}
+	for _, ev := range events {
+		if ev.Kind == "server_lost" {
+			t.Fatalf("silent reclaim emitted %+v", ev)
+		}
+	}
+
+	// Now the live member goes quiet too.
+	lost = m.ExpireLeases(4 * ttl)
+	if len(lost) != 1 || lost[0] != live {
+		t.Fatalf("lost = %v, want [%d]", lost, live)
+	}
+	if st := m.State(live); st != MemberLost {
+		t.Fatalf("state = %s, want lost", st)
+	}
+	if !m.Gone(live) {
+		t.Fatal("lost member not Gone")
+	}
+	if m.Leases() != 0 {
+		t.Fatalf("leaked leases: %d", m.Leases())
+	}
+	last := events[len(events)-1]
+	if last.Kind != "server_lost" || last.Slot != live {
+		t.Fatalf("last event = %+v", last)
+	}
+
+	// A straggler heartbeat must not resurrect the corpse.
+	m.Heartbeat(live, 4*ttl)
+	if st := m.State(live); st != MemberLost {
+		t.Fatalf("straggler heartbeat resurrected the member: %s", st)
+	}
+	// But both freed slots are reusable: the next joiners get the
+	// reclaimed ghost slot (lowest first) and then the lost one.
+	if slot, err := m.Reserve("reborn", 5*ttl); err != nil || slot != ghost {
+		t.Fatalf("Reserve after reclaim = %d, %v; want %d", slot, err, ghost)
+	}
+	if slot, err := m.Reserve("reborn2", 5*ttl); err != nil || slot != live {
+		t.Fatalf("Reserve after loss = %d, %v; want %d", slot, err, live)
+	}
+}
+
+// TestMembershipJitterDeterminism: the per-slot lease slack is a pure
+// function of the slot, so virtual-time runs replay bit-exact, and it
+// differs across slots so a herd never expires on one tick.
+func TestMembershipJitterDeterminism(t *testing.T) {
+	m := NewMembership(8, 1, 8*time.Second)
+	for slot := 0; slot < 8; slot++ {
+		if a, b := m.jitter(slot), m.jitter(slot); a != b {
+			t.Fatalf("slot %d jitter not deterministic: %v vs %v", slot, a, b)
+		}
+		if j := m.jitter(slot); j < 0 || j > time.Second {
+			t.Fatalf("slot %d jitter %v outside [0, ttl/8]", slot, j)
+		}
+	}
+	if m.jitter(1) == m.jitter(2) {
+		t.Fatal("adjacent slots share a jitter; expiry herds possible")
+	}
+}
+
+// TestMembershipInFlightFence: the per-epoch in-flight ledger counts
+// only operations dispatched before a drain's fence.
+func TestMembershipInFlightFence(t *testing.T) {
+	m := NewMembership(3, 3, time.Second)
+	m.opStarted(1)
+	m.opStarted(1)
+	m.opStarted(5)
+	if got := m.InFlightBefore(5); got != 2 {
+		t.Fatalf("InFlightBefore(5) = %d, want 2", got)
+	}
+	if got := m.InFlightBefore(6); got != 3 {
+		t.Fatalf("InFlightBefore(6) = %d, want 3", got)
+	}
+	m.opRetired(1)
+	m.opRetired(1)
+	if got := m.InFlightBefore(5); got != 0 {
+		t.Fatalf("after retirement InFlightBefore(5) = %d, want 0", got)
+	}
+	m.opRetired(5)
+	if got := m.InFlightBefore(100); got != 0 {
+		t.Fatalf("ledger not empty: %d", got)
+	}
+}
+
+// TestOpRequestMemberEpochRoundTrip: the third optional tail survives
+// encode/decode in every tail combination, and a request without any
+// elastic stamp stays identical to the legacy wire format.
+func TestOpRequestMemberEpochRoundTrip(t *testing.T) {
+	base := opRequest{Op: opWrite, Seq: 9, Suffix: ".t1",
+		Specs: []ArraySpec{{Name: "A", ElemSize: 4}}, Epochs: []uint64{0}}
+
+	cases := []opRequest{base}
+	withEpoch := base
+	withEpoch.MemberEpoch = 7
+	cases = append(cases, withEpoch)
+	withAll := base
+	withAll.Tenant = "sim"
+	withAll.Ranks = []int{4, 5}
+	withAll.MemberEpoch = 12
+	withAll.Deads = []int{1, 3}
+	cases = append(cases, withAll)
+	epochNoTenant := base
+	epochNoTenant.Ranks = []int{2}
+	epochNoTenant.MemberEpoch = 3
+	cases = append(cases, epochNoTenant)
+
+	for i, req := range cases {
+		got, err := decodeOpRequest(encodeOpRequest(req))
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if got.MemberEpoch != req.MemberEpoch || got.Tenant != req.Tenant ||
+			!reflect.DeepEqual(got.Ranks, req.Ranks) || !reflect.DeepEqual(got.Deads, req.Deads) {
+			t.Fatalf("case %d: round trip lost tails: %+v vs %+v", i, got, req)
+		}
+	}
+
+	// Static deployments must emit the pre-elastic frame byte-for-byte.
+	plain := encodeOpRequest(base)
+	stamped := encodeOpRequest(withEpoch)
+	if len(stamped) <= len(plain) {
+		t.Fatalf("stamped frame (%d B) not longer than legacy (%d B)", len(stamped), len(plain))
+	}
+}
+
+// TestSlotFrameRoundTrip: hello and heartbeat frames carry their slot.
+func TestSlotFrameRoundTrip(t *testing.T) {
+	for _, b := range [][]byte{encodeServerHello(6), encodeHeartbeat(6)} {
+		r := rbuf{b: b}
+		typ := r.u8()
+		if typ != msgServerHello && typ != msgHeartbeat {
+			t.Fatalf("frame type = %d", typ)
+		}
+		slot, err := decodeSlotFrame(&r)
+		if err != nil || slot != 6 {
+			t.Fatalf("slot = %d, %v; want 6", slot, err)
+		}
+	}
+}

@@ -113,6 +113,14 @@ const (
 	// operations while in-flight executors keep the snapshot they
 	// started with.
 	msgReconfig
+	// msgServerHello announces a late-joining I/O node on the control
+	// plane (joiner → master server, tagControl): "slot N is registered
+	// on the hub and serving". The master admits it into the membership
+	// and starts its lease.
+	msgServerHello
+	// msgHeartbeat renews a remote member's lease (joiner → master
+	// server, tagControl, every HeartbeatEvery).
+	msgHeartbeat
 )
 
 // Operation kinds.
@@ -303,6 +311,13 @@ type opRequest struct {
 	// deployments, where chunk index == client rank. Encoded as a second
 	// optional tail (after Tenant) so legacy frames are unchanged.
 	Ranks []int
+	// MemberEpoch is the membership epoch this operation was dispatched
+	// under on elastic deployments (0 = static membership, the legacy
+	// meaning). Servers clear their plan caches when it moves, and a
+	// drain waits for operations stamped before its fence. Encoded as a
+	// third optional tail; when set it forces the earlier tails onto the
+	// wire so decode offsets stay unambiguous.
+	MemberEpoch uint32
 }
 
 func encodeOpRequest(req opRequest) []byte {
@@ -330,14 +345,17 @@ func encodeOpRequest(req opRequest) []byte {
 		}
 		w.u64(epoch)
 	}
-	if req.Tenant != "" || len(req.Ranks) > 0 {
+	if req.Tenant != "" || len(req.Ranks) > 0 || req.MemberEpoch != 0 {
 		w.str(req.Tenant)
 	}
-	if len(req.Ranks) > 0 {
+	if len(req.Ranks) > 0 || req.MemberEpoch != 0 {
 		w.u16(uint16(len(req.Ranks)))
 		for _, rk := range req.Ranks {
 			w.u32(uint32(rk))
 		}
+	}
+	if req.MemberEpoch != 0 {
+		w.u32(req.MemberEpoch)
 	}
 	return w.b
 }
@@ -380,6 +398,9 @@ func decodeOpRequest(b []byte) (opRequest, error) {
 				req.Ranks[i] = int(r.u32())
 			}
 		}
+	}
+	if r.err == nil && r.off < len(r.b) {
+		req.MemberEpoch = r.u32()
 	}
 	if r.err != nil {
 		return opRequest{}, r.err
@@ -699,4 +720,28 @@ func SpecFingerprint(s ArraySpec) uint32 { return planFingerprint(s) }
 // status tells a stuck server why the operation is being abandoned.
 func encodeAbort(attempt, round uint16, opErr error) []byte {
 	return encodeStatus(msgAbort, attempt, round, opErr)
+}
+
+// encodeServerHello announces a joined I/O node holding the given pool
+// slot (joiner → master server, tagControl).
+func encodeServerHello(slot int) []byte {
+	var w wbuf
+	w.u8(msgServerHello)
+	w.u32(uint32(slot))
+	return w.b
+}
+
+// encodeHeartbeat renews the lease of the given pool slot.
+func encodeHeartbeat(slot int) []byte {
+	var w wbuf
+	w.u8(msgHeartbeat)
+	w.u32(uint32(slot))
+	return w.b
+}
+
+// decodeSlotFrame decodes the shared body of ServerHello and Heartbeat
+// (the type byte already consumed).
+func decodeSlotFrame(r *rbuf) (int, error) {
+	slot := int(r.u32())
+	return slot, r.err
 }

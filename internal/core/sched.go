@@ -361,6 +361,10 @@ func (r *schedRouter) route(m mpi.Message) {
 			r.handleRequest(m)
 		case msgReconfig:
 			r.applyReconfig(m.Data)
+		case msgServerHello:
+			r.handleHello(m.Data)
+		case msgHeartbeat:
+			r.handleHeartbeat(m.Data)
 		default:
 			r.reject(m.Data)
 		}
@@ -441,6 +445,91 @@ func (r *schedRouter) handleRequest(m mpi.Message) {
 	r.dispatch()
 }
 
+// handleHello admits a joined I/O node announced on the control plane.
+// Only the master carries the membership authority; elsewhere (or on a
+// static deployment) the frame is stale traffic.
+func (r *schedRouter) handleHello(b []byte) {
+	s := r.s
+	if r.core == nil || s.cfg.Members == nil {
+		r.reject(b)
+		return
+	}
+	rb := rbuf{b: b[1:]}
+	slot, err := decodeSlotFrame(&rb)
+	bufpool.Put(b)
+	if err != nil {
+		return
+	}
+	// Admit fires the membership notify callback (the daemon's event
+	// emitter and rebalance trigger) from this goroutine; the daemon
+	// hands the heavy lifting to its own goroutine, so the router's
+	// single-wait loop is not held up.
+	_ = s.cfg.Members.Admit(slot, s.clk.Now())
+}
+
+// handleHeartbeat renews a remote member's lease.
+func (r *schedRouter) handleHeartbeat(b []byte) {
+	s := r.s
+	if r.core == nil || s.cfg.Members == nil {
+		r.reject(b)
+		return
+	}
+	rb := rbuf{b: b[1:]}
+	slot, err := decodeSlotFrame(&rb)
+	bufpool.Put(b)
+	if err != nil {
+		return
+	}
+	s.cfg.Members.Heartbeat(slot, s.clk.Now())
+}
+
+// stampMembership pins one dispatched operation to the membership view
+// of this instant: the slots currently down become its Deads (the
+// failover replanner's input, so planning excludes them outright rather
+// than discovering them by timeout) and the membership epoch is
+// recorded so servers can invalidate plan caches and a drain can wait
+// for exactly the ops planned before its fence. Draining members are
+// fenced from writes only — they keep serving reads of the epochs they
+// own, which is what lets migration copy their chunks off.
+func (r *schedRouter) stampMembership(op *schedOp) {
+	mem := r.s.cfg.Members
+	if r.core == nil || mem == nil {
+		return
+	}
+	var down []int
+	if op.req.Op == opRead {
+		down = mem.DownForRead()
+	} else {
+		down = mem.DownForWrite()
+	}
+	op.req.Deads = mergeDeads(op.req.Deads, down)
+	op.req.MemberEpoch = mem.Epoch()
+	mem.opStarted(op.req.MemberEpoch)
+}
+
+// mergeDeads unions two sorted dead-slot lists.
+func mergeDeads(a, b []int) []int {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return append([]int(nil), b...)
+	}
+	seen := make(map[int]bool, len(a)+len(b))
+	for _, v := range a {
+		seen[v] = true
+	}
+	for _, v := range b {
+		seen[v] = true
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
 // applyReconfig installs new scheduler and pipeline tuning broadcast by
 // a service reload. The mutation is race-free by construction: it runs
 // on the router goroutine, and executors snapshot the configuration
@@ -499,6 +588,7 @@ func (r *schedRouter) dispatch() {
 // a rebound disk for metadata, and a routedComm fed by the op mailbox.
 func (r *schedRouter) start(op *schedOp) {
 	s := r.s
+	r.stampMembership(op)
 	if s.cfg.OpStart != nil {
 		s.cfg.OpStart(s.index, op.seq, op.tenant, opName(op.req.Op))
 	}
@@ -571,6 +661,9 @@ func (r *schedRouter) retire(seq int, fatal bool) {
 	}
 	if r.core != nil {
 		r.core.complete(op)
+		if s.cfg.Members != nil && op.req.MemberEpoch != 0 {
+			s.cfg.Members.opRetired(op.req.MemberEpoch)
+		}
 	}
 	if fatal && r.fatal == nil {
 		r.fatal = fmt.Errorf("fatal failure in operation %d", seq)

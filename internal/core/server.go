@@ -50,6 +50,11 @@ type Server struct {
 	// newer, so duplicate deliveries and rebroadcast copies of replanning
 	// rounds are dropped while genuine retries get through.
 	lastSeq, lastAttempt, lastRound int
+	// lastMemberEpoch is the membership epoch of the newest request seen;
+	// when it moves the plan cache is invalidated outright (the alive set
+	// changed, so memoized chunk assignments are suspect even beyond what
+	// the per-key deads mask captures).
+	lastMemberEpoch uint32
 	// curAttempt and curRound identify the request currently executing,
 	// for stale-frame filtering inside the operation.
 	curAttempt, curRound uint16
@@ -237,6 +242,10 @@ func (s *Server) acceptReq(req opRequest) bool {
 	s.opSeq = seq
 	s.curAttempt, s.curRound = req.Attempt, req.Round
 	s.ranks = req.Ranks
+	if req.MemberEpoch != 0 && req.MemberEpoch != s.lastMemberEpoch {
+		s.lastMemberEpoch = req.MemberEpoch
+		s.plans = nil // membership moved: every memoized assignment is suspect
+	}
 	return true
 }
 
@@ -423,7 +432,11 @@ func (s *Server) handleOp(raw []byte, req opRequest, decodeErr error) (fatal err
 			raw = encodeOpRequest(req)
 		}
 		s.tr.Instant(obs.CatCtl, "forward request", s.opSeq, s.clk.Now(), int64(len(raw)))
+		fwdDead := deadSet(req.Deads)
 		for i := 0; i < s.cfg.NumServers; i++ {
+			if fwdDead[i] {
+				continue // absent/lost/draining-for-writes slot: nobody there to serve it
+			}
 			if rank := s.cfg.ServerRank(i); rank != s.comm.Rank() {
 				cp := bufpool.GetRaw(len(raw))
 				copy(cp, raw)
@@ -540,14 +553,22 @@ func (s *Server) handleOp(raw []byte, req opRequest, decodeErr error) (fatal err
 }
 
 // missingAllDead reports whether every participant yet to report is
-// confirmed dead by the transport.
+// confirmed dead — by the transport, or by the membership layer once a
+// member's lease has lapsed or it was administratively removed.
 func (s *Server) missingAllDead(participants []int, got map[int]bool) bool {
 	pc, ok := s.comm.(mpi.PeerChecker)
-	if !ok {
+	mem := s.cfg.Members
+	if !ok && mem == nil {
 		return false
 	}
 	for _, i := range participants {
-		if !got[i] && !pc.PeerLost(s.cfg.ServerRank(i)) {
+		if got[i] {
+			continue
+		}
+		if mem != nil && mem.Gone(i) {
+			continue
+		}
+		if !ok || !pc.PeerLost(s.cfg.ServerRank(i)) {
 			return false
 		}
 	}

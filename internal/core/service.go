@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"panda/internal/clock"
 	"panda/internal/mpi"
@@ -65,6 +66,7 @@ type Service struct {
 	disks []storage.Disk
 	cat   *storage.Catalog
 	send  func(to, tag int, data []byte)
+	clk   clock.Clock
 
 	mu       sync.Mutex
 	draining bool
@@ -72,19 +74,34 @@ type Service struct {
 	slots    []int // client rank -> owning session ID, 0 = free
 	sessions map[int]SessionInfo
 
-	wg   sync.WaitGroup
-	errs []error
+	wg        sync.WaitGroup
+	errs      []error
+	watchStop chan struct{} // closes the lease watchdog on Drain
 }
 
 // NewService validates cfg and builds a service over the given server
 // disks. cat may be nil for catalog-less deployments (the fixed-shape
 // wrapper); with a catalog, Open gates sessions' schemas against it.
+// With elastic membership (cfg.Members), disks may carry nil entries
+// for vacant pool slots and slots served by remote joiners from their
+// own processes; disks[0] (the master server's) must be real.
 func NewService(cfg Config, disks []storage.Disk, cat *storage.Catalog) (*Service, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if len(disks) != cfg.NumServers {
 		return nil, fmt.Errorf("core: %d disks for %d servers", len(disks), cfg.NumServers)
+	}
+	for i, d := range disks {
+		if d != nil {
+			continue
+		}
+		if cfg.Members == nil {
+			return nil, fmt.Errorf("core: nil disk for server %d in a static deployment", i)
+		}
+		if i == 0 {
+			return nil, fmt.Errorf("core: the master server (slot 0) needs a real disk")
+		}
 	}
 	return &Service{
 		cfg:      cfg,
@@ -146,15 +163,87 @@ func (s *Service) Start(comms []mpi.Comm, send func(to, tag int, data []byte), c
 	if clk == nil {
 		clk = clock.NewReal()
 	}
+	s.clk = clk
 	s.errs = make([]error, s.cfg.NumServers)
 	for i := range comms {
+		if comms[i] == nil {
+			// A vacant elastic-pool slot: no local server. A joiner may
+			// claim it later, serving from its own process over the hub.
+			continue
+		}
 		s.wg.Add(1)
 		go func(i int) {
 			defer s.wg.Done()
 			s.errs[i] = NewServer(s.cfg, comms[i], s.disks[i], clk).Serve()
 		}(i)
 	}
+	if s.cfg.Members != nil {
+		s.watchStop = make(chan struct{})
+		go s.leaseWatchdog(clk)
+	}
 	return nil
+}
+
+// leaseWatchdog periodically expires lapsed member leases under the
+// deployment clock. Local members are pinned (no lease), so a fixed
+// pool never sees it act; only remote joiners that stop heartbeating
+// are marked lost, which feeds the failover replanner exactly like a
+// transport-level death report.
+func (s *Service) leaseWatchdog(clk clock.Clock) {
+	every := s.cfg.HeartbeatInterval()
+	for {
+		clk.Sleep(every)
+		select {
+		case <-s.watchStop:
+			return
+		default:
+		}
+		s.cfg.Members.ExpireLeases(clk.Now())
+	}
+}
+
+// Members returns the service's elastic membership table, nil for
+// fixed-shape deployments.
+func (s *Service) Members() *Membership { return s.cfg.Members }
+
+// Clock returns the deployment clock Start installed. Membership times
+// (lease grants, expiry sweeps) must be measured against it, since the
+// master server's heartbeat handling uses the same clock.
+func (s *Service) Clock() clock.Clock { return s.clk }
+
+// BeginServerDrain fences server slot idx out of newly dispatched
+// writes: operations stamped from here on exclude it, so migration
+// (reads still reach the slot) converges. It returns the fence epoch;
+// operations dispatched under earlier epochs are the pre-drain set
+// WaitServerIdle waits out.
+func (s *Service) BeginServerDrain(idx int) (uint32, error) {
+	if s.cfg.Members == nil {
+		return 0, fmt.Errorf("core: drain server %d: deployment has no elastic membership", idx)
+	}
+	return s.cfg.Members.StartDrain(idx)
+}
+
+// WaitServerIdle blocks until every operation dispatched under a
+// membership epoch earlier than fence has retired — the "in-flight
+// operations complete on their pre-drain plan snapshot" guarantee.
+func (s *Service) WaitServerIdle(fence uint32) {
+	for s.cfg.Members.InFlightBefore(fence) > 0 {
+		s.clk.Sleep(2 * time.Millisecond)
+	}
+}
+
+// FinishServerDrain retires a drained slot after migration: the victim
+// server is told to exit and the slot returns to the vacant pool. The
+// shutdown frame is best-effort — a victim that already died simply
+// leaves the frame undeliverable.
+func (s *Service) FinishServerDrain(idx int) error {
+	if s.cfg.Members == nil {
+		return fmt.Errorf("core: finish drain of server %d: deployment has no elastic membership", idx)
+	}
+	if s.send != nil {
+		s.send(s.cfg.ServerRank(idx), tagControl, encodeShutdown())
+	}
+	return s.cfg.Members.FinishDrain(idx)
 }
 
 // Attach admits a client session of the given member count, assigning
@@ -348,6 +437,9 @@ func (s *Service) Drain() error {
 	s.draining = true
 	send := s.send
 	s.mu.Unlock()
+	if !already && s.watchStop != nil {
+		close(s.watchStop)
+	}
 	if !already && send != nil {
 		if s.cfg.Sched.enabled() && s.cfg.Service {
 			send(s.cfg.MasterServer(), tagControl, encodeShutdown())

@@ -45,6 +45,12 @@ type CatalogEntry struct {
 	// (suffix-less) file set, refreshed from the commit decision
 	// records at recovery.
 	Epoch uint64 `json:"epoch"`
+	// Owners lists the server slots holding the array's committed
+	// chunks — recorded by the elastic daemon after each rebalance so a
+	// later membership change can tell which arrays still reference a
+	// departed server. Empty means "unrecorded" (pre-elastic catalogs),
+	// which readers treat as "all servers".
+	Owners []int `json:"owners,omitempty"`
 }
 
 // Catalog is the in-memory catalog bound to its backing disk. All
@@ -118,6 +124,61 @@ func (c *Catalog) SetEpoch(name string, epoch uint64) error {
 	e.Epoch = epoch
 	c.entries[name] = e
 	return c.save()
+}
+
+// SetOwners records the server slots holding an array's committed
+// chunks and persists. Unknown names are ignored.
+func (c *Catalog) SetOwners(name string, owners []int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok {
+		return nil
+	}
+	e.Owners = append([]int(nil), owners...)
+	sort.Ints(e.Owners)
+	c.entries[name] = e
+	return c.save()
+}
+
+// ReconcileOwners rewrites every ownership record that references a
+// server the alive predicate rejects, keeping only surviving owners —
+// the catalog half of retiring a departed I/O node. It returns the
+// names whose records changed. An entry left with no surviving owner
+// keeps its (now wholly stale) record and is reported so the caller can
+// re-write the array; silently emptying it would erase the only hint
+// that data must be recovered.
+func (c *Catalog) ReconcileOwners(alive func(slot int) bool) ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var changed []string
+	dirty := false
+	for name, e := range c.entries {
+		if len(e.Owners) == 0 {
+			continue
+		}
+		var kept []int
+		for _, o := range e.Owners {
+			if alive(o) {
+				kept = append(kept, o)
+			}
+		}
+		if len(kept) == len(e.Owners) {
+			continue
+		}
+		changed = append(changed, name)
+		if len(kept) == 0 {
+			continue // stale record retained deliberately; see doc comment
+		}
+		e.Owners = kept
+		c.entries[name] = e
+		dirty = true
+	}
+	sort.Strings(changed)
+	if !dirty {
+		return changed, nil
+	}
+	return changed, c.save()
 }
 
 // Entries returns every entry, sorted by name.

@@ -74,6 +74,9 @@ func Scrub(disks []Disk, repair bool) (*ScrubReport, error) {
 	decDisk := map[string]int{}
 	listings := make([][]string, len(disks))
 	for i, d := range disks {
+		if d == nil {
+			continue // vacant pool slot (or a remote member's disk): nothing local to scrub
+		}
 		names, err := d.List()
 		if err != nil {
 			return nil, fmt.Errorf("storage: scrub: listing disk %d: %w", i, err)
@@ -101,6 +104,9 @@ func Scrub(disks []Disk, repair bool) (*ScrubReport, error) {
 
 	// Pass 1: per-disk artifact walk.
 	for i, d := range disks {
+		if d == nil {
+			continue
+		}
 		have := make(map[string]bool, len(listings[i]))
 		for _, n := range listings[i] {
 			have[n] = true

@@ -1,0 +1,110 @@
+package storage
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCatalogOwnersReconcile: ownership records referencing a departed
+// server are repaired to the survivors — persistently — while a record
+// whose owners ALL departed is kept stale and reported, because blanking
+// it would erase the only evidence the data needs recovery.
+func TestCatalogOwnersReconcile(t *testing.T) {
+	disk := NewMemDisk()
+	cat, err := LoadCatalog(disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put := func(name string, owners []int) {
+		t.Helper()
+		if err := cat.Put(CatalogEntry{Name: name, ElemSize: 4}); err != nil {
+			t.Fatal(err)
+		}
+		if err := cat.SetOwners(name, owners); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("healthy", []int{0, 1})
+	put("mixed", []int{0, 1, 2})
+	put("orphan", []int{2})
+	if err := cat.Put(CatalogEntry{Name: "unrecorded", ElemSize: 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Server slot 2 departs.
+	changed, err := cat.ReconcileOwners(func(slot int) bool { return slot != 2 })
+	if err != nil {
+		t.Fatalf("ReconcileOwners: %v", err)
+	}
+	if !reflect.DeepEqual(changed, []string{"mixed", "orphan"}) {
+		t.Fatalf("changed = %v, want [mixed orphan]", changed)
+	}
+	if e, _ := cat.Get("mixed"); !reflect.DeepEqual(e.Owners, []int{0, 1}) {
+		t.Fatalf("mixed owners = %v, want [0 1]", e.Owners)
+	}
+	if e, _ := cat.Get("healthy"); !reflect.DeepEqual(e.Owners, []int{0, 1}) {
+		t.Fatalf("healthy owners disturbed: %v", e.Owners)
+	}
+	// The wholly-stale record is deliberately retained.
+	if e, _ := cat.Get("orphan"); !reflect.DeepEqual(e.Owners, []int{2}) {
+		t.Fatalf("orphan owners = %v, want the stale [2] kept", e.Owners)
+	}
+	if e, _ := cat.Get("unrecorded"); len(e.Owners) != 0 {
+		t.Fatalf("unrecorded entry grew owners: %v", e.Owners)
+	}
+
+	// The repair persisted: a fresh load sees the reconciled records.
+	cat2, err := LoadCatalog(disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, _ := cat2.Get("mixed"); !reflect.DeepEqual(e.Owners, []int{0, 1}) {
+		t.Fatalf("reloaded mixed owners = %v", e.Owners)
+	}
+
+	// Idempotent: a second sweep changes nothing.
+	changed, err = cat2.ReconcileOwners(func(slot int) bool { return slot != 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(changed, []string{"orphan"}) {
+		t.Fatalf("second sweep changed = %v, want only the stale [orphan] re-reported", changed)
+	}
+}
+
+// TestScrubSkipsVacantSlots: an elastic pool hands Scrub a disk slice
+// with nil entries (vacant slots, remote members' disks); the scrub
+// must skip them rather than crash, and still judge the real disks.
+func TestScrubSkipsVacantSlots(t *testing.T) {
+	d0 := NewMemDisk()
+	d2 := NewMemDisk()
+	// A committed file on the master disk: data + matching manifest +
+	// decision record, exactly what a clean commit leaves behind.
+	base, data := "A.0", []byte{1, 2, 3, 4}
+	if err := WriteFileAtomic(d0, base, data); err != nil {
+		t.Fatal(err)
+	}
+	m := &Manifest{
+		Version: ManifestVersion, Array: "A", Server: 0, Epoch: 1,
+		SchemaSum: 0xfeed, TotalBytes: int64(len(data)),
+		Chunks: []ManifestChunk{{ChunkIdx: 0, Offset: 0, Bytes: int64(len(data))}},
+		Subs:   []ManifestSub{{Offset: 0, Bytes: int64(len(data)), CRC: CRC32C(data)}},
+	}
+	if err := WriteManifest(d0, ManifestName(base), m); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDecision(d0, "A", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Scrub([]Disk{d0, nil, d2, nil}, true)
+	if err != nil {
+		t.Fatalf("Scrub with vacant slots: %v", err)
+	}
+	if !rep.OK() {
+		t.Fatalf("scrub unhealthy: %+v", rep.Issues)
+	}
+	if rep.Manifests == 0 {
+		t.Fatalf("scrub skipped the real disks too: %+v", rep)
+	}
+}

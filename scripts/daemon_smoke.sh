@@ -4,7 +4,9 @@
 # write an array from one client process, read it back bit-exact from
 # a second, probe every telemetry endpoint (/healthz, /metrics,
 # /sessions, /slo, /dump) plus pandastat -check mid-run, reload the
-# tuning via SIGHUP, drain via SIGTERM, and fsck the directory.
+# tuning via SIGHUP, join an elastic I/O node mid-run and drain it back
+# out with its data migrated off, drain via SIGTERM, and fsck the
+# directory.
 # Gates on every exit status plus the fsck verdict and the validity of
 # the dumped flight-recorder trace. Artifacts (daemon log, catalog/data
 # directory, structured event log, dumped trace) land in
@@ -22,15 +24,17 @@ ADDRFILE="$OUT/addr"
 HTTPADDRFILE="$OUT/http-addr"
 
 go build -o "$OUT/pandad" ./cmd/pandad
+go build -o "$OUT/pandanode" ./cmd/pandanode
 go build -o "$OUT/pandafsck" ./cmd/pandafsck
 go build -o "$OUT/pandastat" ./cmd/pandastat
 go build -o "$OUT/pandatrace" ./cmd/pandatrace
 
 echo '{"max_inflight": 2, "pipeline": 2, "slo_default_ms": 30000}' >"$CFG"
 "$OUT/pandad" -addr 127.0.0.1:0 -dir "$DATA" -config "$CFG" -addr-file "$ADDRFILE" \
-  -http 127.0.0.1:0 -http-addr-file "$HTTPADDRFILE" >"$LOG" 2>&1 &
+  -max-ions 4 -http 127.0.0.1:0 -http-addr-file "$HTTPADDRFILE" >"$LOG" 2>&1 &
 PID=$!
-trap 'kill -9 "$PID" 2>/dev/null || true' EXIT
+JPID=""
+trap 'kill -9 "$PID" $JPID 2>/dev/null || true' EXIT
 
 for _ in $(seq 100); do [ -s "$ADDRFILE" ] && [ -s "$HTTPADDRFILE" ] && break; sleep 0.1; done
 [ -s "$ADDRFILE" ] || { echo "daemon never published its address"; cat "$LOG"; exit 1; }
@@ -87,6 +91,31 @@ echo "reload observed (max_inflight 2 -> 4)"
 "$OUT/pandad" -connect "$ADDR" -smoke write -array smoke2 -nodes 2 -tenant a
 "$OUT/pandad" -connect "$ADDR" -smoke read -array smoke2 -nodes 2 -tenant a
 
+# Elastic pool: a new I/O node joins the running daemon mid-run, the
+# committed arrays rebalance onto it, and both still read back
+# bit-exact; then an operator drain migrates its chunks off and the
+# joined process exits 0.
+"$OUT/pandanode" -join "$ADDR" -dir "$OUT/join1" >"$OUT/join1.log" 2>&1 &
+JPID=$!
+for _ in $(seq 100); do
+  curl -fsS "http://$HTTP/servers" | grep -q '"active": 3' && break
+  sleep 0.1
+done
+curl -fsS "http://$HTTP/servers" | grep -q '"active": 3' \
+  || { echo "joined node never became active"; curl -fsS "http://$HTTP/servers"; cat "$OUT/join1.log"; exit 1; }
+"$OUT/pandastat" -addr "$HTTP" servers >"$OUT/pandastat-servers.txt"
+"$OUT/pandad" -connect "$ADDR" -smoke read -array smoke -nodes 2 -tenant b
+"$OUT/pandad" -connect "$ADDR" -smoke read -array smoke2 -nodes 2 -tenant a
+echo "elastic join OK (pool of 3)"
+
+"$OUT/pandastat" -addr "$HTTP" drain-server 2
+wait "$JPID" || { echo "joined node exited dirty after drain"; cat "$OUT/join1.log"; exit 1; }
+JPID=""
+"$OUT/pandad" -connect "$ADDR" -smoke read -array smoke -nodes 2 -tenant b
+"$OUT/pandad" -connect "$ADDR" -smoke read -array smoke2 -nodes 2 -tenant a
+"$OUT/pandafsck" -v "$OUT/join1"
+echo "elastic drain OK (slot released, data migrated off)"
+
 # Graceful drain: SIGTERM must finish in-flight work, commit, and
 # exit 0.
 kill -TERM "$PID"
@@ -100,7 +129,8 @@ grep -q "drained" "$LOG" || { echo "daemon did not report a drain"; cat "$LOG"; 
 # The structured event log must carry the full lifecycle.
 EVENTS="$DATA/events.jsonl"
 [ -s "$EVENTS" ] || { echo "no events.jsonl"; exit 1; }
-for ev in startup attach open detach reconfigure dump drain drained; do
+for ev in startup attach open detach reconfigure dump drain drained \
+  server_join server_drain server_left rebalance_start rebalance_done; do
   grep -q "\"event\":\"$ev\"" "$EVENTS" \
     || { echo "event log missing $ev"; cat "$EVENTS"; exit 1; }
 done

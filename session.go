@@ -2,7 +2,9 @@ package panda
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -29,6 +31,11 @@ var ErrDraining = core.ErrDraining
 // refused because too few client slots are free).
 var ErrBusy = core.ErrBusy
 
+// ErrDaemonUnavailable reports a Dial that exhausted its connect budget
+// without ever reaching a daemon. Match with errors.Is; the wrapped
+// chain carries the last underlying dial error.
+var ErrDaemonUnavailable = errors.New("panda: daemon unavailable")
+
 // SessionConfig describes a client session to Dial.
 type SessionConfig struct {
 	// Addr is the daemon's address.
@@ -40,6 +47,12 @@ type SessionConfig struct {
 	// Tenant names the scheduler tenant the session's operations are
 	// attributed to; "" is the default tenant.
 	Tenant string
+	// DialBudget bounds the initial connect, retried with exponential
+	// backoff and jitter — a daemon still coming up (or briefly
+	// restarting) is reached on a later attempt instead of failing the
+	// first. 0 means 5s; a negative budget tries exactly once. After
+	// the budget Dial fails with ErrDaemonUnavailable.
+	DialBudget time.Duration
 }
 
 // Session is a live attachment to a Panda service daemon: a group of
@@ -74,7 +87,7 @@ func Dial(cfg SessionConfig) (*Session, error) {
 	if cfg.Nodes == 0 {
 		cfg.Nodes = 1
 	}
-	conn, err := net.Dial("tcp", cfg.Addr)
+	conn, err := dialRetry(cfg.Addr, cfg.DialBudget)
 	if err != nil {
 		return nil, err
 	}
@@ -110,6 +123,36 @@ func Dial(cfg SessionConfig) (*Session, error) {
 		Sched:         core.SchedConfig{MaxInflight: rep.MaxInflight},
 	}
 	return s, nil
+}
+
+// dialRetry connects to a daemon, retrying refused or timed-out
+// attempts with exponential backoff (25ms doubling to 500ms, each wait
+// jittered up to +50%) until the budget runs out, then reports
+// ErrDaemonUnavailable wrapping the last attempt's error.
+func dialRetry(addr string, budget time.Duration) (net.Conn, error) {
+	if budget == 0 {
+		budget = 5 * time.Second
+	}
+	deadline := time.Now().Add(budget)
+	backoff := 25 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		perTry := time.Until(deadline)
+		if perTry < 250*time.Millisecond {
+			perTry = 250 * time.Millisecond
+		}
+		conn, err := net.DialTimeout("tcp", addr, perTry)
+		if err == nil {
+			return conn, nil
+		}
+		wait := backoff + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		if time.Now().Add(wait).After(deadline) {
+			return nil, fmt.Errorf("panda: dial %s: %d attempts: %v: %w", addr, attempt+1, err, ErrDaemonUnavailable)
+		}
+		time.Sleep(wait)
+		if backoff < 500*time.Millisecond {
+			backoff *= 2
+		}
+	}
 }
 
 // rpc runs one control request/reply exchange under s.mu.

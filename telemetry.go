@@ -525,6 +525,34 @@ func (d *Daemon) telemetryHandler() http.Handler {
 		}
 		writeJSON(w, map[string]any{"path": path})
 	})
+	mux.HandleFunc("/servers", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, map[string]any{
+			"epoch":   d.members.Epoch(),
+			"active":  d.members.ActiveCount(),
+			"servers": d.Servers(),
+		})
+	})
+	mux.HandleFunc("/drain-server", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		slot, err := strconv.Atoi(r.URL.Query().Get("slot"))
+		if err != nil {
+			http.Error(w, "drain-server?slot=N", http.StatusBadRequest)
+			return
+		}
+		if err := d.DrainServer(slot); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"drained": slot,
+			"epoch":   d.members.Epoch(),
+			"active":  d.members.ActiveCount(),
+			"servers": d.Servers(),
+		})
+	})
 	return mux
 }
 
