@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet staticcheck check fuzz bench-baseline bench-check bench-sched sched-check bench-pack trace-smoke recovery-smoke daemon-smoke churn-smoke ci clean
+.PHONY: all build test race vet staticcheck check fuzz bench-baseline bench-check bench-sched sched-check bench-topo topo-check bench-pack trace-smoke recovery-smoke daemon-smoke churn-smoke ci clean
 
 all: build
 
@@ -43,6 +43,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz 'FuzzDecodeSubReqOp$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz 'FuzzDecodeSchedDone$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz 'FuzzDecodeStatus$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz 'FuzzParseTopology$$' -fuzztime $(FUZZTIME) ./internal/mpi
 
 # bench-baseline snapshots the staged-engine performance on the Table 1
 # configurations (serial vs staged, reads and writes) into
@@ -71,6 +72,19 @@ bench-sched:
 
 sched-check:
 	$(GO) run ./cmd/pandabench -sched-check BENCH_engine.json
+
+# bench-topo snapshots the topology experiment (the same racked network
+# measured under the flat paper schedules and under the synthesized
+# tree/rack-affinity schedules, 64 -> 1,024 compute nodes on a fat-tree
+# and an oversubscribed fabric) into the topo rows of BENCH_engine.json,
+# preserving the other sections. topo-check is the matching CI gate: it
+# fails if the synthesized schedule slows down more than 10%, loses to
+# flat at >= 256 nodes, or its advantage stops growing with node count.
+bench-topo:
+	$(GO) run ./cmd/pandabench -topo-json BENCH_engine.json -scale $(BENCH_SCALE)
+
+topo-check:
+	$(GO) run ./cmd/pandabench -topo-check BENCH_engine.json
 
 # bench-pack measures the data-movement fast path on this host: the
 # coalescing CopyRegion kernel across strided, coalesced, contiguous

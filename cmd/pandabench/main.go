@@ -37,6 +37,8 @@ func main() {
 	engineCheck := flag.String("engine-check", "", "re-run the staged-engine baseline at the committed file's scale and fail if any row's agg_mbs regresses more than 10%; the fresh run is written alongside as <file>.new")
 	schedJSON := flag.String("sched-json", "", "measure the mixed-workload scheduler bench and update the sched rows of this baseline file in place (other sections preserved)")
 	schedCheck := flag.String("sched-check", "", "re-run the mixed-workload scheduler bench at the committed file's scale and fail if aggregate MB/s regresses more than 10% or overlapped dispatch stops beating serialized")
+	topoJSON := flag.String("topo-json", "", "measure the topology experiment (flat vs synthesized schedules, 64..1024 nodes) and update the topo rows of this baseline file in place (other sections preserved)")
+	topoCheck := flag.String("topo-check", "", "re-run the topology experiment at the committed file's scale and fail if the synthesized schedule slows down more than 10%, loses to flat at >= 256 nodes, or its advantage stops growing with node count")
 	tracePath := flag.String("trace", "", "record every operation and write Chrome trace-event JSON here (load at ui.perfetto.dev); also prints a per-operation phase breakdown")
 	verbose := flag.Bool("v", false, "print each measurement as it completes")
 	flag.Parse()
@@ -71,6 +73,14 @@ func main() {
 		runSchedCheck(*schedCheck, opt)
 		return
 	}
+	if *topoJSON != "" {
+		runTopoBaseline(*topoJSON, opt)
+		return
+	}
+	if *topoCheck != "" {
+		runTopoCheck(*topoCheck, opt)
+		return
+	}
 
 	switch *fig {
 	case "all":
@@ -82,6 +92,7 @@ func main() {
 		runAblations(opt)
 		runSharing(opt)
 		runSched(opt)
+		runTopo(opt)
 	case "table1":
 		runTable1()
 	case "baseline":
@@ -92,11 +103,13 @@ func main() {
 		runSharing(opt)
 	case "sched":
 		runSched(opt)
+	case "topo":
+		runTopo(opt)
 	default:
 		f, err := harness.FigureByID(*fig)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			fmt.Fprintln(os.Stderr, "known: fig3 fig4 fig5 fig6 fig7 fig8 fig9 multi table1 baseline ablations sharing sched all")
+			fmt.Fprintln(os.Stderr, "known: fig3 fig4 fig5 fig6 fig7 fig8 fig9 multi table1 baseline ablations sharing sched topo all")
 			os.Exit(2)
 		}
 		runFigure(f, opt, *csv)
@@ -244,6 +257,19 @@ type schedRow struct {
 	DiskMerges int64   `json:"disk_merges"`
 }
 
+// topoRow is one cell of the topology experiment: the same racked
+// network measured under the flat paper schedules and under the
+// synthesized tree/rack-affinity schedules. Virtual time makes both
+// arms deterministic, so the rows gate like the engine grid.
+type topoRow struct {
+	Preset  string  `json:"preset"`
+	Nodes   int     `json:"nodes"`
+	IONodes int     `json:"io_nodes"`
+	FlatNs  int64   `json:"flat_ns"`
+	TreeNs  int64   `json:"tree_ns"`
+	Speedup float64 `json:"speedup"`
+}
+
 // engineDoc is the BENCH_engine.json layout.
 type engineDoc struct {
 	Description string       `json:"description"`
@@ -252,6 +278,7 @@ type engineDoc struct {
 	Pack        []packRow    `json:"pack,omitempty"`
 	PlanCache   planCacheRow `json:"plan_cache,omitempty"`
 	Sched       []schedRow   `json:"sched,omitempty"`
+	Topo        []topoRow    `json:"topo,omitempty"`
 }
 
 // measureEngine runs the engine-baseline grid — the paper's Table 1
@@ -403,6 +430,132 @@ func measureSched(opt harness.Options) []schedRow {
 	return rows
 }
 
+// measureTopo runs the full topology experiment: every preset at every
+// node count, flat and synthesized arms each.
+func measureTopo(opt harness.Options) []topoRow {
+	points, err := harness.RunTopoFigure(nil, opt)
+	if err != nil {
+		log.Fatalf("topo bench: %v", err)
+	}
+	rows := make([]topoRow, 0, len(points))
+	for _, p := range points {
+		rows = append(rows, topoRow{
+			Preset:  p.Preset,
+			Nodes:   p.Nodes,
+			IONodes: p.IONodes,
+			FlatNs:  p.Flat.Nanoseconds(),
+			TreeNs:  p.Tree.Nanoseconds(),
+			Speedup: p.Speedup,
+		})
+	}
+	return rows
+}
+
+// checkTopoRows gates fresh topology rows against committed ones:
+// per-row synthesized completion time within 10%, the structural
+// property that synthesized beats flat at every count >= 256 nodes,
+// and that each preset's advantage grows from its smallest to its
+// largest machine. Returns the number of failures.
+func checkTopoRows(base, fresh []topoRow) int {
+	key := func(r topoRow) string { return fmt.Sprintf("%s/n%d", r.Preset, r.Nodes) }
+	freshBy := make(map[string]topoRow, len(fresh))
+	for _, r := range fresh {
+		freshBy[key(r)] = r
+	}
+	failures := 0
+	for _, b := range base {
+		f, ok := freshBy[key(b)]
+		if !ok {
+			fmt.Printf("FAIL topo/%-22s missing from fresh run\n", key(b))
+			failures++
+			continue
+		}
+		verdict := "ok  "
+		if float64(f.TreeNs) > 1.1*float64(b.TreeNs) {
+			verdict = "FAIL"
+			failures++
+		}
+		fmt.Printf("%s topo/%-22s base tree %-12v now %-12v flat %-12v speedup %.2fx\n",
+			verdict, key(b), time.Duration(b.TreeNs), time.Duration(f.TreeNs),
+			time.Duration(f.FlatNs), f.Speedup)
+	}
+	first, last := map[string]topoRow{}, map[string]topoRow{}
+	for _, r := range fresh {
+		if r.Nodes >= 256 && r.TreeNs >= r.FlatNs {
+			fmt.Printf("FAIL topo/%s/n%d synthesized %v not below flat %v\n",
+				r.Preset, r.Nodes, time.Duration(r.TreeNs), time.Duration(r.FlatNs))
+			failures++
+		}
+		if f, ok := first[r.Preset]; !ok || r.Nodes < f.Nodes {
+			first[r.Preset] = r
+		}
+		if l, ok := last[r.Preset]; !ok || r.Nodes > l.Nodes {
+			last[r.Preset] = r
+		}
+	}
+	for preset, f := range first {
+		if l := last[preset]; l.Nodes > f.Nodes && l.Speedup <= f.Speedup {
+			fmt.Printf("FAIL topo/%s speedup %.2fx at %d nodes not above %.2fx at %d nodes\n",
+				preset, l.Speedup, l.Nodes, f.Speedup, f.Nodes)
+			failures++
+		}
+	}
+	return failures
+}
+
+// runTopoBaseline refreshes the topo rows of an existing baseline file
+// in place (`make bench-topo`). Other sections are preserved; a missing
+// file gets a topo-only document at the requested scale.
+func runTopoBaseline(path string, opt harness.Options) {
+	var doc engineDoc
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		opt.Scale = doc.Scale
+	} else {
+		doc.Description = "topology experiment baseline (run `make bench-baseline` for the full grid)"
+		doc.Scale = opt.Scale
+	}
+	doc.Topo = measureTopo(opt)
+	writeEngineDoc(path, doc)
+	fmt.Printf("updated %d topology rows in %s (scale %d)\n", len(doc.Topo), path, doc.Scale)
+}
+
+// runTopoCheck is the CI topology gate: re-run the experiment at the
+// committed baseline's scale and fail on regression, on flat winning at
+// scale, or on the synthesized margin no longer growing with the
+// machine.
+func runTopoCheck(path string, opt harness.Options) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var base engineDoc
+	if err := json.Unmarshal(data, &base); err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	if len(base.Topo) == 0 {
+		log.Fatalf("%s has no topo rows; run `make bench-topo` (or `make bench-baseline`) and commit the result", path)
+	}
+	opt.Scale = base.Scale
+	if failures := checkTopoRows(base.Topo, measureTopo(opt)); failures > 0 {
+		log.Fatalf("topo check: %d regression(s) against %s", failures, path)
+	}
+	fmt.Printf("topo check passed: %d rows within 10%% of %s, synthesized ahead at scale\n", len(base.Topo), path)
+}
+
+// runTopo prints the human-readable topology comparison.
+func runTopo(opt harness.Options) {
+	opt.Verbose = true
+	points, err := harness.RunTopoFigure(nil, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("topology experiment: %d cells, %d i/o nodes, write %d MB, flat vs synthesized schedules\n",
+		len(points), harness.TopoIONodes, harness.TopoSizeMB>>opt.Scale)
+}
+
 // checkSchedRows gates fresh scheduler rows against committed ones:
 // per-row aggregate throughput within 10%, and the structural property
 // that overlapped dispatch beats the serialized baseline. Returns the
@@ -512,6 +665,7 @@ func runEngineBaseline(path string, opt harness.Options) {
 		Pack:        measurePack(),
 		PlanCache:   measurePlanCache(opt),
 		Sched:       measureSched(opt),
+		Topo:        measureTopo(opt),
 	}
 	writeEngineDoc(path, doc)
 	fmt.Printf("wrote %d measurements to %s\n", len(doc.Rows), path)
@@ -540,6 +694,7 @@ func runEngineCheck(path string, opt harness.Options) {
 		Pack:        measurePack(),
 		PlanCache:   measurePlanCache(opt),
 		Sched:       measureSched(opt),
+		Topo:        measureTopo(opt),
 	}
 	writeEngineDoc(path+".new", fresh)
 
@@ -575,6 +730,7 @@ func runEngineCheck(path string, opt harness.Options) {
 		failures++
 	}
 	failures += checkSchedRows(base.Sched, fresh.Sched)
+	failures += checkTopoRows(base.Topo, fresh.Topo)
 	if failures > 0 {
 		log.Fatalf("engine check: %d regression(s) against %s", failures, path)
 	}

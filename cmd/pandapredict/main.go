@@ -29,6 +29,7 @@ func main() {
 	schema := flag.String("schema", "natural", "disk schema: natural or trad")
 	fast := flag.Bool("fast", false, "infinitely fast disks")
 	pipeline := flag.Int("pipeline", 0, "write pipeline depth")
+	topoSpec := flag.String("topo", "", `network topology to price: "flat" (default), "fat-tree:RACK", "oversub:RACK:FACTOR", or the rack=N,... long form`)
 	candidates := flag.Bool("candidates", false, "rank candidate disk schemas instead")
 	flag.Parse()
 
@@ -40,6 +41,11 @@ func main() {
 	shape, err := harness.Shape3D(*sizeMB * harness.MB)
 	if err != nil {
 		log.Fatal(err)
+	}
+	topo, err := mpi.ParseTopology(*topoSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	mem := array.MustSchema(shape, []array.Dist{array.Block, array.Block, array.Block}, mesh)
 	cfg := core.Config{NumClients: *cn, NumServers: *ion, Pipeline: *pipeline,
@@ -61,11 +67,16 @@ func main() {
 		Disk:     storage.SP2AIX(),
 		FastDisk: *fast,
 		Write:    *op == "write",
+		Topo:     topo,
 	}
 	b := costmodel.Predict(in)
 	total := in.Specs[0].TotalBytes()
-	fmt.Printf("predicted %s of %d MB, %d compute nodes, %d i/o nodes, %s schema\n",
-		*op, *sizeMB, *cn, *ion, *schema)
+	net := "uniform net"
+	if topo != nil {
+		net = "topology " + topo.String()
+	}
+	fmt.Printf("predicted %s of %d MB, %d compute nodes, %d i/o nodes, %s schema, %s\n",
+		*op, *sizeMB, *cn, *ion, *schema, net)
 	fmt.Printf("  elapsed     %v\n", b.Elapsed.Round(time.Millisecond))
 	fmt.Printf("  aggregate   %.2f MB/s\n", float64(total)/harness.MBps/b.Elapsed.Seconds())
 	fmt.Printf("  startup     %v\n", b.Startup)

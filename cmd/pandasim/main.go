@@ -35,13 +35,24 @@ func main() {
 	pipeline := flag.Int("pipeline", 0, "write pipeline depth (0 = blocking)")
 	readahead := flag.Int("readahead", 0, "read prefetch depth (0 = serial reads)")
 	arrays := flag.Int("arrays", 1, "arrays per collective call")
+	topoSpec := flag.String("topo", "", `network topology: "flat" (default), "fat-tree:RACK", "oversub:RACK:FACTOR", or "rack=N,oversub=F,xlat=D,o=D[,lat=D,bw=B]" (server-directed only; enables synthesized schedules)`)
+	flatSched := flag.Bool("flat-schedules", false, "keep the paper's flat schedules on a racked network (needs -topo)")
 	strategy := flag.String("strategy", "server-directed", "server-directed, two-phase or client-directed")
 	tracePath := flag.String("trace", "", "write the run's Chrome trace-event JSON here (server-directed only; exact virtual-time spans) and print a phase breakdown")
 	flag.Parse()
 
 	mesh, ok := harness.Meshes()[*cn]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "no mesh for %d compute nodes (use 8, 16, 24 or 32)\n", *cn)
+		fmt.Fprintf(os.Stderr, "no mesh for %d compute nodes (use 8, 16, 24, 32, 64, 128, 256, 512 or 1024)\n", *cn)
+		os.Exit(2)
+	}
+	topo, err := mpi.ParseTopology(*topoSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *flatSched && topo == nil {
+		fmt.Fprintln(os.Stderr, "-flat-schedules needs -topo")
 		os.Exit(2)
 	}
 	f := harness.Figure{
@@ -57,7 +68,8 @@ func main() {
 	if *schema == "trad" {
 		f.Schema = harness.Traditional
 	}
-	opt := harness.Options{SubchunkBytes: *subchunk, Pipeline: *pipeline, ReadAhead: *readahead}
+	opt := harness.Options{SubchunkBytes: *subchunk, Pipeline: *pipeline, ReadAhead: *readahead,
+		Topology: topo, FlatSchedules: *flatSched}
 	var rec *obs.Recorder
 	if *tracePath != "" {
 		rec = obs.NewRecorder(0)
@@ -69,8 +81,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%s %d MB, %d compute nodes, %d i/o nodes, %s schema, %s disk\n",
-			*op, *sizeMB, *cn, *ion, *schema, *disk)
+		net := "uniform SP2 net"
+		if topo != nil {
+			net = "topology " + topo.String()
+			if *flatSched {
+				net += " (flat schedules)"
+			}
+		}
+		fmt.Printf("%s %d MB, %d compute nodes, %d i/o nodes, %s schema, %s disk, %s\n",
+			*op, *sizeMB, *cn, *ion, *schema, *disk, net)
 		fmt.Printf("  elapsed      %v\n", p.Elapsed.Round(time.Microsecond))
 		fmt.Printf("  aggregate    %.2f MB/s\n", p.AggMBs)
 		fmt.Printf("  normalized   %.3f (vs %.2f MB/s peak per i/o node)\n", p.Norm, f.NormPeak()/harness.MBps)
@@ -100,6 +119,9 @@ func main() {
 	}
 	if rec != nil {
 		log.Fatal("-trace is only supported with -strategy server-directed")
+	}
+	if topo != nil {
+		log.Fatal("-topo is only supported with -strategy server-directed")
 	}
 
 	// Baseline strategies (writes only expose the interesting

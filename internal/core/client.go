@@ -366,14 +366,14 @@ func (c *Client) runAttempt(op byte, suffix string, specs []ArraySpec, bufs [][]
 			if err != nil {
 				return err
 			}
-			if c.IsMaster() {
-				// Relay completion to the other group members — before
-				// acting on the outcome, so a failure reaches every rank.
-				for i := 1; i < c.nclients(); i++ {
-					cp := bufpool.GetRaw(len(m.Data))
-					copy(cp, m.Data)
-					c.send(c.peerRank(i), tagToClient(seq), cp)
-				}
+			// Relay completion onward — before acting on the outcome, so
+			// a failure reaches every rank even when this one unwinds:
+			// the master to everyone on flat groups, this rank's tree
+			// children when topology schedules are on.
+			for _, rank := range c.completeDests() {
+				cp := bufpool.GetRaw(len(m.Data))
+				copy(cp, m.Data)
+				c.send(rank, tagToClient(seq), cp)
 			}
 			bufpool.Put(m.Data) // status decoded and relayed; recycle the frame
 			if frame.Err != nil && frame.Attempt < attempt {
@@ -398,6 +398,31 @@ func (c *Client) peerRank(i int) int {
 		return c.ranks[i]
 	}
 	return i
+}
+
+// completeDests lists the group members this client relays a completion
+// frame to: every other member when it leads a flat group (non-leaders
+// relay nothing), its children in the client broadcast tree when
+// topology schedules are on — interior members forward, so the outcome
+// reaches every rank in O(log n) hops instead of serializing at the
+// leader's egress port.
+func (c *Client) completeDests() []int {
+	n := c.nclients()
+	if c.cfg.Topology == nil || c.cfg.FlatSchedules {
+		if !c.IsMaster() {
+			return nil
+		}
+		dests := make([]int, 0, n-1)
+		for i := 1; i < n; i++ {
+			dests = append(dests, c.peerRank(i))
+		}
+		return dests
+	}
+	members := make([]int, n)
+	for i := range members {
+		members[i] = c.peerRank(i)
+	}
+	return mpi.TreeChildren(members, members[0], c.comm.Rank(), c.cfg.Topology)
 }
 
 // pieceID identifies one piece of one array for duplicate detection. A

@@ -287,6 +287,7 @@ func (s *Server) runCommitWrite(req opRequest, deadline time.Duration) (opErr, f
 // re-trigger the operation).
 func (s *Server) adoptRound(req opRequest) {
 	s.curAttempt, s.curRound = req.Attempt, req.Round
+	s.curDeads = req.Deads
 	s.lastSeq, s.lastAttempt, s.lastRound = int(req.Seq), int(req.Attempt), int(req.Round)
 }
 
@@ -376,14 +377,11 @@ func (s *Server) masterCommit(req opRequest, prepared []preparedArray, ownErr er
 		next.Deads = append(append([]int{}, req.Deads...), newDeads...)
 		sort.Ints(next.Deads)
 		s.tr.Instant(obs.CatRecover, fmt.Sprintf("reassign round %d", next.Round), s.opSeq, s.clk.Now(), 0)
-		raw := encodeOpRequest(next)
-		for _, i := range s.aliveOthers(next) {
-			cp := bufpool.GetRaw(len(raw))
-			copy(cp, raw)
-			// The op's server tag reaches survivors wherever they block:
-			// mid-pull or waiting for the commit decision.
-			s.send(s.cfg.ServerRank(i), tagToServer(s.opSeq), cp)
-		}
+		// The op's server tag reaches survivors wherever they block:
+		// mid-pull or waiting for the commit decision. This rebroadcast
+		// doubles as the membership-epoch announcement, so it rides the
+		// same tree as every other control broadcast.
+		s.broadcastVerdict(next.Deads, encodeOpRequest(next))
 		return nil, &next, nil
 	}
 
@@ -391,9 +389,7 @@ func (s *Server) masterCommit(req opRequest, prepared []preparedArray, ownErr er
 		atomic.AddInt64(&s.stats.Aborts, 1)
 		s.met.aborts.Add(1)
 		s.tr.Instant(obs.CatCtl, "abort broadcast", s.opSeq, s.clk.Now(), 0)
-		for _, i := range s.aliveOthers(req) {
-			s.send(s.cfg.ServerRank(i), tagToServer(s.opSeq), encodeAbort(req.Attempt, req.Round, status))
-		}
+		s.broadcastVerdict(req.Deads, encodeAbort(req.Attempt, req.Round, status))
 		s.removePrepared(prepared)
 		return status, nil, nil
 	}
@@ -406,9 +402,7 @@ func (s *Server) masterCommit(req opRequest, prepared []preparedArray, ownErr er
 			// aborts and rolls back cleanly; the server lives on.
 			atomic.AddInt64(&s.stats.Aborts, 1)
 			s.met.aborts.Add(1)
-			for _, i := range s.aliveOthers(req) {
-				s.send(s.cfg.ServerRank(i), tagToServer(s.opSeq), encodeAbort(req.Attempt, req.Round, err))
-			}
+			s.broadcastVerdict(req.Deads, encodeAbort(req.Attempt, req.Round, err))
 			s.removePrepared(prepared)
 			return err, nil, nil
 		}
@@ -428,16 +422,12 @@ func (s *Server) masterCommit(req opRequest, prepared []preparedArray, ownErr er
 		s.tr.Span(obs.CatRecover, "commit decision", s.opSeq, d0, s.clk.Now(), 0)
 	}
 	if status != nil {
-		for _, i := range s.aliveOthers(req) {
-			s.send(s.cfg.ServerRank(i), tagToServer(s.opSeq), encodeAbort(req.Attempt, req.Round, status))
-		}
+		s.broadcastVerdict(req.Deads, encodeAbort(req.Attempt, req.Round, status))
 		s.removePrepared(prepared)
 		return status, nil, nil
 	}
 
-	for _, i := range s.aliveOthers(req) {
-		s.send(s.cfg.ServerRank(i), tagToServer(s.opSeq), encodeStatus(msgCommit, req.Attempt, req.Round, nil))
-	}
+	s.broadcastVerdict(req.Deads, encodeStatus(msgCommit, req.Attempt, req.Round, nil))
 	if err := s.crashPoint("commit"); err != nil {
 		if errors.Is(err, errOpCrashed) {
 			// Per-op crash after the decision is durable: the temps stay
@@ -496,6 +486,9 @@ func (s *Server) waitCommit(req opRequest, prepared []preparedArray, deadline ti
 			if derr != nil {
 				return derr, nil, nil
 			}
+			// Forward down the tree before acting, so the verdict reaches
+			// the subtree even if this node crashes at the commit point.
+			s.forwardTree(m.Data, tagToServer(s.opSeq), req.Deads)
 			if frame.Attempt != req.Attempt || frame.Round != req.Round {
 				continue
 			}
@@ -515,6 +508,7 @@ func (s *Server) waitCommit(req opRequest, prepared []preparedArray, deadline ti
 			if derr != nil {
 				return derr, nil, nil
 			}
+			s.forwardTree(m.Data, tagToServer(s.opSeq), req.Deads)
 			if frame.Attempt < req.Attempt {
 				continue // abort of an attempt this server already left
 			}
@@ -528,6 +522,10 @@ func (s *Server) waitCommit(req opRequest, prepared []preparedArray, deadline ti
 			return &abortedError{cause: err}, nil, nil
 		case msgOpRequest:
 			nreq, derr := decodeOpRequest(m.Data)
+			if derr == nil {
+				// The reassignment round's tree is over the new alive set.
+				s.forwardTree(m.Data, tagToServer(s.opSeq), nreq.Deads)
+			}
 			bufpool.Put(m.Data) // decode copies everything out
 			if derr == nil && nreq.Seq == req.Seq && nreq.Attempt == req.Attempt && nreq.Round > req.Round {
 				return nil, &nreq, nil

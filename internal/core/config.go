@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"time"
 
+	"panda/internal/mpi"
 	"panda/internal/obs"
 )
 
@@ -141,6 +142,21 @@ type Config struct {
 	// plans are never cached (they depend on file contents, not schemas),
 	// and a failover replan invalidates the cache outright.
 	PlanCacheSize int
+	// Topology, when non-nil, turns on topology-aware communication
+	// schedules: control broadcasts (request relay, abort, commit
+	// decision, reassignment/membership-epoch rebroadcast, completion
+	// relay) flow down synthesized rack-major trees instead of flat
+	// master fan-out, and each server's pull schedule is reordered for
+	// rack affinity (see topoplan.go). Simulated deployments also
+	// install it into the SimWorld charge model. Nil — the zero value —
+	// keeps every path byte-identical to the flat protocol.
+	Topology *mpi.Topology
+	// FlatSchedules keeps the paper's flat control fan-outs and pull
+	// ordering even when Topology is non-nil; the simulated network is
+	// still charged with the topology's link model. Measurement knob:
+	// it isolates the synthesized schedules' contribution from the
+	// network model's (harness topology figure, pandabench -topo-*).
+	FlatSchedules bool
 	// OpLog, when non-nil, receives a summary of every collective
 	// operation a server completes (success or failure), from the
 	// server's own goroutine. pandanode uses it for per-operation log
@@ -412,6 +428,9 @@ func (c Config) Validate() error {
 	}
 	if c.MigrateParallel < 0 {
 		return fmt.Errorf("core: negative MigrateParallel")
+	}
+	if err := c.Topology.Validate(); err != nil {
+		return err
 	}
 	if c.Members != nil {
 		if !c.Service || !c.Sched.enabled() {

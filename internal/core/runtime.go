@@ -216,6 +216,9 @@ func SpawnSim(sim *vtime.Sim, prefix string, cfg Config, link mpi.LinkConfig, mk
 	}
 	applyPackWorkers(cfg)
 	world := mpi.NewSimWorld(sim, cfg.WorldSize(), link)
+	if cfg.Topology != nil {
+		world.SetTopology(cfg.Topology) // cfg.Validate checked it above
+	}
 	res := &SimResult{
 		ClientElapsed: make([]time.Duration, cfg.NumClients),
 		ClientStats:   make([]Stats, cfg.NumClients),

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -56,8 +57,11 @@ type Server struct {
 	// the per-key deads mask captures).
 	lastMemberEpoch uint32
 	// curAttempt and curRound identify the request currently executing,
-	// for stale-frame filtering inside the operation.
+	// for stale-frame filtering inside the operation. curDeads is that
+	// request's dead-server list — the member-set complement every rank
+	// needs to derive the same control-broadcast tree locally.
 	curAttempt, curRound uint16
+	curDeads             []int
 
 	// plans memoizes schema-derived sub-chunk plans (see planFor). Only
 	// the server goroutine touches it.
@@ -76,6 +80,7 @@ type planKey struct {
 	numServers    int
 	subchunkBytes int64
 	deads         uint64 // bitmask over server indexes
+	topo          uint32 // topology fingerprint: plans are ordered per topology
 }
 
 // planEntry is one cached plan. jobs and subs are shared across hits
@@ -241,6 +246,7 @@ func (s *Server) acceptReq(req opRequest) bool {
 	s.lastSeq, s.lastAttempt, s.lastRound = seq, att, rnd
 	s.opSeq = seq
 	s.curAttempt, s.curRound = req.Attempt, req.Round
+	s.curDeads = req.Deads
 	s.ranks = req.Ranks
 	if req.MemberEpoch != 0 && req.MemberEpoch != s.lastMemberEpoch {
 		s.lastMemberEpoch = req.MemberEpoch
@@ -427,22 +433,43 @@ func (s *Server) handleOp(raw []byte, req opRequest, decodeErr error) (fatal err
 		if s.cfg.StartupOverhead > 0 {
 			s.clk.Sleep(s.cfg.StartupOverhead)
 		}
+		if s.treeEnabled() && err == nil {
+			// Stamp already-known-dead servers into the request before it
+			// shapes the tree: round 0 then replans around them instead of
+			// routing a subtree through a corpse (see lostServers).
+			if lost := s.lostServers(deadSet(req.Deads)); len(lost) > 0 {
+				req.Deads = append(append([]int{}, req.Deads...), lost...)
+				sort.Ints(req.Deads)
+				s.curDeads = req.Deads
+				raw = encodeOpRequest(req)
+			}
+		}
 		if err == nil && !s.cfg.PlainWrites {
 			s.resolveEpochs(&req)
 			raw = encodeOpRequest(req)
 		}
 		s.tr.Instant(obs.CatCtl, "forward request", s.opSeq, s.clk.Now(), int64(len(raw)))
-		fwdDead := deadSet(req.Deads)
-		for i := 0; i < s.cfg.NumServers; i++ {
-			if fwdDead[i] {
-				continue // absent/lost/draining-for-writes slot: nobody there to serve it
-			}
-			if rank := s.cfg.ServerRank(i); rank != s.comm.Rank() {
-				cp := bufpool.GetRaw(len(raw))
-				copy(cp, raw)
-				s.send(rank, tagControl, cp)
+		if s.treeEnabled() {
+			s.fanoutRaw(s.serverTreeChildren(deadSet(req.Deads)), tagControl, raw)
+		} else {
+			fwdDead := deadSet(req.Deads)
+			for i := 0; i < s.cfg.NumServers; i++ {
+				if fwdDead[i] {
+					continue // absent/lost/draining-for-writes slot: nobody there to serve it
+				}
+				if rank := s.cfg.ServerRank(i); rank != s.comm.Rank() {
+					cp := bufpool.GetRaw(len(raw))
+					copy(cp, raw)
+					s.send(rank, tagControl, cp)
+				}
 			}
 		}
+	} else if s.treeEnabled() && err == nil {
+		// Interior node of the request tree: forward to this node's
+		// children before executing, so the broadcast completes in
+		// depth rounds without the master touching every rank.
+		s.tr.Instant(obs.CatCtl, "forward request", s.opSeq, s.clk.Now(), int64(len(raw)))
+		s.fanoutRaw(s.serverTreeChildren(deadSet(req.Deads)), tagControl, raw)
 	}
 
 	if err == nil {
@@ -541,9 +568,16 @@ func (s *Server) handleOp(raw []byte, req opRequest, decodeErr error) (fatal err
 		atomic.AddInt64(&s.stats.Aborts, 1)
 		s.met.aborts.Add(1)
 		s.tr.Instant(obs.CatCtl, "abort broadcast", s.opSeq, s.clk.Now(), 0)
-		for i := 0; i < s.cfg.NumServers; i++ {
-			if rank := s.cfg.ServerRank(i); rank != s.comm.Rank() {
-				s.send(rank, tagToServer(s.opSeq), encodeAbort(req.Attempt, req.Round, status))
+		raw := encodeAbort(req.Attempt, req.Round, status)
+		if s.treeEnabled() {
+			s.fanoutRaw(s.serverTreeChildren(deadSet(req.Deads)), tagToServer(s.opSeq), raw)
+		} else {
+			for i := 0; i < s.cfg.NumServers; i++ {
+				if rank := s.cfg.ServerRank(i); rank != s.comm.Rank() {
+					cp := bufpool.GetRaw(len(raw))
+					copy(cp, raw)
+					s.send(rank, tagToServer(s.opSeq), cp)
+				}
 			}
 		}
 	}
@@ -628,7 +662,7 @@ func (s *Server) planFor(ai int, spec ArraySpec, dead map[int]bool) ([]chunkJob,
 		}
 	}
 	jobs := assignChunksAlive(spec.Disk, spec.ElemSize, s.cfg.NumServers, s.index, dead)
-	subs := planSubchunks(ai, spec, jobs, spec.subchunkBytes(s.cfg))
+	subs := s.orderPlan(planSubchunks(ai, spec, jobs, spec.subchunkBytes(s.cfg)))
 	var planned int64
 	for _, sj := range subs {
 		planned += sj.Bytes
@@ -665,6 +699,7 @@ func (s *Server) planKeyFor(ai int, spec ArraySpec, dead map[int]bool) (planKey,
 		numServers:    s.cfg.NumServers,
 		subchunkBytes: spec.subchunkBytes(s.cfg),
 		deads:         mask,
+		topo:          s.cfg.Topology.Fingerprint(),
 	}, true
 }
 
@@ -676,7 +711,7 @@ func (s *Server) planManifest(ai int, spec ArraySpec, jobs []chunkJob) []subchun
 	if s.tr.Enabled() {
 		p0 = s.clk.Now()
 	}
-	subs := planSubchunks(ai, spec, jobs, spec.subchunkBytes(s.cfg))
+	subs := s.orderPlan(planSubchunks(ai, spec, jobs, spec.subchunkBytes(s.cfg)))
 	var planned int64
 	for _, sj := range subs {
 		planned += sj.Bytes
@@ -853,6 +888,11 @@ func (s *Server) pullSubchunks(spec ArraySpec, subs []subchunkJob, deadline time
 		switch t := r.u8(); t {
 		case msgAbort:
 			frame, derr := decodeStatus(&r)
+			if derr == nil {
+				// Forward before unwinding: the subtree must learn the
+				// verdict even though this node stops pulling now.
+				s.forwardTree(m.Data, tagToServer(s.opSeq), s.curDeads)
+			}
 			bufpool.Put(m.Data)
 			if derr != nil {
 				return derr
@@ -871,6 +911,9 @@ func (s *Server) pullSubchunks(spec ArraySpec, subs []subchunkJob, deadline time
 			// A replanning round: a participant died and the master
 			// rebroadcast the request on this operation's server tag.
 			nreq, derr := decodeOpRequest(m.Data)
+			if derr == nil {
+				s.forwardTree(m.Data, tagToServer(s.opSeq), nreq.Deads)
+			}
 			bufpool.Put(m.Data) // decode copies everything out
 			if derr == nil && nreq.Seq == uint32(s.opSeq) && nreq.Attempt == s.curAttempt && nreq.Round > s.curRound {
 				return &replanError{req: nreq}
@@ -1115,6 +1158,9 @@ func (s *Server) checkReadInterrupt(deadline time.Duration) error {
 		return fmt.Errorf("expected abort, got message type %d during read", t)
 	}
 	frame, derr := decodeStatus(&r)
+	if derr == nil {
+		s.forwardTree(m.Data, tagToServer(s.opSeq), s.curDeads)
+	}
 	bufpool.Put(m.Data)
 	if derr != nil {
 		return derr

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"sort"
+
+	"panda/internal/bufpool"
+	"panda/internal/mpi"
+)
+
+// Topology-aware communication schedules (Config.Topology != nil).
+//
+// Control plane: every master-originated broadcast — request relay,
+// abort, commit decision, reassignment rebroadcast (which doubles as
+// the membership-epoch announcement), and the client-side completion
+// relay — flows down a synthesized tree (mpi.TreeChildren: binomial,
+// rack-major two-level when the topology has racks) instead of a flat
+// O(N) fan-out at the master. Every receiver of such a frame forwards
+// it to its own children before acting on it, so a failure outcome
+// reaches the subtree even when the receiver then unwinds. The tree is
+// derived at each hop from frame content alone (the attempt's Deads
+// list), so no extra coordination state crosses the wire.
+//
+// Data plane: each server's pull schedule is reordered for the
+// topology (orderSubchunks below) — rack-affinity first, remaining
+// racks round-robin with a per-server stagger, and within each
+// sub-chunk the deepest links first.
+//
+// With Config.Topology nil none of this code runs and the protocol is
+// byte-identical to the flat paper schedule.
+
+// treeEnabled reports whether synthesized control schedules are on.
+func (s *Server) treeEnabled() bool { return s.cfg.Topology != nil && !s.cfg.FlatSchedules }
+
+// serverTreeChildren returns the server world ranks this node forwards
+// a control frame to: its children in the broadcast tree over the
+// attempt's alive servers, rooted at the master server.
+func (s *Server) serverTreeChildren(dead map[int]bool) []int {
+	members := make([]int, 0, s.cfg.NumServers)
+	for i := 0; i < s.cfg.NumServers; i++ {
+		if !dead[i] {
+			members = append(members, s.cfg.ServerRank(i))
+		}
+	}
+	return mpi.TreeChildren(members, s.cfg.MasterServer(), s.comm.Rank(), s.cfg.Topology)
+}
+
+// fanoutRaw delivers one already-encoded control frame to every rank
+// in dests. The frame is encoded exactly once by the caller; each send
+// hands the transport a pooled copy, so a steady-state fan-out
+// allocates nothing (asserted by TestControlFanoutZeroAlloc, profiled
+// by BenchmarkControlFanout).
+func (s *Server) fanoutRaw(dests []int, tag int, raw []byte) {
+	for _, rank := range dests {
+		cp := bufpool.GetRaw(len(raw))
+		copy(cp, raw)
+		s.send(rank, tag, cp)
+	}
+}
+
+// lostServers lists server indexes, beyond those already in dead, that
+// the transport or the membership layer reports gone. The master stamps
+// these into a request before relaying it down the tree: a flat relay
+// tolerates a dead destination (nobody forwards through it), but a tree
+// must not route a subtree through a corpse, and stamping the frame
+// keeps every node's locally-derived tree identical.
+func (s *Server) lostServers(dead map[int]bool) []int {
+	pc, pok := s.comm.(mpi.PeerChecker)
+	mem := s.cfg.Members
+	if !pok && mem == nil {
+		return nil
+	}
+	var out []int
+	for i := 0; i < s.cfg.NumServers; i++ {
+		if i == s.index || dead[i] {
+			continue
+		}
+		if (pok && pc.PeerLost(s.cfg.ServerRank(i))) || (mem != nil && mem.Gone(i)) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// forwardTree re-forwards a received control frame down the tree: the
+// interior-node half of a tree broadcast. No-op when schedules are
+// flat (the master reached everyone directly) or on the master itself
+// (it originated the frame).
+func (s *Server) forwardTree(raw []byte, tag int, deads []int) {
+	if !s.treeEnabled() || s.IsMaster() {
+		return
+	}
+	s.fanoutRaw(s.serverTreeChildren(deadSet(deads)), tag, raw)
+}
+
+// broadcastVerdict delivers a coordinator frame (commit decision,
+// abort, or reassignment request) to the attempt's participants on the
+// operation's server tag: this node's tree children when topology
+// schedules are on, every alive participant otherwise. The frame is
+// encoded exactly once by the caller.
+func (s *Server) broadcastVerdict(deads []int, raw []byte) {
+	if s.treeEnabled() {
+		s.fanoutRaw(s.serverTreeChildren(deadSet(deads)), tagToServer(s.opSeq), raw)
+		return
+	}
+	dead := deadSet(deads)
+	for i := 0; i < s.cfg.NumServers; i++ {
+		if i == s.index || dead[i] {
+			continue
+		}
+		cp := bufpool.GetRaw(len(raw))
+		copy(cp, raw)
+		s.send(s.cfg.ServerRank(i), tagToServer(s.opSeq), cp)
+	}
+}
+
+// orderSubchunks reorders one server's pull schedule in place for the
+// topology. Sub-chunks are bucketed by the rack of their first piece's
+// client and drained in rotated round-robin rack order: the rotation
+// starts at this server's own rack (rack affinity — those pulls never
+// touch a spine link) offset by the server index, so the servers of a
+// deployment start their cross-rack rounds on different racks instead
+// of converging on one uplink. Within each sub-chunk, cross-rack
+// pieces are requested before in-rack ones (deepest-link-first: the
+// long-path transfers start earliest and overlap the short ones).
+//
+// Only the order changes — retirement follows the reordered plan and
+// every job carries its explicit FileOffset, so the bytes written are
+// identical to the flat schedule's.
+func orderSubchunks(subs []subchunkJob, topo *mpi.Topology, selfRank, srvIndex, worldSize int, clientRank func(int) int) {
+	racks := topo.Racks(worldSize)
+	if racks <= 1 {
+		return
+	}
+	for i := range subs {
+		orderPieces(subs[i].Pieces, topo, selfRank, clientRank)
+	}
+	if len(subs) < 2 {
+		return
+	}
+	buckets := make([][]subchunkJob, racks)
+	for _, sj := range subs {
+		rk := 0
+		if len(sj.Pieces) > 0 {
+			rk = topo.RackOf(clientRank(sj.Pieces[0].Client))
+		}
+		buckets[rk] = append(buckets[rk], sj)
+	}
+	start := (topo.RackOf(selfRank) + srvIndex) % racks
+	out := subs[:0]
+	for round := 0; len(out) < len(subs); round++ {
+		for k := 0; k < racks; k++ {
+			b := buckets[(start+k)%racks]
+			if round < len(b) {
+				out = append(out, b[round])
+			}
+		}
+	}
+}
+
+// orderPieces sorts a sub-chunk's pieces deepest-link-first: cross-rack
+// clients before in-rack ones, stably by client index within each
+// class.
+func orderPieces(pieces []piece, topo *mpi.Topology, selfRank int, clientRank func(int) int) {
+	if len(pieces) < 2 {
+		return
+	}
+	sort.SliceStable(pieces, func(i, j int) bool {
+		ci := topo.CrossRack(clientRank(pieces[i].Client), selfRank)
+		cj := topo.CrossRack(clientRank(pieces[j].Client), selfRank)
+		return ci && !cj
+	})
+}
+
+// orderPlan applies orderSubchunks for this server when topology
+// schedules are on; pass-through otherwise. The subs slice must be
+// freshly built (the reorder is in place).
+func (s *Server) orderPlan(subs []subchunkJob) []subchunkJob {
+	if topo := s.cfg.Topology; topo != nil && !s.cfg.FlatSchedules {
+		orderSubchunks(subs, topo, s.comm.Rank(), s.index, s.cfg.WorldSize(), s.clientRank)
+	}
+	return subs
+}

@@ -41,6 +41,13 @@ type Inputs struct {
 	Specs []core.ArraySpec
 	// Link is the interconnect model.
 	Link mpi.LinkConfig
+	// Topo, when non-nil, prices cross-rack transfers differently from
+	// in-rack ones: every message is charged the sender overhead, a
+	// cross-rack piece pays the spine latency both ways (request and
+	// data), and cross-rack bytes flow at the uplink bandwidth when the
+	// rack's uplink is the narrower pipe. Nil reproduces the uniform
+	// model exactly.
+	Topo *mpi.Topology
 	// Disk is the per-I/O-node file system model; FastDisk ignores it.
 	Disk storage.AIXModel
 	// FastDisk prices disk requests at zero (paper Figures 5, 6, 9).
@@ -86,6 +93,16 @@ func Predict(in Inputs) Breakdown {
 	clientBytes := make([]int64, cfg.NumClients)
 	clientReorg := make([]int64, cfg.NumClients)
 
+	// Resolve the effective links once: with a topology the in-rack
+	// link may override the base, and a rack's uplink may be narrower.
+	link := in.Topo.LocalLink(in.Link)
+	uplink := link.Bandwidth
+	if in.Topo != nil {
+		if up := in.Topo.UplinkBandwidth(in.Link); up < uplink {
+			uplink = up
+		}
+	}
+
 	for s := 0; s < cfg.NumServers; s++ {
 		var disk, net time.Duration
 		for _, spec := range in.Specs {
@@ -114,7 +131,8 @@ func Predict(in Inputs) Breakdown {
 					// Network: one request and one data transfer per
 					// piece; the data serializes through the server's
 					// port, the small request costs a round of latency.
-					pieces := 0
+					pieces, crossPieces := 0, 0
+					crossBytes := int64(0)
 					for c := 0; c < spec.Mem.NumChunks(); c++ {
 						mchunk := spec.Mem.Chunk(c)
 						sect, ok := array.Intersect(mchunk, sub)
@@ -124,6 +142,10 @@ func Predict(in Inputs) Breakdown {
 						pieces++
 						n := sect.NumElems() * int64(elem)
 						clientBytes[c] += n
+						if in.Topo != nil && in.Topo.CrossRack(c, cfg.ServerRank(s)) {
+							crossPieces++
+							crossBytes += n
+						}
 						if _, contig := array.ContiguousIn(mchunk, sect); !contig {
 							clientReorg[c] += n
 						}
@@ -132,8 +154,15 @@ func Predict(in Inputs) Breakdown {
 							net += bytesTime(n, cfg.CopyRate)
 						}
 					}
-					net += time.Duration(pieces) * 2 * in.Link.Latency
-					net += bytesTime(subBytes, in.Link.Bandwidth)
+					net += time.Duration(pieces) * 2 * link.Latency
+					if in.Topo != nil {
+						// Sender CPU occupancy for request and data, and
+						// the spine round trip for cross-rack pieces.
+						net += time.Duration(pieces) * 2 * in.Topo.SendOverhead
+						net += time.Duration(crossPieces) * 2 * in.Topo.CrossLatency
+					}
+					net += bytesTime(subBytes-crossBytes, link.Bandwidth)
+					net += bytesTime(crossBytes, uplink)
 				}
 			}
 		}
@@ -153,7 +182,7 @@ func Predict(in Inputs) Breakdown {
 	}
 
 	for c := 0; c < cfg.NumClients; c++ {
-		b.PerClient[c] = bytesTime(clientBytes[c], in.Link.Bandwidth) +
+		b.PerClient[c] = bytesTime(clientBytes[c], link.Bandwidth) +
 			bytesTime(clientReorg[c], cfg.CopyRate)
 	}
 

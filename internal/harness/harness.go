@@ -172,6 +172,13 @@ type Options struct {
 	// Metrics, when non-nil, aggregates counters and histograms across
 	// every cell of the run.
 	Metrics *obs.Registry
+	// Topology, when non-nil, racks the simulated network with this
+	// layout and (unless FlatSchedules) turns on the synthesized
+	// communication schedules. Nil keeps the paper's uniform SP2 net.
+	Topology *mpi.Topology
+	// FlatSchedules keeps the flat paper schedules while still charging
+	// the racked network: the control arm of the topology experiment.
+	FlatSchedules bool
 }
 
 // StartupOverhead is the paper's measured fixed Panda cost per
@@ -245,13 +252,20 @@ func Shape3D(totalBytes int64) ([]int, error) {
 	return shape, nil
 }
 
-// Meshes maps the paper's compute-node counts to logical meshes.
+// Meshes maps compute-node counts to logical meshes: the paper's four
+// SP2 configurations plus the scaled-up counts of the topology
+// experiment (powers of two through 1,024 nodes).
 func Meshes() map[int][]int {
 	return map[int][]int{
-		8:  {2, 2, 2},
-		16: {4, 2, 2},
-		24: {6, 2, 2},
-		32: {4, 4, 2},
+		8:    {2, 2, 2},
+		16:   {4, 2, 2},
+		24:   {6, 2, 2},
+		32:   {4, 4, 2},
+		64:   {4, 4, 4},
+		128:  {8, 4, 4},
+		256:  {8, 8, 4},
+		512:  {8, 8, 8},
+		1024: {16, 8, 8},
 	}
 }
 

@@ -21,6 +21,8 @@ func configFor(f Figure, ion int, opt Options) core.Config {
 		CopyRate:        CopyRate,
 		Trace:           opt.Trace,
 		Metrics:         opt.Metrics,
+		Topology:        opt.Topology,
+		FlatSchedules:   opt.FlatSchedules,
 		// The paper's machines had no commit machinery; the virtual-time
 		// goldens are calibrated to the plain write path.
 		PlainWrites: true,

@@ -1,0 +1,49 @@
+package harness
+
+import "testing"
+
+// TestTopoPointTreeBeatsFlat pins the property the CI topo gate depends
+// on: on a racked network the synthesized schedules finish the write
+// before the flat paper schedules do, the margin grows with the node
+// count, and the measurement is deterministic. Scale 5 keeps the cells
+// at 1 MB so the tier-1 run stays fast; the win is per-message overhead,
+// not bytes, so it survives the shrink.
+func TestTopoPointTreeBeatsFlat(t *testing.T) {
+	opt := Options{Scale: 5}
+	small, err := RunTopoPoint(64, "fat-tree:16", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := RunTopoPoint(256, "fat-tree:16", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("n=64: flat=%v tree=%v speedup=%.3fx", small.Flat, small.Tree, small.Speedup)
+	t.Logf("n=256: flat=%v tree=%v speedup=%.3fx", big.Flat, big.Tree, big.Speedup)
+	if small.Tree >= small.Flat {
+		t.Errorf("64 nodes: synthesized %v not below flat %v", small.Tree, small.Flat)
+	}
+	if big.Tree >= big.Flat {
+		t.Errorf("256 nodes: synthesized %v not below flat %v", big.Tree, big.Flat)
+	}
+	if big.Speedup <= small.Speedup {
+		t.Errorf("speedup %.3fx at 256 nodes not above %.3fx at 64 nodes", big.Speedup, small.Speedup)
+	}
+
+	again, err := RunTopoPoint(256, "fat-tree:16", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Flat != big.Flat || again.Tree != big.Tree {
+		t.Fatalf("not deterministic: flat %v vs %v, tree %v vs %v",
+			again.Flat, big.Flat, again.Tree, big.Tree)
+	}
+}
+
+// TestTopoPointRejectsFlatPreset pins the guard: the experiment needs a
+// racked preset, so "flat" (which parses to a nil topology) is an error.
+func TestTopoPointRejectsFlatPreset(t *testing.T) {
+	if _, err := RunTopoPoint(64, "flat", Options{Scale: 5}); err == nil {
+		t.Fatal("RunTopoPoint accepted the flat preset")
+	}
+}

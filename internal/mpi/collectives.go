@@ -1,6 +1,10 @@
 package mpi
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
 
 // Collective operations built from point-to-point messages. All ranks of
 // the communicator must call the same collective with compatible
@@ -38,17 +42,62 @@ func Barrier(c Comm) {
 }
 
 // Bcast distributes root's data to every rank and returns it. Non-root
-// callers pass nil.
+// callers pass nil. The schedule is a binomial tree (log N rounds at
+// the root instead of N sends); BcastTree exposes the topology-aware
+// and deadline-aware form.
 func Bcast(c Comm, root int, data []byte) []byte {
-	if c.Rank() == root {
-		for i := 0; i < c.Size(); i++ {
-			if i != root {
-				c.Send(i, tagBcast, data)
-			}
-		}
-		return data
+	out, err := BcastTree(c, root, data, nil, 0)
+	if err != nil {
+		panic(fmt.Sprintf("mpi: Bcast on rank %d: %v", c.Rank(), err))
 	}
-	return c.Recv(root, tagBcast).Data
+	return out
+}
+
+// BcastTree distributes root's data to every rank along a synthesized
+// broadcast tree: binomial when topo is nil, rack-major two-level when
+// a topology with racks is present. Every rank derives its own parent
+// and children from (size, root, topo) alone, receives exactly one
+// frame, and forwards it before returning.
+//
+// With timeout > 0 the receive leg is bounded (c must implement
+// DeadlineComm): a crashed or silent parent surfaces ErrPeerLost or
+// ErrTimeout on every rank of the orphaned subtree — the same
+// guarantee the flat schedule gives, with the failure detected one
+// tree level away instead of at the root.
+func BcastTree(c Comm, root int, data []byte, topo *Topology, timeout time.Duration) ([]byte, error) {
+	members := worldMembers(c.Size())
+	if c.Rank() != root {
+		parent := TreeParent(members, root, c.Rank(), topo)
+		if parent < 0 {
+			return nil, fmt.Errorf("mpi: rank %d has no parent in bcast tree rooted at %d", c.Rank(), root)
+		}
+		if timeout > 0 {
+			dc, ok := c.(DeadlineComm)
+			if !ok {
+				return nil, fmt.Errorf("mpi: %T does not support deadlines", c)
+			}
+			m, err := dc.RecvTimeout(parent, tagBcast, timeout)
+			if err != nil {
+				return nil, err
+			}
+			data = m.Data
+		} else {
+			data = c.Recv(parent, tagBcast).Data
+		}
+	}
+	for _, child := range TreeChildren(members, root, c.Rank(), topo) {
+		c.Send(child, tagBcast, data)
+	}
+	return data, nil
+}
+
+// worldMembers is the identity member list 0..n-1.
+func worldMembers(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
 }
 
 // Gather collects each rank's data at root. At root it returns a slice

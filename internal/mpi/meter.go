@@ -13,11 +13,17 @@ import (
 // one endpoint). It composes with WrapFault in either order and
 // preserves the inner communicator's DeadlineComm and PeerChecker
 // capabilities. reg nil returns inner unchanged.
-func WrapMetered(inner Comm, reg *obs.Registry, clk clock.Clock) Comm {
+//
+// An optional topology adds per-link-class traffic counters: every
+// send and receive is additionally counted under
+// mpi_link_{msgs,bytes}_{sent,recv}{class=intra|cross}, keyed by
+// whether the peer sits in this rank's rack — which makes cross-rack
+// amplification directly visible in pandastat and /metrics.
+func WrapMetered(inner Comm, reg *obs.Registry, clk clock.Clock, topo ...*Topology) Comm {
 	if reg == nil {
 		return inner
 	}
-	return &meteredComm{
+	c := &meteredComm{
 		inner:     inner,
 		clk:       clk,
 		msgsSent:  reg.Counter("mpi_msgs_sent"),
@@ -26,6 +32,16 @@ func WrapMetered(inner Comm, reg *obs.Registry, clk clock.Clock) Comm {
 		bytesRecv: reg.Counter("mpi_bytes_recv"),
 		recvWait:  reg.Histogram("mpi_recv_wait_ns", obs.LatencyBounds),
 	}
+	if len(topo) > 0 && topo[0] != nil {
+		c.topo = topo[0]
+		for i, class := range []string{"intra", "cross"} {
+			c.linkMsgsSent[i] = reg.Counter(obs.LabelName("mpi_link_msgs_sent", "class", class))
+			c.linkBytesSent[i] = reg.Counter(obs.LabelName("mpi_link_bytes_sent", "class", class))
+			c.linkMsgsRecv[i] = reg.Counter(obs.LabelName("mpi_link_msgs_recv", "class", class))
+			c.linkBytesRecv[i] = reg.Counter(obs.LabelName("mpi_link_bytes_recv", "class", class))
+		}
+	}
+	return c
 }
 
 type meteredComm struct {
@@ -36,28 +52,54 @@ type meteredComm struct {
 	msgsRecv  *obs.Counter
 	bytesRecv *obs.Counter
 	recvWait  *obs.Histogram
+
+	// Link-class breakdown, present only when a topology was supplied:
+	// index 0 counts in-rack traffic, index 1 cross-rack.
+	topo          *Topology
+	linkMsgsSent  [2]*obs.Counter
+	linkBytesSent [2]*obs.Counter
+	linkMsgsRecv  [2]*obs.Counter
+	linkBytesRecv [2]*obs.Counter
 }
 
 func (c *meteredComm) Rank() int { return c.inner.Rank() }
 func (c *meteredComm) Size() int { return c.inner.Size() }
 
-func (c *meteredComm) countSend(n int) {
-	c.msgsSent.Add(1)
-	c.bytesSent.Add(int64(n))
+// linkClass is 0 for an in-rack peer, 1 for a cross-rack one.
+func (c *meteredComm) linkClass(peer int) int {
+	if c.topo != nil && peer >= 0 && c.topo.CrossRack(c.Rank(), peer) {
+		return 1
+	}
+	return 0
 }
 
-func (c *meteredComm) countRecv(n int) {
+func (c *meteredComm) countSend(to, n int) {
+	c.msgsSent.Add(1)
+	c.bytesSent.Add(int64(n))
+	if c.topo != nil {
+		cl := c.linkClass(to)
+		c.linkMsgsSent[cl].Add(1)
+		c.linkBytesSent[cl].Add(int64(n))
+	}
+}
+
+func (c *meteredComm) countRecv(from, n int) {
 	c.msgsRecv.Add(1)
 	c.bytesRecv.Add(int64(n))
+	if c.topo != nil {
+		cl := c.linkClass(from)
+		c.linkMsgsRecv[cl].Add(1)
+		c.linkBytesRecv[cl].Add(int64(n))
+	}
 }
 
 func (c *meteredComm) Send(to, tag int, data []byte) {
-	c.countSend(len(data))
+	c.countSend(to, len(data))
 	c.inner.Send(to, tag, data)
 }
 
 func (c *meteredComm) SendOwned(to, tag int, data []byte) {
-	c.countSend(len(data))
+	c.countSend(to, len(data))
 	c.inner.SendOwned(to, tag, data)
 }
 
@@ -66,12 +108,12 @@ func (c *meteredComm) SendOwned(to, tag int, data []byte) {
 // into a pooled frame otherwise (e.g. when wrapping a FaultComm, whose
 // injection machinery needs an owned flat buffer).
 func (c *meteredComm) SendVec(to, tag int, hdr, payload []byte) bool {
-	c.countSend(len(hdr) + len(payload))
+	c.countSend(to, len(hdr)+len(payload))
 	return SendSegments(c.inner, to, tag, hdr, payload)
 }
 
 func (c *meteredComm) Isend(to, tag int, data []byte) Request {
-	c.countSend(len(data))
+	c.countSend(to, len(data))
 	return c.inner.Isend(to, tag, data)
 }
 
@@ -79,7 +121,7 @@ func (c *meteredComm) Recv(from, tag int) Message {
 	t0 := c.clk.Now()
 	m := c.inner.Recv(from, tag)
 	c.recvWait.Observe(int64(c.clk.Now() - t0))
-	c.countRecv(len(m.Data))
+	c.countRecv(m.Source, len(m.Data))
 	return m
 }
 
@@ -97,7 +139,7 @@ func (c *meteredComm) RecvTimeout(from, tag int, timeout time.Duration) (Message
 		return Message{}, err
 	}
 	c.recvWait.Observe(int64(c.clk.Now() - t0))
-	c.countRecv(len(m.Data))
+	c.countRecv(m.Source, len(m.Data))
 	return m, nil
 }
 

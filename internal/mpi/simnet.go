@@ -31,7 +31,12 @@ func (cfg LinkConfig) txTime(n int) time.Duration {
 	if cfg.Bandwidth <= 0 {
 		panic("mpi: non-positive bandwidth")
 	}
-	return time.Duration(float64(n) / cfg.Bandwidth * float64(time.Second))
+	return txDur(n, cfg.Bandwidth)
+}
+
+// txDur is the occupancy of n bytes on a link of bw bytes/second.
+func txDur(n int, bw float64) time.Duration {
+	return time.Duration(float64(n) / bw * float64(time.Second))
 }
 
 // SimWorld is a communicator whose ranks are vtime processes and whose
@@ -48,6 +53,22 @@ type SimWorld struct {
 	cfg   LinkConfig
 	nodes []*simNode
 	bytes int64
+
+	// Topology extensions (SetTopology). With topo nil the charge model
+	// above is used unchanged; with a topology, in-rack messages use the
+	// resolved local link plus a per-message SendOverhead on the egress,
+	// and cross-rack messages additionally serialize through the source
+	// rack's uplink and the destination rack's downlink.
+	topo  *Topology
+	local LinkConfig
+	racks []*rackPorts
+}
+
+// rackPorts is one rack's pair of spine ports: every message leaving
+// the rack books up, every message entering books down, so an
+// oversubscribed uplink is a genuine shared bottleneck.
+type rackPorts struct {
+	up, down vtime.Port
 }
 
 type simNode struct {
@@ -85,6 +106,28 @@ func (w *SimWorld) Bind(rank int, p *vtime.Proc) Comm {
 // utilization accounting.
 func (w *SimWorld) BytesMoved() int64 { return w.bytes }
 
+// SetTopology installs a two-level topology charge model. It must be
+// called before any traffic flows (rack ports start empty). A nil
+// topology restores the uniform model.
+func (w *SimWorld) SetTopology(t *Topology) {
+	if t == nil {
+		w.topo, w.racks = nil, nil
+		return
+	}
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	w.topo = t
+	w.local = t.local(w.cfg)
+	w.racks = make([]*rackPorts, t.Racks(len(w.nodes)))
+	for i := range w.racks {
+		w.racks[i] = &rackPorts{}
+	}
+}
+
+// Topology returns the installed topology, nil when flat.
+func (w *SimWorld) Topology() *Topology { return w.topo }
+
 type simComm struct {
 	world *SimWorld
 	rank  int
@@ -101,15 +144,20 @@ func (c *simComm) transmit(to, tag int, data []byte) time.Duration {
 	checkTag(tag)
 	w := c.world
 	now := c.proc.Now()
-	tx := w.cfg.txTime(len(data))
 	src := w.nodes[c.rank]
 	dst := w.nodes[to]
 
-	outDone := src.out.Reserve(now, tx)
-	// Cut-through: the head of the message reaches the destination
-	// Latency after transmission starts, so ingress occupancy may
-	// begin at outDone - tx + Latency and lasts tx.
-	inDone := dst.in.Reserve(outDone-tx+w.cfg.Latency, tx)
+	var outDone, inDone time.Duration
+	if w.topo == nil {
+		tx := w.cfg.txTime(len(data))
+		outDone = src.out.Reserve(now, tx)
+		// Cut-through: the head of the message reaches the destination
+		// Latency after transmission starts, so ingress occupancy may
+		// begin at outDone - tx + Latency and lasts tx.
+		inDone = dst.in.Reserve(outDone-tx+w.cfg.Latency, tx)
+	} else {
+		outDone, inDone = c.transmitTopo(now, to, len(data))
+	}
 
 	m := Message{Source: c.rank, Tag: tag, Data: data}
 	w.sim.At(inDone, func() {
@@ -122,6 +170,36 @@ func (c *simComm) transmit(to, tag int, data []byte) time.Duration {
 		}
 	})
 	return outDone
+}
+
+// transmitTopo books the topology-aware path for a message of n bytes
+// and returns (egress free, delivery) times. The sender's NIC is held
+// for SendOverhead plus the local wire occupancy; cut-through then
+// chains the first-bit arrival hop by hop: in-rack stays on the local
+// link, cross-rack flows local wire -> source rack uplink -> spine
+// (CrossLatency) -> destination rack downlink -> local wire.
+func (c *simComm) transmitTopo(now time.Duration, to, n int) (outDone, inDone time.Duration) {
+	w := c.world
+	t := w.topo
+	lcfg := w.local
+	txL := lcfg.txTime(n)
+	src, dst := w.nodes[c.rank], w.nodes[to]
+
+	outDone = src.out.Reserve(now, t.SendOverhead+txL)
+	if !t.CrossRack(c.rank, to) {
+		inDone = dst.in.Reserve(outDone-txL+lcfg.Latency, txL)
+		return outDone, inDone
+	}
+	txU := txDur(n, t.UplinkBandwidth(w.cfg))
+	upDone := w.racks[t.RackOf(c.rank)].up.Reserve(outDone-txL+lcfg.Latency, txU)
+	downDone := w.racks[t.RackOf(to)].down.Reserve(upDone-txU+t.CrossLatency, txU)
+	inDone = dst.in.Reserve(downDone-txU+lcfg.Latency, txL)
+	// A fast final hop cannot finish before the slower downlink has
+	// delivered the last bit to the rack.
+	if last := downDone + lcfg.Latency; last > inDone {
+		inDone = last
+	}
+	return outDone, inDone
 }
 
 func (c *simComm) Send(to, tag int, data []byte) {
